@@ -1,0 +1,119 @@
+"""Shared infrastructure for the reproduction benches.
+
+The heavyweight work — running the full flow (bind, elaborate, map,
+simulate) for every benchmark under every binder configuration — is
+done once per session and cached; each table/figure bench then formats
+and checks its slice of the results.
+
+Scaling knobs (environment variables):
+
+* ``REPRO_BENCH_BENCHMARKS`` — comma-separated subset (default: all 7);
+* ``REPRO_BENCH_WIDTH`` — datapath bit-width (default 8);
+* ``REPRO_BENCH_VECTORS`` — number of random input vectors (default
+  256; the paper uses 1000, which quadruples runtime and does not move
+  the aggregate numbers by more than a point).
+
+The SA table is persisted to ``data/sa_table.txt`` (the paper's "text
+file ... read in when HLPower is initially run"), so repeated bench
+runs skip the precalculation.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import pytest
+
+from repro import (
+    BENCHMARK_NAMES,
+    FlowConfig,
+    benchmark_spec,
+    list_schedule,
+    load_benchmark,
+)
+from repro.binding import SATable, bind_registers, assign_ports
+from repro.flow import FlowResult, run_flow
+from repro.flow.run import _run_binder
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_TABLE_PATH = os.path.join(_REPO_ROOT, "data", "sa_table.txt")
+_RESULTS_DIR = os.path.join(_REPO_ROOT, "benchmarks", "results")
+
+#: The three configurations Tables 3/4 and Figure 3 compare.
+CONFIGS = ("lopass", "hlpower_a1", "hlpower_a05")
+
+
+def bench_names() -> Tuple[str, ...]:
+    raw = os.environ.get("REPRO_BENCH_BENCHMARKS")
+    if not raw:
+        return BENCHMARK_NAMES
+    names = tuple(name.strip() for name in raw.split(",") if name.strip())
+    for name in names:
+        benchmark_spec(name)  # raises on typos
+    return names
+
+
+def bench_width() -> int:
+    return int(os.environ.get("REPRO_BENCH_WIDTH", "8"))
+
+
+def bench_vectors() -> int:
+    return int(os.environ.get("REPRO_BENCH_VECTORS", "256"))
+
+
+@dataclass
+class SuiteResults:
+    """All flow results, keyed by (benchmark, config)."""
+
+    results: Dict[Tuple[str, str], FlowResult]
+    width: int
+    n_vectors: int
+
+    def of(self, name: str, config: str) -> FlowResult:
+        return self.results[(name, config)]
+
+
+@pytest.fixture(scope="session")
+def sa_table() -> SATable:
+    table = SATable(path=_TABLE_PATH)
+    yield table
+    table.save_if_dirty()
+
+
+@pytest.fixture(scope="session")
+def suite(sa_table) -> SuiteResults:
+    """Run the full measurement flow for every (benchmark, config)."""
+    width = bench_width()
+    vectors = bench_vectors()
+    results: Dict[Tuple[str, str], FlowResult] = {}
+    for name in bench_names():
+        spec = benchmark_spec(name)
+        schedule = list_schedule(load_benchmark(name), spec.constraints)
+        registers = bind_registers(schedule)
+        ports = assign_ports(schedule.cdfg)
+        for config in CONFIGS:
+            alpha = 1.0 if config == "hlpower_a1" else 0.5
+            flow_config = FlowConfig(
+                width=width,
+                n_vectors=vectors,
+                alpha=alpha,
+                sa_table=sa_table,
+            )
+            binder = "lopass" if config == "lopass" else "hlpower"
+            results[(name, config)] = run_flow(
+                schedule, spec.constraints, binder, flow_config,
+                registers, ports,
+            )
+    sa_table.save_if_dirty()
+    return SuiteResults(results, width, vectors)
+
+
+def write_result(filename: str, text: str) -> None:
+    """Persist a bench's table under benchmarks/results/ and print it."""
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(_RESULTS_DIR, filename), "w") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Synthesize a hand-written FIR filter kernel down to VHDL.
+
+Shows the library on a *user-defined* CDFG rather than a paper
+benchmark: an 8-tap FIR filter (y = sum c_i * x_i), scheduled with
+force-directed scheduling (the paper's future-work integration),
+bound with HLPower, and emitted as synthesizable VHDL.
+
+Run:  python examples/custom_fir_kernel.py > fir.vhd
+"""
+
+import sys
+
+from repro import (
+    CDFG,
+    HLPowerConfig,
+    bind_hlpower,
+    build_datapath,
+    emit_vhdl,
+    force_directed_schedule,
+)
+from repro.binding import SATable
+from repro.rtl import mux_report
+
+TAPS = 8
+
+
+def build_fir(taps: int) -> CDFG:
+    """y = sum_i coeff_i * sample_i as a balanced adder tree."""
+    cdfg = CDFG(f"fir{taps}")
+    samples = [cdfg.add_input(f"x{i}") for i in range(taps)]
+    coeffs = [cdfg.add_input(f"c{i}") for i in range(taps)]
+    products = [
+        cdfg.add_operation("mult", samples[i], coeffs[i], f"p{i}")
+        for i in range(taps)
+    ]
+    level = products
+    while len(level) > 1:
+        next_level = []
+        for k in range(0, len(level) - 1, 2):
+            next_level.append(
+                cdfg.add_operation("add", level[k], level[k + 1])
+            )
+        if len(level) % 2:
+            next_level.append(level[-1])
+        level = next_level
+    cdfg.mark_output(level[0])
+    cdfg.validate()
+    return cdfg
+
+
+def main() -> None:
+    cdfg = build_fir(TAPS)
+    print(f"-- FIR kernel: {cdfg}", file=sys.stderr)
+
+    # Force-directed scheduling balances per-step concurrency, which
+    # directly lowers the binder's minimum allocation (Theorem 1).
+    schedule = force_directed_schedule(cdfg, length=6)
+    constraints = schedule.min_resources()
+    print(
+        f"-- force-directed schedule: {schedule.length} steps, "
+        f"allocation bound {constraints}",
+        file=sys.stderr,
+    )
+
+    solution = bind_hlpower(
+        schedule, constraints, config=HLPowerConfig(sa_table=SATable())
+    )
+    report = mux_report(solution)
+    print(
+        f"-- bound: {solution.fus.allocation()}, largest mux "
+        f"{report.largest_mux}, muxDiff mean {report.mux_diff_mean:.2f}",
+        file=sys.stderr,
+    )
+
+    datapath = build_datapath(solution, width=12)
+    print(emit_vhdl(datapath, entity=f"fir{TAPS}"))
+
+
+if __name__ == "__main__":
+    main()

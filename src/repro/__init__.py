@@ -1,0 +1,81 @@
+"""HLPower reproduction: FPGA-targeted glitch-aware high-level binding.
+
+Reproduction of Cromar, Lee & Chen, "FPGA-Targeted High-Level Binding
+Algorithm for Power and Area Reduction with Glitch-Estimation"
+(DAC 2009). See README.md for a tour and DESIGN.md for the system
+inventory and substitution notes.
+
+Typical use::
+
+    from repro import (
+        load_benchmark, benchmark_spec, list_schedule,
+        FlowConfig, compare_binders,
+    )
+
+    spec = benchmark_spec("pr")
+    schedule = list_schedule(load_benchmark("pr"), spec.constraints)
+    results = compare_binders(schedule, spec.constraints, FlowConfig())
+    print(results["hlpower"].power.dynamic_power_mw)
+"""
+
+from repro.cdfg import (
+    BENCHMARK_NAMES,
+    CDFG,
+    Schedule,
+    benchmark_spec,
+    figure1_example,
+    generate_cdfg,
+    load_benchmark,
+)
+from repro.scheduling import (
+    alap_schedule,
+    asap_schedule,
+    force_directed_schedule,
+    list_schedule,
+)
+from repro.binding import (
+    BindingSolution,
+    HLPowerConfig,
+    SATable,
+    assign_ports,
+    bind_hlpower,
+    bind_lopass,
+    bind_registers,
+)
+from repro.rtl import build_datapath, emit_vhdl, mux_report
+from repro.flow import FlowConfig, FlowResult, compare_binders, run_flow
+from repro.hls import HLSConfig, HLSResult, synthesize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "CDFG",
+    "Schedule",
+    "benchmark_spec",
+    "figure1_example",
+    "generate_cdfg",
+    "load_benchmark",
+    "alap_schedule",
+    "asap_schedule",
+    "force_directed_schedule",
+    "list_schedule",
+    "BindingSolution",
+    "HLPowerConfig",
+    "SATable",
+    "assign_ports",
+    "bind_hlpower",
+    "bind_lopass",
+    "bind_registers",
+    "build_datapath",
+    "emit_vhdl",
+    "mux_report",
+    "FlowConfig",
+    "FlowResult",
+    "compare_binders",
+    "run_flow",
+    "HLSConfig",
+    "HLSResult",
+    "synthesize",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Switching-activity estimation (paper Section 4).
+
+Implements the probabilistic model stack the paper builds on:
+
+* signal probability propagation (Najm [17], Krishnamurthy-Tollis [12])
+  — :mod:`repro.activity.probability`;
+* transition density via the Boolean difference (Najm [17]) and the
+  exact simultaneous-switching extension (Chou-Roy [7]) —
+  :mod:`repro.activity.transition`;
+* the unit-delay, per-timestep glitch model of GlitchMap [6] —
+  :mod:`repro.activity.glitch`;
+* a netlist-level driver producing the total estimated switching
+  activity ``SA`` of Equation (3) — :mod:`repro.activity.estimator`.
+"""
+
+from repro.activity.probability import (
+    gate_output_probability,
+    propagate_probabilities,
+)
+from repro.activity.transition import (
+    joint_input_matrix,
+    najm_density,
+    pair_distribution,
+    switching_activity,
+)
+from repro.activity.glitch import GlitchWaveform, propagate_waveforms
+from repro.activity.estimator import (
+    ActivityReport,
+    estimate_switching_activity,
+)
+
+__all__ = [
+    "gate_output_probability",
+    "propagate_probabilities",
+    "joint_input_matrix",
+    "najm_density",
+    "pair_distribution",
+    "switching_activity",
+    "GlitchWaveform",
+    "propagate_waveforms",
+    "ActivityReport",
+    "estimate_switching_activity",
+]

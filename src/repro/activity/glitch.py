@@ -1,0 +1,162 @@
+"""Unit-delay glitch-aware switching-activity propagation.
+
+This is the GlitchMap [6] model the paper builds its estimator on
+(Section 4): under the unit delay model every gate/LUT switches only at
+discrete time steps ``1, 2, ..., D``, where ``D`` is the node's depth.
+The transition at time ``D`` is the functional transition; transitions
+at earlier steps are glitches caused by unbalanced path delays.
+
+Every net carries a :class:`GlitchWaveform`: its static signal
+probability plus a map ``time -> switching activity at that step``. A
+gate's output may switch at ``t + 1`` for every time ``t`` at which any
+fanin may switch. At each such step the fanins that can switch
+contribute their ``(P, s_t)`` pair law; quiescent fanins are held
+(Equation (2) evaluated under a mixed joint law — see
+:mod:`repro.activity.transition`).
+
+The *effective* switching activity of a node is the sum of its per-step
+activities, and the netlist total (Equation (3)) is the sum over all
+nodes — computed in :mod:`repro.activity.estimator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.activity.probability import (
+    DEFAULT_INPUT_PROBABILITY,
+    gate_output_probability,
+    propagate_probabilities,
+)
+from repro.activity.transition import (
+    MAX_EXACT_INPUTS,
+    clamp_activity,
+    held_distribution,
+    mixed_joint_matrix,
+    najm_density,
+    pair_distribution,
+)
+from repro.netlist.gates import Netlist
+
+#: Default per-cycle switching activity of primary inputs.
+DEFAULT_INPUT_ACTIVITY = 0.5
+
+
+@dataclass
+class GlitchWaveform:
+    """Per-net probabilistic waveform under the unit-delay model."""
+
+    probability: float
+    steps: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def depth(self) -> int:
+        """Arrival time of the functional transition (0 for sources)."""
+        return max(self.steps, default=0)
+
+    def total(self) -> float:
+        """Effective switching activity: sum over all time steps."""
+        return float(sum(self.steps.values()))
+
+    def functional(self) -> float:
+        """Activity of the transition at the node's depth."""
+        if not self.steps:
+            return 0.0
+        return self.steps[self.depth]
+
+    def glitch(self) -> float:
+        """Activity of all transitions before the functional one."""
+        return self.total() - self.functional()
+
+    def switch_times(self) -> List[int]:
+        return sorted(self.steps)
+
+
+def source_waveform(
+    probability: float = DEFAULT_INPUT_PROBABILITY,
+    activity: float = DEFAULT_INPUT_ACTIVITY,
+    time: int = 0,
+) -> GlitchWaveform:
+    """Waveform of a primary input or register output.
+
+    Sources change at most once per clock cycle, at ``time`` (0 by
+    default): no glitches originate there.
+    """
+    activity = clamp_activity(probability, activity)
+    steps = {time: activity} if activity > 0.0 else {}
+    return GlitchWaveform(probability, steps)
+
+
+def propagate_waveforms(
+    netlist: Netlist,
+    input_probs: Optional[Mapping[str, float]] = None,
+    input_activities: Optional[Mapping[str, float]] = None,
+    default_probability: float = DEFAULT_INPUT_PROBABILITY,
+    default_activity: float = DEFAULT_INPUT_ACTIVITY,
+) -> Dict[str, GlitchWaveform]:
+    """Compute a :class:`GlitchWaveform` for every net of ``netlist``.
+
+    Sources (primary inputs and latch outputs) switch once at time 0
+    with the given activity; gate outputs accumulate per-step activities
+    as described in the module docstring. Gates wider than the exact
+    pair-space limit fall back to Najm's density placed entirely at the
+    node's depth (no glitch decomposition) — the structural library and
+    the 4-LUT mapper never produce such gates, but imported netlists
+    might.
+    """
+    probs = propagate_probabilities(netlist, input_probs, default_probability)
+    waves: Dict[str, GlitchWaveform] = {}
+    for net in list(netlist.inputs) + list(netlist.latches):
+        activity = (input_activities or {}).get(net, default_activity)
+        waves[net] = source_waveform(probs[net], activity)
+
+    for net in netlist.topological_order():
+        gate = netlist.gates[net]
+        out_prob = probs[net]
+        if not gate.inputs:
+            waves[net] = GlitchWaveform(out_prob, {})
+            continue
+        fanin_waves = [waves[name] for name in gate.inputs]
+        if gate.table.n_inputs > MAX_EXACT_INPUTS:
+            waves[net] = _wide_gate_waveform(gate, fanin_waves, out_prob)
+            continue
+        steps: Dict[int, float] = {}
+        trigger_times = sorted(
+            {t for wave in fanin_waves for t in wave.steps}
+        )
+        for t in trigger_times:
+            joints = []
+            for wave in fanin_waves:
+                s_t = wave.steps.get(t, 0.0)
+                if s_t > 0.0:
+                    s_t = clamp_activity(wave.probability, s_t)
+                    joints.append(pair_distribution(wave.probability, s_t))
+                else:
+                    joints.append(held_distribution(wave.probability))
+            matrix = mixed_joint_matrix(gate.table.n_inputs, joints)
+            column = np.array(gate.table.output_column(), dtype=np.float64)
+            differs = column[:, None] != column[None, :]
+            activity = float(matrix[differs].sum())
+            if activity > 0.0:
+                steps[t + 1] = clamp_activity(out_prob, activity)
+        waves[net] = GlitchWaveform(out_prob, steps)
+    return waves
+
+
+def _wide_gate_waveform(
+    gate,
+    fanin_waves: List[GlitchWaveform],
+    out_prob: float,
+) -> GlitchWaveform:
+    """Fallback for gates too wide for the exact pair computation."""
+    totals = [wave.total() for wave in fanin_waves]
+    fanin_probs = [wave.probability for wave in fanin_waves]
+    activity = najm_density(gate.table, fanin_probs, totals)
+    activity = clamp_activity(out_prob, activity)
+    depth = 1 + max(wave.depth for wave in fanin_waves)
+    steps = {depth: activity} if activity > 0.0 else {}
+    return GlitchWaveform(out_prob, steps)

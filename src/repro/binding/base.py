@@ -1,0 +1,192 @@
+"""Binding result types shared by every binder.
+
+A complete binding solution (Section 3's "Tasks") consists of:
+
+* a :class:`RegisterBinding` — registers allocated and variables
+  assigned to them;
+* a :class:`PortAssignment` — which operand of each operation feeds FU
+  port A vs. port B (the paper fixes this "randomly" during register
+  binding; both binders then see identical port assignments);
+* an :class:`FUBinding` — functional units allocated and operations
+  assigned to them.
+
+:class:`BindingSolution` bundles the three with the schedule and offers
+the structural queries (mux sources per port) every consumer — edge
+weighting, datapath construction, metrics — shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import BindingError
+from repro.cdfg.graph import Operation
+from repro.cdfg.lifetimes import Lifetime, compute_lifetimes
+from repro.cdfg.schedule import Schedule
+
+
+@dataclass
+class RegisterBinding:
+    """Variables assigned to registers."""
+
+    n_registers: int
+    assignment: Dict[int, int]  # variable id -> register index
+
+    def register_of(self, var_id: int) -> int:
+        try:
+            return self.assignment[var_id]
+        except KeyError:
+            raise BindingError(f"variable {var_id} has no register")
+
+    def variables_in(self, register: int) -> List[int]:
+        return sorted(
+            var_id
+            for var_id, reg in self.assignment.items()
+            if reg == register
+        )
+
+
+@dataclass
+class PortAssignment:
+    """Operand-to-port mapping: op id -> (port A var, port B var)."""
+
+    ports: Dict[int, Tuple[int, int]]
+
+    def of(self, op: Operation) -> Tuple[int, int]:
+        return self.ports.get(op.op_id, op.inputs)
+
+
+@dataclass(frozen=True)
+class FunctionalUnit:
+    """One allocated FU and the operations bound to it."""
+
+    fu_id: int
+    fu_class: str
+    ops: FrozenSet[int]  # operation ids
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+@dataclass
+class FUBinding:
+    """Operations assigned to allocated functional units."""
+
+    units: List[FunctionalUnit]
+    constraint_met: bool = True
+
+    def unit_of(self, op_id: int) -> FunctionalUnit:
+        for unit in self.units:
+            if op_id in unit.ops:
+                return unit
+        raise BindingError(f"operation {op_id} is unbound")
+
+    def units_of_class(self, fu_class: str) -> List[FunctionalUnit]:
+        return [u for u in self.units if u.fu_class == fu_class]
+
+    def allocation(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for unit in self.units:
+            counts[unit.fu_class] = counts.get(unit.fu_class, 0) + 1
+        return counts
+
+
+@dataclass
+class BindingSolution:
+    """A complete binding of a scheduled CDFG."""
+
+    schedule: Schedule
+    registers: RegisterBinding
+    ports: PortAssignment
+    fus: FUBinding
+    algorithm: str = ""
+    runtime_s: float = 0.0
+
+    # -- structural queries ------------------------------------------------
+
+    def port_sources(self, unit: FunctionalUnit) -> Tuple[List[int], List[int]]:
+        """Distinct registers feeding each input port of ``unit``.
+
+        Registers are known because register binding precedes FU
+        binding — this is exactly why the paper can compute "the exact
+        multiplexer sizes" during edge weighting (Section 5.2.2).
+        """
+        cdfg = self.schedule.cdfg
+        sources_a: List[int] = []
+        sources_b: List[int] = []
+        for op_id in sorted(unit.ops):
+            var_a, var_b = self.ports.of(cdfg.operations[op_id])
+            reg_a = self.registers.register_of(var_a)
+            reg_b = self.registers.register_of(var_b)
+            if reg_a not in sources_a:
+                sources_a.append(reg_a)
+            if reg_b not in sources_b:
+                sources_b.append(reg_b)
+        return sources_a, sources_b
+
+    def mux_sizes(self, unit: FunctionalUnit) -> Tuple[int, int]:
+        """Input multiplexer sizes ``(|port A|, |port B|)`` of a unit."""
+        sources_a, sources_b = self.port_sources(unit)
+        return len(sources_a), len(sources_b)
+
+    def register_sources(self, register: int) -> List[int]:
+        """Distinct writers of a register: FU ids, or -1 for input pads.
+
+        A register holding several variables written by different FUs
+        needs an input multiplexer of this size.
+        """
+        cdfg = self.schedule.cdfg
+        writers: List[int] = []
+        for var_id in self.registers.variables_in(register):
+            variable = cdfg.variables[var_id]
+            if variable.producer is None:
+                source = -1
+            else:
+                source = self.fus.unit_of(variable.producer).fu_id
+            if source not in writers:
+                writers.append(source)
+        return writers
+
+    def validate(self) -> None:
+        """Check the solution is complete and conflict-free."""
+        cdfg = self.schedule.cdfg
+        lifetimes = compute_lifetimes(self.schedule)
+
+        bound_ops = set()
+        for unit in self.fus.units:
+            ops = [cdfg.operations[op_id] for op_id in unit.ops]
+            for op in ops:
+                if op.resource_class != unit.fu_class:
+                    raise BindingError(
+                        f"{op.name} ({op.resource_class}) bound to "
+                        f"{unit.fu_class} unit {unit.fu_id}"
+                    )
+                if op.op_id in bound_ops:
+                    raise BindingError(f"{op.name} bound twice")
+                bound_ops.add(op.op_id)
+            for i, op_a in enumerate(ops):
+                for op_b in ops[i + 1:]:
+                    if self.schedule.overlaps(op_a, op_b):
+                        raise BindingError(
+                            f"unit {unit.fu_id}: {op_a.name} and "
+                            f"{op_b.name} overlap in time"
+                        )
+        missing = set(cdfg.operations) - bound_ops
+        if missing:
+            raise BindingError(f"unbound operations: {sorted(missing)[:5]}")
+
+        by_register: Dict[int, List[Lifetime]] = {}
+        for var_id, lifetime in lifetimes.items():
+            if lifetime.span == 0:
+                continue
+            register = self.registers.register_of(var_id)
+            by_register.setdefault(register, []).append(lifetime)
+        for register, items in by_register.items():
+            items.sort(key=lambda lt: lt.birth)
+            for first, second in zip(items, items[1:]):
+                if first.overlaps(second):
+                    raise BindingError(
+                        f"register {register}: variables {first.var_id} "
+                        f"and {second.var_id} have overlapping lifetimes"
+                    )

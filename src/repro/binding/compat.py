@@ -1,0 +1,98 @@
+"""FU-node compatibility and initial U/V selection (Section 5.2.1).
+
+During functional-unit binding every graph node represents one
+allocated FU holding a set of operations. Two nodes are compatible —
+i.e. may merge onto one FU — iff:
+
+1. they hold operations of the same resource class, and
+2. no pair of their operations overlaps in the schedule.
+
+The initial set ``U`` contains, per resource class, the operations of
+the control step with the most concurrent operations of that class
+(each as a singleton node); that count is the class's minimum feasible
+allocation, which is what makes Theorem 1 go through. All other
+operations start in ``V``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.errors import BindingError
+from repro.cdfg.graph import Operation
+from repro.cdfg.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class BindingNode:
+    """A (partial) functional unit: a set of compatible operations.
+
+    ``busy`` caches the union of the operations' busy control steps so
+    compatibility checks are set intersections.
+    """
+
+    fu_class: str
+    ops: FrozenSet[int]
+    busy: FrozenSet[int]
+
+    @classmethod
+    def singleton(cls, schedule: Schedule, op: Operation) -> "BindingNode":
+        start, end = schedule.busy_interval(op)
+        return cls(
+            op.resource_class,
+            frozenset((op.op_id,)),
+            frozenset(range(start, end + 1)),
+        )
+
+    def compatible(self, other: "BindingNode") -> bool:
+        return (
+            self.fu_class == other.fu_class
+            and not (self.busy & other.busy)
+        )
+
+    def merge(self, other: "BindingNode") -> "BindingNode":
+        if not self.compatible(other):
+            raise BindingError(
+                f"merging incompatible nodes ({sorted(self.ops)} / "
+                f"{sorted(other.ops)})"
+            )
+        return BindingNode(
+            self.fu_class, self.ops | other.ops, self.busy | other.busy
+        )
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+def select_initial_sets(
+    schedule: Schedule, fu_class: str
+) -> Tuple[List[BindingNode], List[BindingNode]]:
+    """The ``(U, V)`` node sets for one resource class.
+
+    ``U`` holds the operations of the densest control step for the
+    class; ``V`` holds every other operation of the class. All nodes
+    are singletons.
+    """
+    step, count = schedule.densest_step(fu_class)
+    if count == 0:
+        return [], []
+    dense_ops = {
+        op.op_id for op in schedule.operations_in_step(step, fu_class)
+    }
+    u_nodes: List[BindingNode] = []
+    v_nodes: List[BindingNode] = []
+    for op in sorted(
+        (
+            op
+            for op in schedule.cdfg.operations.values()
+            if op.resource_class == fu_class
+        ),
+        key=lambda op: op.op_id,
+    ):
+        node = BindingNode.singleton(schedule, op)
+        if op.op_id in dense_ops:
+            u_nodes.append(node)
+        else:
+            v_nodes.append(node)
+    return u_nodes, v_nodes

@@ -1,0 +1,185 @@
+"""Exact (exhaustive) functional-unit binding for small instances.
+
+The related work the paper builds on formulates low-power binding as an
+ILP with heuristic speed-ups (Davoodi-Srivastava [10]); resource
+binding for multiplexer reduction is NP-complete (Pangrle [18]), so
+exact solutions only scale to small instances — which is precisely
+what makes them useful here: a *quality oracle* the test suite uses to
+measure how far the heuristics (HLPower's iterative matching, the
+flow baseline) sit from the optimum on instances where the optimum is
+computable.
+
+The solver branch-and-bounds over operation-to-unit assignments in
+schedule order, minimizing total FU multiplexer inputs (``mux length``)
+with the muxDiff sum as tie-break — the structural objective of
+Tables 3/4.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import BindingError, ResourceError
+from repro.binding.base import (
+    BindingSolution,
+    FUBinding,
+    FunctionalUnit,
+    PortAssignment,
+    RegisterBinding,
+)
+from repro.binding.registers import assign_ports, bind_registers
+from repro.cdfg.schedule import Schedule
+
+#: Refuse instances with a search space above roughly units**ops.
+MAX_OPS_PER_CLASS = 14
+
+
+def bind_optimal(
+    schedule: Schedule,
+    constraints: Mapping[str, int],
+    registers: Optional[RegisterBinding] = None,
+    ports: Optional[PortAssignment] = None,
+) -> BindingSolution:
+    """Minimum-mux-length binding by branch and bound (small CDFGs).
+
+    Raises :class:`~repro.errors.BindingError` when a class has more
+    than :data:`MAX_OPS_PER_CLASS` operations (the search would not
+    terminate in reasonable time).
+    """
+    started = time.perf_counter()
+    cdfg = schedule.cdfg
+    if registers is None:
+        registers = bind_registers(schedule)
+    if ports is None:
+        ports = assign_ports(cdfg)
+
+    units: List[FunctionalUnit] = []
+    for fu_class in cdfg.resource_classes():
+        limit = constraints.get(fu_class)
+        if limit is None:
+            raise ResourceError(f"no constraint for class {fu_class!r}")
+        groups = _solve_class(schedule, fu_class, limit, registers, ports)
+        for ops in groups:
+            units.append(FunctionalUnit(len(units), fu_class, ops))
+
+    solution = BindingSolution(
+        schedule=schedule,
+        registers=registers,
+        ports=ports,
+        fus=FUBinding(units, True),
+        algorithm="optimal",
+        runtime_s=time.perf_counter() - started,
+    )
+    solution.validate()
+    return solution
+
+
+def _solve_class(
+    schedule: Schedule,
+    fu_class: str,
+    limit: int,
+    registers: RegisterBinding,
+    ports: PortAssignment,
+) -> List[FrozenSet[int]]:
+    cdfg = schedule.cdfg
+    ops = sorted(
+        (
+            op
+            for op in cdfg.operations.values()
+            if op.resource_class == fu_class
+        ),
+        key=lambda op: (schedule.start_of(op), op.op_id),
+    )
+    if not ops:
+        return []
+    if len(ops) > MAX_OPS_PER_CLASS:
+        raise BindingError(
+            f"exact binding limited to {MAX_OPS_PER_CLASS} ops per "
+            f"class; {fu_class!r} has {len(ops)}"
+        )
+    _, density = schedule.densest_step(fu_class)
+    if limit < density:
+        raise ResourceError(
+            f"constraint {limit} for {fu_class!r} below the "
+            f"densest-step bound {density}"
+        )
+
+    port_regs = []
+    for op in ops:
+        var_a, var_b = ports.of(op)
+        port_regs.append(
+            (registers.register_of(var_a), registers.register_of(var_b))
+        )
+    busy = []
+    for op in ops:
+        start, end = schedule.busy_interval(op)
+        busy.append(set(range(start, end + 1)))
+
+    best_cost: List[Tuple[int, int]] = [(1 << 30, 1 << 30)]
+    best_groups: List[List[int]] = [[]]
+
+    unit_ops: List[List[int]] = [[] for _ in range(limit)]
+    unit_busy: List[Set[int]] = [set() for _ in range(limit)]
+    unit_srcs_a: List[Set[int]] = [set() for _ in range(limit)]
+    unit_srcs_b: List[Set[int]] = [set() for _ in range(limit)]
+
+    def cost_now() -> Tuple[int, int]:
+        length = 0
+        diff = 0
+        for k in range(limit):
+            if not unit_ops[k]:
+                continue
+            size_a, size_b = len(unit_srcs_a[k]), len(unit_srcs_b[k])
+            length += (size_a if size_a > 1 else 0) + (
+                size_b if size_b > 1 else 0
+            )
+            diff += abs(size_a - size_b)
+        return length, diff
+
+    def recurse(index: int) -> None:
+        if index == len(ops):
+            cost = cost_now()
+            if cost < best_cost[0]:
+                best_cost[0] = cost
+                best_groups[0] = [list(group) for group in unit_ops]
+            return
+        if cost_now()[0] > best_cost[0][0]:
+            return  # mux length only grows; prune
+        seen_empty = False
+        for k in range(limit):
+            if not unit_ops[k]:
+                # Symmetry breaking: all empty units are equivalent.
+                if seen_empty:
+                    continue
+                seen_empty = True
+            if unit_busy[k] & busy[index]:
+                continue
+            reg_a, reg_b = port_regs[index]
+            added_a = reg_a not in unit_srcs_a[k]
+            added_b = reg_b not in unit_srcs_b[k]
+            unit_ops[k].append(index)
+            unit_busy[k] |= busy[index]
+            if added_a:
+                unit_srcs_a[k].add(reg_a)
+            if added_b:
+                unit_srcs_b[k].add(reg_b)
+            recurse(index + 1)
+            unit_ops[k].pop()
+            unit_busy[k] -= busy[index]
+            if added_a:
+                unit_srcs_a[k].discard(reg_a)
+            if added_b:
+                unit_srcs_b[k].discard(reg_b)
+
+    recurse(0)
+    if best_cost[0][0] >= (1 << 30):
+        raise BindingError(
+            f"no feasible exact binding for {fu_class!r} within "
+            f"{limit} units"
+        )
+    return [
+        frozenset(ops[i].op_id for i in group)
+        for group in best_groups[0]
+        if group
+    ]

@@ -1,0 +1,99 @@
+"""Port-assignment optimization (the Chen-Cong [2] enhancement).
+
+The paper's reference [2] ("Register binding and port assignment for
+multiplexer optimization") exploits operand commutativity: after FU
+binding, flipping which operand of a commutative operation feeds port
+A vs. port B changes the distinct-source sets of the unit's two input
+multiplexers without changing function. The paper's own flow binds
+ports *randomly* during register binding; this module implements the
+cited optimization as an optional post-pass.
+
+Greedy descent: repeatedly sweep all commutative operations; flip an
+operation's orientation whenever that strictly improves its unit's
+``(mux_a + mux_b, |mux_a - mux_b|)`` — total multiplexer inputs first,
+balance as tie-break — until a fixpoint. The objective is exactly what
+Tables 3/4 measure, so the pass composes with either binder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.binding.base import BindingSolution, PortAssignment
+from repro.cdfg.graph import Operation
+
+#: Operation types whose operands may be exchanged.
+COMMUTATIVE = ("add", "mult")
+
+#: Safety bound on full sweeps.
+_MAX_SWEEPS = 64
+
+
+def optimize_ports(
+    solution: BindingSolution,
+    commutative: Tuple[str, ...] = COMMUTATIVE,
+) -> Tuple[BindingSolution, int]:
+    """Return a solution with improved port orientation and flip count.
+
+    The input solution is not modified; the result shares its schedule,
+    register binding and FU binding, with a new
+    :class:`~repro.binding.base.PortAssignment`.
+    """
+    cdfg = solution.schedule.cdfg
+    registers = solution.registers
+    ports: Dict[int, Tuple[int, int]] = {
+        op_id: solution.ports.of(op)
+        for op_id, op in cdfg.operations.items()
+    }
+
+    # Per unit: port source multisets derived from the current ports.
+    unit_of: Dict[int, int] = {}
+    members: Dict[int, List[Operation]] = {}
+    for unit in solution.fus.units:
+        members[unit.fu_id] = [
+            cdfg.operations[op_id] for op_id in sorted(unit.ops)
+        ]
+        for op_id in unit.ops:
+            unit_of[op_id] = unit.fu_id
+
+    def unit_cost(fu_id: int) -> Tuple[int, int]:
+        sources_a: Set[int] = set()
+        sources_b: Set[int] = set()
+        for op in members[fu_id]:
+            var_a, var_b = ports[op.op_id]
+            sources_a.add(registers.register_of(var_a))
+            sources_b.add(registers.register_of(var_b))
+        return (
+            len(sources_a) + len(sources_b),
+            abs(len(sources_a) - len(sources_b)),
+        )
+
+    flips = 0
+    for _ in range(_MAX_SWEEPS):
+        improved = False
+        for unit in solution.fus.units:
+            for op in members[unit.fu_id]:
+                if op.op_type not in commutative:
+                    continue
+                before = unit_cost(unit.fu_id)
+                var_a, var_b = ports[op.op_id]
+                ports[op.op_id] = (var_b, var_a)
+                after = unit_cost(unit.fu_id)
+                if after < before:
+                    flips += 1
+                    improved = True
+                else:
+                    ports[op.op_id] = (var_a, var_b)
+        if not improved:
+            break
+
+    optimized = BindingSolution(
+        schedule=solution.schedule,
+        registers=solution.registers,
+        ports=PortAssignment(ports),
+        fus=solution.fus,
+        algorithm=solution.algorithm + "+portopt",
+        runtime_s=solution.runtime_s,
+    )
+    optimized.validate()
+    return optimized, flips

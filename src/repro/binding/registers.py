@@ -1,0 +1,165 @@
+"""Register allocation and binding (paper Section 5.1).
+
+Follows Huang et al. [11]: allocate as many registers as the peak
+number of simultaneously-live variables, then bind one cluster of
+mutually-unsharable variables at a time — clusters taken in ascending
+birth order — by solving a weighted bipartite graph between the
+cluster's unbound variables and the compatible registers.
+
+Edge weights encode interconnect affinity (the quantity [11] optimizes
+with its matching): a register is a better home for a variable when it
+already holds variables with the same producer FU class or variables
+flowing into the same consumers, because those shares later collapse
+multiplexer inputs.
+
+Port assignment happens here too: "Operator ports are randomly bound
+during this step" — :func:`assign_ports` performs the (seeded) random
+choice for commutative operations, and both binders consume the same
+result, as in the paper's experimental setup.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import BindingError
+from repro.binding.base import PortAssignment, RegisterBinding
+from repro.binding.matching import max_weight_matching
+from repro.cdfg.graph import CDFG, Operation
+from repro.cdfg.lifetimes import (
+    Lifetime,
+    compute_lifetimes,
+    live_variables,
+    max_overlap,
+)
+from repro.cdfg.schedule import Schedule
+
+#: Affinity bonuses for the bipartite edge weights.
+_SAME_PRODUCER_CLASS = 2.0
+_SHARED_CONSUMER = 3.0
+_SHARED_PRODUCER_INPUT = 1.0
+_BASE_FEASIBLE = 1.0
+
+
+def bind_registers(schedule: Schedule) -> RegisterBinding:
+    """Allocate and bind registers for every live variable.
+
+    Returns a :class:`RegisterBinding` whose register count equals the
+    lifetime-overlap peak (the minimum possible for the schedule).
+    """
+    cdfg = schedule.cdfg
+    lifetimes = compute_lifetimes(schedule)
+    _, n_registers = max_overlap(lifetimes)
+    if n_registers == 0:
+        return RegisterBinding(0, {})
+
+    live = sorted(
+        live_variables(lifetimes), key=lambda lt: (lt.birth, lt.var_id)
+    )
+    occupancy: Dict[int, List[Lifetime]] = {
+        reg: [] for reg in range(n_registers)
+    }
+    assignment: Dict[int, int] = {}
+    readers = cdfg.consumer_map()
+
+    index = 0
+    while index < len(live):
+        birth = live[index].birth
+        cluster = []
+        while index < len(live) and live[index].birth == birth:
+            cluster.append(live[index])
+            index += 1
+        _bind_cluster(
+            cdfg, cluster, occupancy, assignment, readers
+        )
+    return RegisterBinding(n_registers, assignment)
+
+
+def _bind_cluster(
+    cdfg: CDFG,
+    cluster: List[Lifetime],
+    occupancy: Dict[int, List[Lifetime]],
+    assignment: Dict[int, int],
+    readers,
+) -> None:
+    """Bind one birth-time cluster via weighted bipartite matching."""
+    registers = sorted(occupancy)
+    weights: Dict[Tuple[int, int], float] = {}
+    for lifetime in cluster:
+        for register in registers:
+            if any(lifetime.overlaps(o) for o in occupancy[register]):
+                continue
+            weights[(lifetime.var_id, register)] = _affinity(
+                cdfg, lifetime.var_id, occupancy[register], readers
+            )
+    matching = max_weight_matching(
+        [lt.var_id for lt in cluster], registers, weights
+    )
+    for lifetime in cluster:
+        register = matching.get(lifetime.var_id)
+        if register is None:
+            raise BindingError(
+                f"no compatible register for variable {lifetime.var_id} "
+                f"(allocation too small?)"
+            )
+        assignment[lifetime.var_id] = register
+        occupancy[register].append(lifetime)
+
+
+def _affinity(
+    cdfg: CDFG,
+    var_id: int,
+    occupants: List[Lifetime],
+    readers,
+) -> float:
+    """Interconnect-affinity weight of putting ``var_id`` in a register."""
+    weight = _BASE_FEASIBLE
+    variable = cdfg.variables[var_id]
+    producer = cdfg.operation_of(var_id)
+    my_consumers = {op.op_id for op in readers[var_id]}
+    for occupant in occupants:
+        other = cdfg.variables[occupant.var_id]
+        other_producer = cdfg.operation_of(occupant.var_id)
+        if (
+            producer is not None
+            and other_producer is not None
+            and producer.resource_class == other_producer.resource_class
+        ):
+            # Same producing FU class: the register's input mux may
+            # collapse once FUs are shared.
+            weight += _SAME_PRODUCER_CLASS
+        their_consumers = {op.op_id for op in readers[occupant.var_id]}
+        shared = len(my_consumers & their_consumers)
+        if shared:
+            # Feeding the same operations from one register means one
+            # mux input instead of two on that operation's FU port.
+            weight += _SHARED_CONSUMER * shared
+        if producer is not None and occupant.var_id in set(
+            cdfg.operations[producer.op_id].inputs
+        ):
+            weight += _SHARED_PRODUCER_INPUT
+    return weight
+
+
+def assign_ports(
+    cdfg: CDFG,
+    seed: Optional[int] = 0,
+    commutative: Tuple[str, ...] = ("add", "mult"),
+) -> PortAssignment:
+    """Bind each operation's operands to FU ports A and B.
+
+    For commutative operation types the orientation is chosen randomly
+    (seeded), as the paper does during register binding; ``sub`` is
+    never swapped. With ``seed=None`` the textual operand order is
+    kept.
+    """
+    rng = random.Random(seed) if seed is not None else None
+    ports: Dict[int, Tuple[int, int]] = {}
+    for op_id in sorted(cdfg.operations):
+        op = cdfg.operations[op_id]
+        var_a, var_b = op.inputs
+        if rng is not None and op.op_type in commutative and rng.random() < 0.5:
+            var_a, var_b = var_b, var_a
+        ports[op_id] = (var_a, var_b)
+    return PortAssignment(ports)

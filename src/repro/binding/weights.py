@@ -1,0 +1,49 @@
+"""Equation (4): the HLPower edge weight.
+
+::
+
+    w(e_ij) = alpha * 1/SA  +  (1 - alpha) * 1 / ((muxDiff + 1) * beta)
+
+``SA`` is the glitch-aware estimated switching activity of the partial
+datapath the merged node would instantiate (Equation (3), via the
+precalculated table); ``muxDiff`` is the absolute difference of the two
+input multiplexer sizes; ``alpha`` balances the low-level SA term
+against the high-level mux-balancing term; ``beta`` scales the
+muxDiff term so the two terms have comparable magnitude — "based on
+empirical study beta ~= 30 for add operations, and 1000 for mult".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.errors import ConfigError
+
+#: The paper's empirically-chosen per-class scale factors.
+DEFAULT_BETA: Dict[str, float] = {"add": 30.0, "mult": 1000.0}
+
+#: The paper's headline setting (Table 3 uses alpha = 0.5).
+DEFAULT_ALPHA = 0.5
+
+
+def edge_weight(
+    sa: float,
+    mux_diff: int,
+    fu_class: str,
+    alpha: float = DEFAULT_ALPHA,
+    beta: Optional[Mapping[str, float]] = None,
+) -> float:
+    """Weight of binding two operation sets onto one FU (Equation 4)."""
+    if not 0.0 <= alpha <= 1.0:
+        raise ConfigError(f"alpha must be in [0, 1], got {alpha}")
+    if sa <= 0.0:
+        raise ConfigError(f"SA must be positive, got {sa}")
+    if mux_diff < 0:
+        raise ConfigError(f"muxDiff must be >= 0, got {mux_diff}")
+    scales = beta or DEFAULT_BETA
+    scale = scales.get(fu_class)
+    if scale is None or scale <= 0.0:
+        raise ConfigError(f"no positive beta for class {fu_class!r}")
+    return alpha * (1.0 / sa) + (1.0 - alpha) * (
+        1.0 / ((mux_diff + 1) * scale)
+    )

@@ -1,0 +1,39 @@
+"""Control/data-flow graph (CDFG) infrastructure.
+
+The binding problem's input is "a scheduled CDFG, a resource
+constraint, and a resource library" (Section 3). This subpackage holds
+the CDFG itself (:mod:`~repro.cdfg.graph`), schedules
+(:mod:`~repro.cdfg.schedule`), variable lifetime analysis
+(:mod:`~repro.cdfg.lifetimes`), a seeded random generator
+(:mod:`~repro.cdfg.generate`) and the seven paper benchmarks
+(:mod:`~repro.cdfg.benchmarks`).
+"""
+
+from repro.cdfg.graph import CDFG, Operation, Variable
+from repro.cdfg.schedule import Schedule
+from repro.cdfg.lifetimes import Lifetime, compute_lifetimes, max_overlap
+from repro.cdfg.generate import GraphProfile, generate_cdfg
+from repro.cdfg.benchmarks import (
+    BENCHMARK_NAMES,
+    BenchmarkSpec,
+    benchmark_spec,
+    figure1_example,
+    load_benchmark,
+)
+
+__all__ = [
+    "CDFG",
+    "Operation",
+    "Variable",
+    "Schedule",
+    "Lifetime",
+    "compute_lifetimes",
+    "max_overlap",
+    "GraphProfile",
+    "generate_cdfg",
+    "BENCHMARK_NAMES",
+    "BenchmarkSpec",
+    "benchmark_spec",
+    "figure1_example",
+    "load_benchmark",
+]

@@ -1,0 +1,145 @@
+"""The seven paper benchmarks (Tables 1 and 2) and the Figure 1 example.
+
+Profiles come verbatim from Table 1; resource constraints, schedule
+lengths and register counts from Table 2 are carried as the *paper's*
+reference values. The CDFGs themselves are synthesized by
+:mod:`repro.cdfg.generate` (see DESIGN.md for the substitution
+rationale); schedule lengths and register counts measured on our graphs
+are reported side by side with the paper's in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import CDFGError
+from repro.cdfg.graph import CDFG
+from repro.cdfg.generate import GraphProfile, generate_cdfg
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Everything the paper publishes about one benchmark."""
+
+    profile: GraphProfile
+    paper_edges: int  # Table 1 "Total No. of Edges"
+    add_units: int  # Table 2 resource constraint
+    mult_units: int
+    paper_cycles: int  # Table 2 "Cycle"
+    paper_registers: int  # Table 2 "Reg"
+    paper_runtime_s: float  # Table 2 "HLPower Runtime (s)"
+    kind: str  # "dct" or "dsp" per Section 6.1
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    @property
+    def constraints(self) -> Dict[str, int]:
+        return {"add": self.add_units, "mult": self.mult_units}
+
+
+def _spec(
+    name: str,
+    pis: int,
+    pos: int,
+    adds: int,
+    mults: int,
+    edges: int,
+    add_units: int,
+    mult_units: int,
+    cycles: int,
+    registers: int,
+    runtime: float,
+    kind: str,
+) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        GraphProfile(
+            name,
+            pis,
+            pos,
+            adds,
+            mults,
+            n_layers=cycles,
+            add_width=add_units,
+            mult_width=mult_units,
+        ),
+        edges,
+        add_units,
+        mult_units,
+        cycles,
+        registers,
+        runtime,
+        kind,
+    )
+
+
+#: Table 1 profiles merged with Table 2 constraints/reference numbers.
+BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in (
+        _spec("chem", 20, 10, 171, 176, 731, 9, 7, 39, 70, 812.0, "dsp"),
+        _spec("dir", 8, 8, 84, 64, 314, 3, 2, 41, 25, 56.0, "dct"),
+        _spec("honda", 9, 2, 45, 52, 214, 4, 4, 18, 13, 14.0, "dsp"),
+        _spec("mcm", 8, 8, 64, 30, 252, 4, 2, 27, 54, 16.0, "dsp"),
+        _spec("pr", 8, 8, 26, 16, 134, 2, 2, 16, 32, 2.0, "dct"),
+        _spec("steam", 5, 5, 105, 115, 472, 7, 6, 28, 39, 189.0, "dsp"),
+        _spec("wang", 8, 8, 26, 22, 134, 2, 2, 18, 39, 2.0, "dct"),
+    )
+}
+
+#: Benchmark names in the order the paper's tables list them.
+BENCHMARK_NAMES: Tuple[str, ...] = tuple(BENCHMARKS)
+
+
+def benchmark_spec(name: str) -> BenchmarkSpec:
+    """Lookup one benchmark's spec; raises on unknown names."""
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise CDFGError(
+            f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES}"
+        )
+
+
+def load_benchmark(name: str, seed: int = 0) -> CDFG:
+    """Generate the synthetic CDFG for a paper benchmark.
+
+    Deterministic per ``(name, seed)``; the default seed is what every
+    bench and experiment in this repository uses.
+    """
+    return generate_cdfg(benchmark_spec(name).profile, seed)
+
+
+def figure1_example() -> Tuple[CDFG, Dict[int, int]]:
+    """The 8-operation scheduled CDFG of the paper's Figure 1.
+
+    The figure gives the schedule (cstep1: ops 1+, 2+, 3x; cstep2: 4+,
+    5x, 6+; cstep3: 7x, 8+) but not the dependences; any dependence
+    structure consistent with the control steps yields the same binding
+    behaviour, so we pick a natural one. Returns ``(cdfg, start_times)``
+    where operation ids are 0-based (paper's op *k* is id ``k - 1``).
+    """
+    cdfg = CDFG("figure1")
+    a = cdfg.add_input("a")
+    b = cdfg.add_input("b")
+    c = cdfg.add_input("c")
+    d = cdfg.add_input("d")
+    e = cdfg.add_input("e")
+    f = cdfg.add_input("f")
+
+    v1 = cdfg.add_operation("add", a, b, "op1")  # cstep 1
+    v2 = cdfg.add_operation("add", c, d, "op2")  # cstep 1
+    v3 = cdfg.add_operation("mult", e, f, "op3")  # cstep 1
+    v4 = cdfg.add_operation("add", v1, v2, "op4")  # cstep 2
+    v5 = cdfg.add_operation("mult", v3, a, "op5")  # cstep 2
+    v6 = cdfg.add_operation("add", v3, c, "op6")  # cstep 2
+    v7 = cdfg.add_operation("mult", v4, v5, "op7")  # cstep 3
+    v8 = cdfg.add_operation("add", v5, v6, "op8")  # cstep 3
+
+    cdfg.mark_output(v7)
+    cdfg.mark_output(v8)
+    start_times = {0: 1, 1: 1, 2: 1, 3: 2, 4: 2, 5: 2, 6: 3, 7: 3}
+    cdfg.validate()
+    return cdfg, start_times

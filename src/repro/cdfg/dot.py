@@ -1,0 +1,56 @@
+"""Graphviz export for CDFGs and schedules (debugging/documentation)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.schedule import Schedule
+
+_SHAPES = {"add": "circle", "sub": "circle", "mult": "doublecircle"}
+_SYMBOL = {"add": "+", "sub": "-", "mult": "x"}
+
+
+def cdfg_to_dot(cdfg: CDFG, schedule: Optional[Schedule] = None) -> str:
+    """Render a CDFG (optionally grouped by control step) as DOT text."""
+    lines = [f'digraph "{cdfg.name}" {{', "  rankdir=TB;"]
+    for var_id in cdfg.primary_inputs:
+        name = cdfg.variables[var_id].name
+        lines.append(f'  v{var_id} [label="{name}", shape=box];')
+
+    if schedule is not None:
+        by_step = {}
+        for op in cdfg.operations.values():
+            by_step.setdefault(schedule.start_of(op), []).append(op)
+        for step in sorted(by_step):
+            lines.append(f"  subgraph cluster_step{step} {{")
+            lines.append(f'    label="cstep {step}";')
+            for op in sorted(by_step[step], key=lambda o: o.op_id):
+                lines.append(f"    {_op_node(op)}")
+            lines.append("  }")
+    else:
+        for op in cdfg.operations.values():
+            lines.append(f"  {_op_node(op)}")
+
+    for op in cdfg.operations.values():
+        for var_id in op.inputs:
+            variable = cdfg.variables[var_id]
+            if variable.producer is None:
+                lines.append(f"  v{var_id} -> o{op.op_id};")
+            else:
+                lines.append(f"  o{variable.producer} -> o{op.op_id};")
+    for index, var_id in enumerate(cdfg.primary_outputs):
+        variable = cdfg.variables[var_id]
+        lines.append(f'  out{index} [label="out{index}", shape=box];')
+        if variable.producer is not None:
+            lines.append(f"  o{variable.producer} -> out{index};")
+        else:
+            lines.append(f"  v{var_id} -> out{index};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _op_node(op) -> str:
+    shape = _SHAPES.get(op.op_type, "circle")
+    symbol = _SYMBOL.get(op.op_type, "?")
+    return f'o{op.op_id} [label="{op.name}\\n{symbol}", shape={shape}];'

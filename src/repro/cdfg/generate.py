@@ -1,0 +1,506 @@
+"""Seeded random CDFG generation.
+
+The paper's benchmark CDFGs (DCT and DSP kernels from the LOPASS suite)
+are not publicly distributed, so the reproduction generates synthetic
+dataflow graphs matched to the published profiles of Table 1 (number of
+primary inputs, primary outputs, additions, multiplications) and to the
+schedule shape implied by Table 2 (cycle count and resource
+constraints). The binding algorithms only see graph structure —
+operation types, dependence edges, lifetimes and schedule density — so
+matching those counts reproduces the combinatorial shape the binder
+works on (see DESIGN.md, substitution table).
+
+Generation is deterministic for a given profile and seed, and layered
+to mimic arithmetic-kernel structure:
+
+* operations are distributed over ``n_layers`` layers with per-layer,
+  per-type caps (the Table 2 resource constraints); at least one layer
+  per type is filled to its cap, so the schedule's densest step — the
+  binder's Theorem 1 lower bound — matches the paper's constraint;
+* each operation in layer ``l > 0`` reads at least one value produced
+  in layer ``l - 1``, pinning the critical path to the layer count;
+* remaining operands mix recent values, long-lived earlier values and
+  primary inputs, which produces the register pressure DSP kernels
+  exhibit;
+* every primary input is used, and the number of *sink* values is
+  steered to the primary-output count (no dead code).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import CDFGError
+from repro.cdfg.graph import CDFG
+
+#: Attempts before giving up on an infeasible profile.
+MAX_RETRIES = 32
+
+#: Operand-source mix for the non-chain operand slots.
+P_PREVIOUS_LAYER = 0.45
+P_PRIMARY_INPUT = 0.20
+
+
+@dataclass(frozen=True)
+class GraphProfile:
+    """Target shape of a generated CDFG (one row of Table 1 + Table 2).
+
+    ``n_layers`` and the per-type layer caps are optional; when omitted
+    they default to a square-ish layout (``sqrt`` of the op count).
+    """
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    n_adds: int
+    n_mults: int
+    n_layers: Optional[int] = None
+    add_width: Optional[int] = None
+    mult_width: Optional[int] = None
+
+    @property
+    def n_operations(self) -> int:
+        return self.n_adds + self.n_mults
+
+    def layout(self) -> Tuple[int, int, int]:
+        """Resolved ``(n_layers, add_width, mult_width)``.
+
+        The default layout reserves one spare layer of capacity per
+        type so the tail can always be thinned to the output budget.
+        """
+        layers = self.n_layers
+        if layers is None:
+            layers = max(3, int(round(self.n_operations ** 0.5)) + 1)
+            while layers < self.n_operations and not _funnel_feasible(
+                layers,
+                _even_width(self.n_adds, layers - 1),
+                _even_width(self.n_mults, layers - 1),
+                self.n_adds,
+                self.n_mults,
+                self.n_outputs,
+            ):
+                layers += 1
+        slack_layers = max(1, layers - 1) if self.n_layers is None else layers
+        add_width = self.add_width or _even_width(self.n_adds, slack_layers)
+        mult_width = self.mult_width or _even_width(
+            self.n_mults, slack_layers
+        )
+        return layers, add_width, mult_width
+
+    def validate(self) -> None:
+        if self.n_inputs < 1:
+            raise CDFGError(f"{self.name}: need at least one primary input")
+        if self.n_operations < 1:
+            raise CDFGError(f"{self.name}: need at least one operation")
+        if self.n_outputs < 1:
+            raise CDFGError(f"{self.name}: need at least one primary output")
+        if self.n_outputs > self.n_operations:
+            raise CDFGError(
+                f"{self.name}: more outputs than operations "
+                f"({self.n_outputs} > {self.n_operations})"
+            )
+        if self.n_inputs > 2 * self.n_operations:
+            raise CDFGError(
+                f"{self.name}: {self.n_inputs} inputs cannot all be "
+                f"consumed by {self.n_operations} binary operations"
+            )
+        # Operand slots must cover every input plus every internal
+        # value that is not a primary output (no dead code allowed):
+        # 2*ops >= n_inputs + (ops - n_outputs).
+        if self.n_inputs > self.n_operations + self.n_outputs:
+            raise CDFGError(
+                f"{self.name}: infeasible without dead code "
+                f"({self.n_inputs} inputs > {self.n_operations} ops "
+                f"+ {self.n_outputs} outputs)"
+            )
+        layers, add_width, mult_width = self.layout()
+        if self.n_adds > layers * add_width:
+            raise CDFGError(
+                f"{self.name}: {self.n_adds} adds exceed "
+                f"{layers} layers x width {add_width}"
+            )
+        if self.n_mults > layers * mult_width:
+            raise CDFGError(
+                f"{self.name}: {self.n_mults} mults exceed "
+                f"{layers} layers x width {mult_width}"
+            )
+
+
+def _even_width(count: int, layers: int) -> int:
+    return max(1, -(-count // layers))  # ceil division
+
+
+def _funnel_feasible(
+    layers: int,
+    add_width: int,
+    mult_width: int,
+    n_adds: int,
+    n_mults: int,
+    n_outputs: int,
+) -> bool:
+    """Can the tail-funnel constraint hold for this layout?
+
+    Conservative check: the last layer holds at most ``n_outputs``
+    ops, each earlier layer at most twice the next one's consumption
+    capacity, always bounded by the per-type (and combined) widths.
+    """
+
+    def capacity(width: int) -> int:
+        total = 0
+        tail = max(1, n_outputs)
+        for _ in range(layers):
+            total += min(width, tail)
+            tail *= 2
+        return total
+
+    return (
+        n_adds <= capacity(add_width)
+        and n_mults <= capacity(mult_width)
+        and n_adds + n_mults <= capacity(add_width + mult_width)
+    )
+
+
+def generate_cdfg(profile: GraphProfile, seed: int = 0) -> CDFG:
+    """Generate a deterministic CDFG matching ``profile``.
+
+    The result has exactly the requested number of primary inputs,
+    primary outputs, additions and multiplications; every primary input
+    feeds at least one operation and every operation's value is either
+    consumed or a primary output (no dead code).
+    """
+    profile.validate()
+    # zlib.crc32 is stable across processes (unlike built-in hash()).
+    base = (zlib.crc32(profile.name.encode()) & 0xFFFF) * 100003 + seed * 7919
+    for hard_drain in (False, True):
+        for attempt in range(MAX_RETRIES):
+            cdfg = _attempt(
+                profile, random.Random(base + attempt), hard_drain
+            )
+            if cdfg is not None:
+                cdfg.validate()
+                return cdfg
+    raise CDFGError(
+        f"{profile.name}: could not satisfy profile after "
+        f"{2 * MAX_RETRIES} attempts"
+    )
+
+
+def _layer_counts(
+    total: int, layers: int, cap: int, rng: random.Random
+) -> List[int]:
+    """Distribute ``total`` ops over ``layers`` with at most ``cap`` each.
+
+    One random layer is forced to the cap (when ``total`` allows) so the
+    densest control step matches the published resource constraint.
+    """
+    counts = [0] * layers
+    order = list(range(layers))
+    rng.shuffle(order)
+    remaining = total
+    # Reserve the peak first (Theorem 1's bound must equal the cap),
+    # then give every other layer one op while supplies last so
+    # dependence chains span the full depth.
+    if total >= cap:
+        counts[order[0]] = cap
+        remaining -= cap
+    for layer in order[1:]:
+        if remaining == 0:
+            break
+        counts[layer] += 1
+        remaining -= 1
+    while remaining > 0:
+        layer = order[rng.randrange(layers)]
+        if counts[layer] < cap:
+            counts[layer] += 1
+            remaining -= 1
+    return counts
+
+
+def _rebalance_tail(
+    add_counts: List[int],
+    mult_counts: List[int],
+    add_width: int,
+    mult_width: int,
+    n_outputs: int,
+) -> bool:
+    """Thin out the last layer so its outputs can all be primary outputs.
+
+    Every value produced in the final layer is necessarily a sink, so
+    the combined final-layer op count must not exceed the output
+    budget. Excess ops are pushed to earlier layers with spare cap.
+    Returns False when no capacity remains.
+    """
+    layers = len(add_counts)
+    last = layers - 1
+
+    def combined(layer: int) -> int:
+        return add_counts[layer] + mult_counts[layer]
+
+    def shrink(layer: int, cap: int) -> bool:
+        """Move ops out of ``layer`` to earlier spare capacity."""
+        for counts, width in (
+            (add_counts, add_width),
+            (mult_counts, mult_width),
+        ):
+            while combined(layer) > cap and counts[layer] > 0:
+                moved = False
+                for target in range(layer - 1, -1, -1):
+                    if counts[target] < width:
+                        counts[target] += 1
+                        counts[layer] -= 1
+                        moved = True
+                        break
+                if not moved:
+                    break
+        return combined(layer) <= cap
+
+    if not shrink(last, max(1, n_outputs)):
+        return False
+    # Funnel: each tail layer must be consumable by the next one's
+    # operand slots (two per op) plus whatever output budget remains.
+    slack = max(0, n_outputs - combined(last))
+    for layer in range(last - 1, 0, -1):
+        cap = 2 * combined(layer + 1) + slack
+        if cap >= max(add_width, mult_width) * 2:
+            break  # wide enough; earlier layers are unconstrained
+        if not shrink(layer, max(1, cap)):
+            return False
+    return True
+
+
+def _deterministic_counts(
+    profile: GraphProfile,
+    layers: int,
+    add_width: int,
+    mult_width: int,
+) -> Optional[Tuple[List[int], List[int]]]:
+    """Front-loaded distribution respecting positional tail caps.
+
+    Fallback when randomized distribution + rebalancing cannot reach a
+    feasible shape (tight profiles have essentially one valid layer
+    histogram). Layer ``l`` may hold at most
+    ``n_outputs * 2^(layers-1-l)`` combined ops (each tail layer can
+    consume two values per op and the final layer's outputs must all
+    be primary outputs).
+    """
+    remaining_a, remaining_m = profile.n_adds, profile.n_mults
+    add_counts = [0] * layers
+    mult_counts = [0] * layers
+    # Fill back-to-front. A layer's values can only be consumed by
+    # strictly later operand slots, and each later op also produces a
+    # value of its own, so layer ``l`` may hold at most
+    # ``(ops in later layers) + n_outputs`` operations — a tighter cap
+    # than the doubling bound whenever the widths bind.
+    suffix = 0
+    for layer in range(layers - 1, -1, -1):
+        tail_cap = suffix + max(1, profile.n_outputs)
+        room = min(add_width + mult_width, tail_cap)
+        while room > 0 and (remaining_a > 0 or remaining_m > 0):
+            prefer_add = (
+                remaining_a * mult_width >= remaining_m * add_width
+            )
+            if (
+                prefer_add
+                and remaining_a > 0
+                and add_counts[layer] < add_width
+            ):
+                add_counts[layer] += 1
+                remaining_a -= 1
+            elif remaining_m > 0 and mult_counts[layer] < mult_width:
+                mult_counts[layer] += 1
+                remaining_m -= 1
+            elif remaining_a > 0 and add_counts[layer] < add_width:
+                add_counts[layer] += 1
+                remaining_a -= 1
+            else:
+                break
+            room -= 1
+        suffix += add_counts[layer] + mult_counts[layer]
+    if remaining_a or remaining_m:
+        return None
+    return add_counts, mult_counts
+
+
+def _attempt(
+    profile: GraphProfile,
+    rng: random.Random,
+    hard_drain: bool = False,
+) -> Optional[CDFG]:
+    layers, add_width, mult_width = profile.layout()
+    add_counts = _layer_counts(profile.n_adds, layers, add_width, rng)
+    mult_counts = _layer_counts(profile.n_mults, layers, mult_width, rng)
+    if not _rebalance_tail(
+        add_counts, mult_counts, add_width, mult_width, profile.n_outputs
+    ):
+        fallback = _deterministic_counts(
+            profile, layers, add_width, mult_width
+        )
+        if fallback is None:
+            return None
+        add_counts, mult_counts = fallback
+        if not _rebalance_tail(
+            add_counts, mult_counts, add_width, mult_width,
+            profile.n_outputs,
+        ):
+            return None
+    # The densest layer must hit the published constraint (Theorem 1's
+    # lower bound equals the paper's resource constraint); retry the
+    # attempt when rebalancing flattened the peak.
+    if profile.n_adds >= add_width and max(add_counts) < add_width:
+        return None
+    if profile.n_mults >= mult_width and max(mult_counts) < mult_width:
+        return None
+    # Drop leading/trailing empty layers to keep chains anchored.
+    plan: List[List[str]] = []
+    for layer in range(layers):
+        ops = ["add"] * add_counts[layer] + ["mult"] * mult_counts[layer]
+        rng.shuffle(ops)
+        if ops:
+            plan.append(ops)
+    if not plan:
+        return None
+
+    cdfg = CDFG(profile.name)
+    inputs = [cdfg.add_input(f"in{i}") for i in range(profile.n_inputs)]
+    unused_inputs: Set[int] = set(inputs)
+    sink_pool: Set[int] = set()
+    by_layer: List[List[int]] = []  # produced values per layer
+    all_values: List[int] = list(inputs)
+
+    ops_remaining = profile.n_operations
+    final_size = len(plan[-1])
+    for layer_index, ops in enumerate(plan):
+        # How many sinks may safely remain in the pool right now: the
+        # final layer's outputs are unavoidable sinks, and the last two
+        # layers must actively drain whatever is left.
+        if hard_drain or layer_index >= len(plan) - 2:
+            allowed_sinks = 0
+        else:
+            allowed_sinks = max(1, profile.n_outputs - final_size - 1)
+        produced_here: List[int] = []
+        for kind in ops:
+            operands = _pick_operands(
+                rng,
+                layer_index,
+                by_layer,
+                inputs,
+                all_values,
+                unused_inputs,
+                sink_pool,
+                ops_remaining,
+                allowed_sinks,
+                hard_drain,
+            )
+            out = cdfg.add_operation(kind, operands[0], operands[1])
+            for operand in operands:
+                sink_pool.discard(operand)
+                unused_inputs.discard(operand)
+            produced_here.append(out)
+            ops_remaining -= 1
+        by_layer.append(produced_here)
+        all_values.extend(produced_here)
+        sink_pool.update(produced_here)
+
+    if unused_inputs or len(sink_pool) > profile.n_outputs:
+        return None
+
+    outputs = sorted(sink_pool)
+    internal = [
+        v
+        for v in all_values
+        if cdfg.variables[v].producer is not None and v not in sink_pool
+    ]
+    rng.shuffle(internal)
+    while len(outputs) < profile.n_outputs:
+        if not internal:
+            return None
+        outputs.append(internal.pop())
+    for var_id in outputs:
+        cdfg.mark_output(var_id)
+    return cdfg
+
+
+def _pick_operands(
+    rng: random.Random,
+    layer_index: int,
+    by_layer: List[List[int]],
+    inputs: List[int],
+    all_values: List[int],
+    unused_inputs: Set[int],
+    sink_pool: Set[int],
+    ops_remaining: int,
+    allowed_sinks: int,
+    hard_drain: bool = False,
+) -> Tuple[int, int]:
+    """Two operand variable ids for an op in layer ``layer_index``.
+
+    With ``hard_drain`` (the second-chance retry mode for profiles
+    whose tails are too narrow to consume the pool through chain slots
+    alone), the chain slot may fall back to *any* pooled sink once the
+    previous layer's sinks are exhausted — trading exact depth pinning
+    for guaranteed sink consumption.
+    """
+    operands: List[int] = []
+
+    # Slot 1: chain operand from the previous layer (pins the depth).
+    if layer_index > 0 and by_layer[layer_index - 1]:
+        prev = by_layer[layer_index - 1]
+        # Prefer previous-layer sinks when the pool is over budget.
+        prev_sinks = [v for v in prev if v in sink_pool]
+        if len(sink_pool) > allowed_sinks and prev_sinks:
+            operands.append(prev_sinks[rng.randrange(len(prev_sinks))])
+        elif hard_drain and len(sink_pool) > allowed_sinks and sink_pool:
+            ordered = sorted(sink_pool)
+            operands.append(ordered[rng.randrange(len(ordered))])
+        else:
+            operands.append(prev[rng.randrange(len(prev))])
+        sink_pool_snapshot = set(sink_pool)
+        sink_pool_snapshot.discard(operands[0])
+    else:
+        operands.append(_free_choice(
+            rng, inputs, all_values, unused_inputs, sink_pool,
+            ops_remaining, allowed_sinks,
+        ))
+        sink_pool_snapshot = set(sink_pool)
+        sink_pool_snapshot.discard(operands[0])
+
+    # Slot 2: coverage / sink pressure / mixed sources.
+    operands.append(_free_choice(
+        rng, inputs, all_values, unused_inputs, sink_pool_snapshot,
+        ops_remaining, allowed_sinks,
+    ))
+    return operands[0], operands[1]
+
+
+def _free_choice(
+    rng: random.Random,
+    inputs: List[int],
+    all_values: List[int],
+    unused_inputs: Set[int],
+    sink_pool: Set[int],
+    ops_remaining: int,
+    allowed_sinks: int,
+) -> int:
+    slots_left = 2 * ops_remaining
+    if unused_inputs and (
+        slots_left <= len(unused_inputs) + 2 or rng.random() < 0.30
+    ):
+        ordered = sorted(unused_inputs)
+        return ordered[rng.randrange(len(ordered))]
+    if len(sink_pool) > allowed_sinks and sink_pool:
+        ordered = sorted(sink_pool)
+        return ordered[rng.randrange(len(ordered))]
+    roll = rng.random()
+    if roll < P_PRIMARY_INPUT:
+        return inputs[rng.randrange(len(inputs))]
+    if roll < P_PRIMARY_INPUT + P_PREVIOUS_LAYER and len(all_values) > len(inputs):
+        # Recent value: geometric from the end.
+        n = len(all_values)
+        offset = 0
+        while rng.random() > 0.35 and offset < n - 1:
+            offset += 1
+        return all_values[n - 1 - offset]
+    return all_values[rng.randrange(len(all_values))]

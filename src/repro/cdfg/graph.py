@@ -1,0 +1,243 @@
+"""The CDFG data structure.
+
+The paper's benchmarks are pure dataflow graphs whose nodes are binary
+arithmetic operations: "Each node in the benchmarks is either an
+addition/subtraction or a multiplication" (Section 6.1). We model:
+
+* :class:`Variable` — a value: either a primary input or the single
+  output of an operation. Variables are what registers get bound to.
+* :class:`Operation` — a binary operation (``add``/``sub``/``mult``)
+  reading two variables and producing one. ``add`` and ``sub`` share
+  the adder resource class, mirroring the paper's library.
+* :class:`CDFG` — the graph, with structural validation and the
+  queries the scheduler and binder need.
+
+An *edge* is one use of a variable by an operation, plus one edge per
+primary-output binding; this is the count reported next to Table 1.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import CDFGError
+
+#: Operation types appearing in the paper's benchmarks.
+OP_TYPES = ("add", "sub", "mult")
+
+#: Map an operation type to its functional-unit resource class.
+RESOURCE_CLASS = {"add": "add", "sub": "add", "mult": "mult"}
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A dataflow value; register binding assigns these to registers."""
+
+    var_id: int
+    name: str
+    producer: Optional[int]  # op_id, or None for a primary input
+
+    @property
+    def is_primary_input(self) -> bool:
+        return self.producer is None
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A binary operation node."""
+
+    op_id: int
+    op_type: str
+    name: str
+    inputs: Tuple[int, int]  # variable ids (port a, port b)
+    output: int  # variable id
+
+    @property
+    def resource_class(self) -> str:
+        """The FU class that can execute this operation."""
+        return RESOURCE_CLASS[self.op_type]
+
+
+class CDFG:
+    """A dataflow graph of binary operations.
+
+    Build with :meth:`add_input`, :meth:`add_operation` and
+    :meth:`mark_output`; the builder enforces acyclicity by
+    construction (operations may only read existing variables).
+    """
+
+    def __init__(self, name: str = "cdfg"):
+        self.name = name
+        self.variables: Dict[int, Variable] = {}
+        self.operations: Dict[int, Operation] = {}
+        self.primary_inputs: List[int] = []  # variable ids
+        self.primary_outputs: List[int] = []  # variable ids
+        self._next_var = 0
+        self._next_op = 0
+
+    # -- construction ---------------------------------------------------
+
+    def add_input(self, name: Optional[str] = None) -> int:
+        """Add a primary-input variable; returns its id."""
+        var_id = self._next_var
+        self._next_var += 1
+        var = Variable(var_id, name or f"in{var_id}", None)
+        self.variables[var_id] = var
+        self.primary_inputs.append(var_id)
+        return var_id
+
+    def add_operation(
+        self,
+        op_type: str,
+        input_a: int,
+        input_b: int,
+        name: Optional[str] = None,
+    ) -> int:
+        """Add an operation reading two existing variables.
+
+        Returns the id of the operation's *output variable* so calls
+        chain naturally: ``g.add_operation("add", x, y)`` yields a
+        variable usable as a further input.
+        """
+        if op_type not in OP_TYPES:
+            raise CDFGError(f"unknown operation type {op_type!r}")
+        for var_id in (input_a, input_b):
+            if var_id not in self.variables:
+                raise CDFGError(f"operation reads unknown variable {var_id}")
+        op_id = self._next_op
+        self._next_op += 1
+        out_id = self._next_var
+        self._next_var += 1
+        op_name = name or f"op{op_id}"
+        self.operations[op_id] = Operation(
+            op_id, op_type, op_name, (input_a, input_b), out_id
+        )
+        self.variables[out_id] = Variable(out_id, f"{op_name}_out", op_id)
+        return out_id
+
+    def mark_output(self, var_id: int) -> None:
+        if var_id not in self.variables:
+            raise CDFGError(f"unknown variable {var_id} marked as output")
+        if var_id not in self.primary_outputs:
+            self.primary_outputs.append(var_id)
+
+    # -- queries ----------------------------------------------------------
+
+    def operation_of(self, var_id: int) -> Optional[Operation]:
+        """The operation producing ``var_id`` (None for a PI)."""
+        producer = self.variables[var_id].producer
+        return None if producer is None else self.operations[producer]
+
+    def consumers(self, var_id: int) -> List[Operation]:
+        """Operations reading ``var_id`` (with multiplicity)."""
+        return [
+            op
+            for op in self.operations.values()
+            for port in op.inputs
+            if port == var_id
+        ]
+
+    def consumer_map(self) -> Dict[int, List[Operation]]:
+        """Map every variable id to the operations reading it."""
+        readers: Dict[int, List[Operation]] = {v: [] for v in self.variables}
+        for op in self.operations.values():
+            for var_id in op.inputs:
+                readers[var_id].append(op)
+        return readers
+
+    def predecessors(self, op: Operation) -> List[Operation]:
+        """Operations whose outputs ``op`` reads (dedup, order kept)."""
+        preds: List[Operation] = []
+        seen: Set[int] = set()
+        for var_id in op.inputs:
+            producer = self.operation_of(var_id)
+            if producer is not None and producer.op_id not in seen:
+                seen.add(producer.op_id)
+                preds.append(producer)
+        return preds
+
+    def successor_map(self) -> Dict[int, List[Operation]]:
+        """Map op id to the operations consuming its output."""
+        successors: Dict[int, List[Operation]] = {
+            op_id: [] for op_id in self.operations
+        }
+        for op in self.operations.values():
+            for var_id in op.inputs:
+                producer = self.variables[var_id].producer
+                if producer is not None:
+                    successors[producer].append(op)
+        return successors
+
+    def topological_order(self) -> List[Operation]:
+        """Operations in dependence order (inputs before users).
+
+        Kahn's algorithm over *distinct* predecessor edges; deterministic
+        (ready operations are processed in id order).
+        """
+        distinct_succs: Dict[int, Set[int]] = {
+            op_id: set() for op_id in self.operations
+        }
+        in_degree: Dict[int, int] = {op_id: 0 for op_id in self.operations}
+        for op in self.operations.values():
+            for pred in self.predecessors(op):
+                if op.op_id not in distinct_succs[pred.op_id]:
+                    distinct_succs[pred.op_id].add(op.op_id)
+                    in_degree[op.op_id] += 1
+
+        ready = [op_id for op_id, deg in in_degree.items() if deg == 0]
+        heapq.heapify(ready)
+        order: List[Operation] = []
+        while ready:
+            op_id = heapq.heappop(ready)
+            order.append(self.operations[op_id])
+            for succ_id in distinct_succs[op_id]:
+                in_degree[succ_id] -= 1
+                if in_degree[succ_id] == 0:
+                    heapq.heappush(ready, succ_id)
+        if len(order) != len(self.operations):
+            raise CDFGError("CDFG contains a dependence cycle")
+        return order
+
+    def num_operations(self, op_class: Optional[str] = None) -> int:
+        """Count operations, optionally of one resource class."""
+        if op_class is None:
+            return len(self.operations)
+        return sum(
+            1
+            for op in self.operations.values()
+            if op.resource_class == op_class
+        )
+
+    def resource_classes(self) -> List[str]:
+        """Distinct FU classes used by this graph, sorted."""
+        return sorted({op.resource_class for op in self.operations.values()})
+
+    def num_edges(self) -> int:
+        """Use-edges plus primary-output bindings (Table 1 count)."""
+        return 2 * len(self.operations) + len(self.primary_outputs)
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`CDFGError`."""
+        for op in self.operations.values():
+            if op.op_type not in OP_TYPES:
+                raise CDFGError(f"{op.name}: bad type {op.op_type!r}")
+            for var_id in op.inputs:
+                if var_id not in self.variables:
+                    raise CDFGError(f"{op.name}: dangling input {var_id}")
+            out_var = self.variables.get(op.output)
+            if out_var is None or out_var.producer != op.op_id:
+                raise CDFGError(f"{op.name}: broken output link")
+        for var_id in self.primary_outputs:
+            if var_id not in self.variables:
+                raise CDFGError(f"dangling primary output {var_id}")
+        self.topological_order()
+
+    def __repr__(self) -> str:
+        return (
+            f"CDFG({self.name!r}, pis={len(self.primary_inputs)}, "
+            f"pos={len(self.primary_outputs)}, ops={len(self.operations)}, "
+            f"edges={self.num_edges()})"
+        )

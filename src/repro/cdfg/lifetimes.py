@@ -1,0 +1,139 @@
+"""Variable lifetime analysis.
+
+Register binding shares one register among variables whose lifetimes do
+not overlap. With the single-cycle convention of
+:mod:`repro.cdfg.schedule`, a variable produced by an operation ending
+at step ``t`` is written at the end of ``t`` (birth ``t``) and must be
+held until the start of the last step that reads it (death). The
+half-open interval ``(birth, death]`` is occupied; two variables
+conflict iff their intervals intersect.
+
+Primary inputs are born at step 0 (available before the first step);
+primary outputs die at ``length`` (they must survive to the end of the
+iteration), matching the register counts the paper reports in Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class Lifetime:
+    """Occupied register interval ``(birth, death]`` of a variable."""
+
+    var_id: int
+    birth: int
+    death: int
+
+    def overlaps(self, other: "Lifetime") -> bool:
+        """True when the two variables need registers simultaneously.
+
+        A variable dying at step ``t`` is read at the start of ``t``;
+        one born at ``t`` is written at the end of ``t`` — those two can
+        share a register, hence the strict comparisons. Zero-span
+        variables never occupy a register and overlap nothing.
+        """
+        if self.span == 0 or other.span == 0:
+            return False
+        return self.birth < other.death and other.birth < self.death
+
+    @property
+    def span(self) -> int:
+        return self.death - self.birth
+
+
+def compute_lifetimes(schedule: Schedule) -> Dict[int, Lifetime]:
+    """Lifetime of every *live* variable of the scheduled CDFG.
+
+    Variables that are never read and are not primary outputs get a
+    zero-length lifetime (born and dying at the same step) — they need
+    no register.
+    """
+    cdfg = schedule.cdfg
+    length = schedule.length
+    readers = cdfg.consumer_map()
+    lifetimes: Dict[int, Lifetime] = {}
+    for var_id, variable in cdfg.variables.items():
+        if variable.producer is None:
+            birth = 0
+        else:
+            birth = schedule.end_of(cdfg.operations[variable.producer])
+        death = birth
+        for op in readers[var_id]:
+            # Multi-cycle consumers need their operands held until the
+            # operation's last busy step.
+            death = max(death, schedule.end_of(op))
+        if var_id in cdfg.primary_outputs:
+            # Outputs must survive one boundary past the last step so
+            # they are readable after the iteration completes.
+            death = max(death, length + 1)
+        lifetimes[var_id] = Lifetime(var_id, birth, death)
+    return lifetimes
+
+
+def live_variables(lifetimes: Dict[int, Lifetime]) -> List[Lifetime]:
+    """Lifetimes that actually occupy a register (positive span)."""
+    return [lt for lt in lifetimes.values() if lt.span > 0]
+
+
+def overlap_at(lifetimes: Dict[int, Lifetime], step: int) -> List[Lifetime]:
+    """Variables occupying a register during the boundary after ``step``.
+
+    A variable occupies the register boundary between steps ``t`` and
+    ``t+1`` when ``birth <= t < death``.
+    """
+    return sorted(
+        (
+            lt
+            for lt in lifetimes.values()
+            if lt.birth <= step < lt.death
+        ),
+        key=lambda lt: lt.var_id,
+    )
+
+
+def max_overlap(lifetimes: Dict[int, Lifetime]) -> Tuple[int, int]:
+    """``(step, count)`` of the register-pressure peak.
+
+    ``count`` is the minimum number of registers any binding needs —
+    the allocation the paper's register binder starts from ("counting
+    the number of variables present in the control step with the
+    largest number of variables with overlapping lifetimes").
+    """
+    live = live_variables(lifetimes)
+    if not live:
+        return 0, 0
+    lo = min(lt.birth for lt in live)
+    hi = max(lt.death for lt in live)
+    best_step, best_count = lo, 0
+    for step in range(lo, hi):
+        count = sum(1 for lt in live if lt.birth <= step < lt.death)
+        if count > best_count:
+            best_step, best_count = step, count
+    return best_step, best_count
+
+
+def conflict_groups(lifetimes: Dict[int, Lifetime]) -> List[List[Lifetime]]:
+    """Clusters of mutually-unsharable variables, one per peak step.
+
+    The paper's register binder processes "a cluster of mutually
+    unsharable variables ... at a time, sorted in ascending order
+    according to their birth times"; each cluster here is the set of
+    variables live across one register boundary, in birth order.
+    """
+    live = live_variables(lifetimes)
+    if not live:
+        return []
+    lo = min(lt.birth for lt in live)
+    hi = max(lt.death for lt in live)
+    groups: List[List[Lifetime]] = []
+    for step in range(lo, hi):
+        group = [lt for lt in live if lt.birth <= step < lt.death]
+        if group:
+            groups.append(sorted(group, key=lambda lt: (lt.birth, lt.var_id)))
+    return groups

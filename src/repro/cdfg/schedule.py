@@ -1,0 +1,149 @@
+"""Scheduled CDFGs.
+
+A :class:`Schedule` assigns every operation a start control step in
+``1..length``. The timing convention matches the paper's single-cycle
+register-transfer model:
+
+* an operation scheduled at control step ``t`` reads its operand
+  registers at the start of ``t`` and writes its result register at the
+  end of step ``t + latency - 1`` (``latency`` is 1 for every resource
+  in the paper's library);
+* therefore a data dependence ``p -> c`` requires
+  ``start(c) >= start(p) + latency(p)``.
+
+Multi-cycle latencies are supported throughout (the paper's future
+work); Theorem 1's guarantee only applies when all latencies are 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ScheduleError
+from repro.cdfg.graph import CDFG, Operation
+
+#: Latency of every resource class in the paper's library.
+DEFAULT_LATENCIES = {"add": 1, "mult": 1}
+
+
+class Schedule:
+    """An assignment of operations to control steps."""
+
+    def __init__(
+        self,
+        cdfg: CDFG,
+        start_times: Mapping[int, int],
+        latencies: Optional[Mapping[str, int]] = None,
+    ):
+        self.cdfg = cdfg
+        self.start: Dict[int, int] = dict(start_times)
+        self.latencies: Dict[str, int] = dict(latencies or DEFAULT_LATENCIES)
+        for op in cdfg.operations.values():
+            if op.resource_class not in self.latencies:
+                raise ScheduleError(
+                    f"no latency for resource class {op.resource_class!r}"
+                )
+
+    # -- basic accessors ------------------------------------------------
+
+    def latency_of(self, op: Operation) -> int:
+        return self.latencies[op.resource_class]
+
+    def start_of(self, op: Operation) -> int:
+        try:
+            return self.start[op.op_id]
+        except KeyError:
+            raise ScheduleError(f"operation {op.name} is unscheduled")
+
+    def end_of(self, op: Operation) -> int:
+        """Last control step during which ``op`` occupies its FU."""
+        return self.start_of(op) + self.latency_of(op) - 1
+
+    @property
+    def length(self) -> int:
+        """Number of control steps (the paper's "Cycle" column)."""
+        return max(
+            (self.end_of(op) for op in self.cdfg.operations.values()),
+            default=0,
+        )
+
+    def busy_interval(self, op: Operation) -> Tuple[int, int]:
+        """Inclusive ``(start, end)`` FU occupancy of ``op``."""
+        return self.start_of(op), self.end_of(op)
+
+    def overlaps(self, op_a: Operation, op_b: Operation) -> bool:
+        """True when the two operations occupy an FU simultaneously."""
+        start_a, end_a = self.busy_interval(op_a)
+        start_b, end_b = self.busy_interval(op_b)
+        return start_a <= end_b and start_b <= end_a
+
+    # -- step queries ------------------------------------------------------
+
+    def operations_in_step(
+        self, step: int, op_class: Optional[str] = None
+    ) -> List[Operation]:
+        """Operations busy during ``step`` (optionally one FU class)."""
+        result = []
+        for op in self.cdfg.operations.values():
+            if op_class is not None and op.resource_class != op_class:
+                continue
+            start, end = self.busy_interval(op)
+            if start <= step <= end:
+                result.append(op)
+        return sorted(result, key=lambda op: op.op_id)
+
+    def densest_step(self, op_class: str) -> Tuple[int, int]:
+        """``(step, count)`` of the busiest control step for a class.
+
+        The count is the lower bound on the number of FUs of that class
+        any binding can achieve (the paper's set ``U`` comes from this
+        step; see Theorem 1). Earliest such step wins ties.
+        """
+        best_step, best_count = 1, 0
+        for step in range(1, self.length + 1):
+            count = len(self.operations_in_step(step, op_class))
+            if count > best_count:
+                best_step, best_count = step, count
+        return best_step, best_count
+
+    def min_resources(self) -> Dict[str, int]:
+        """Per-class lower bounds on FU counts (densest-step counts)."""
+        return {
+            op_class: self.densest_step(op_class)[1]
+            for op_class in self.cdfg.resource_classes()
+        }
+
+    # -- validation -------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`ScheduleError` on any violated invariant."""
+        for op in self.cdfg.operations.values():
+            start = self.start.get(op.op_id)
+            if start is None:
+                raise ScheduleError(f"operation {op.name} is unscheduled")
+            if start < 1:
+                raise ScheduleError(
+                    f"operation {op.name} starts before step 1: {start}"
+                )
+            for pred in self.cdfg.predecessors(op):
+                ready = self.start_of(pred) + self.latency_of(pred)
+                if start < ready:
+                    raise ScheduleError(
+                        f"dependence violated: {pred.name} "
+                        f"(ends {ready - 1}) -> {op.name} (starts {start})"
+                    )
+
+    def respects(self, constraints: Mapping[str, int]) -> bool:
+        """True when no step uses more FUs of a class than allowed."""
+        for op_class, limit in constraints.items():
+            for step in range(1, self.length + 1):
+                if len(self.operations_in_step(step, op_class)) > limit:
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule({self.cdfg.name!r}, length={self.length}, "
+            f"ops={len(self.start)})"
+        )

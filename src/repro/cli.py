@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``bench <name>`` — run one benchmark end to end (both binders) and
+  print the Table 3-style row.
+* ``synth <name>`` — integrated HLS on a benchmark; prints allocation
+  and mux statistics, optionally writes VHDL.
+* ``suite`` — the full LOPASS-vs-HLPower comparison over all seven
+  benchmarks (what `benchmarks/test_table3_power_area.py` runs).
+* ``profiles`` — print Table 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from typing import List, Optional
+
+from repro import (
+    BENCHMARK_NAMES,
+    FlowConfig,
+    HLSConfig,
+    benchmark_spec,
+    compare_binders,
+    list_schedule,
+    load_benchmark,
+    synthesize,
+)
+from repro.binding import SATable
+from repro.flow import format_table, percent_change
+
+
+def _add_flow_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--width", type=int, default=8,
+                        help="datapath bit-width (default 8)")
+    parser.add_argument("--vectors", type=int, default=256,
+                        help="random input vectors (default 256)")
+    parser.add_argument("--alpha", type=float, default=0.5,
+                        help="Equation (4) alpha (default 0.5)")
+    parser.add_argument("--sa-table", default="data/sa_table.txt",
+                        help="persistent SA table path")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HLPower (DAC'09) reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    bench = sub.add_parser("bench", help="run one benchmark comparison")
+    bench.add_argument("name", choices=BENCHMARK_NAMES)
+    _add_flow_args(bench)
+
+    suite = sub.add_parser("suite", help="run the full Table 3 comparison")
+    _add_flow_args(suite)
+
+    synth = sub.add_parser("synth", help="integrated HLS on a benchmark")
+    synth.add_argument("name", choices=BENCHMARK_NAMES)
+    synth.add_argument("--scheduler", choices=("list", "force"),
+                       default="list")
+    synth.add_argument("--binder", choices=("hlpower", "lopass"),
+                       default="hlpower")
+    synth.add_argument("--width", type=int, default=8)
+    synth.add_argument("--vhdl", metavar="FILE",
+                       help="write the generated VHDL here")
+
+    sub.add_parser("profiles", help="print Table 1 profiles")
+    return parser
+
+
+def _bench_rows(names, args, table: SATable) -> List[List[str]]:
+    rows = []
+    deltas = []
+    for name in names:
+        spec = benchmark_spec(name)
+        schedule = list_schedule(load_benchmark(name), spec.constraints)
+        config = FlowConfig(
+            width=args.width, n_vectors=args.vectors,
+            alpha=args.alpha, sa_table=table,
+        )
+        results = compare_binders(schedule, spec.constraints, config)
+        lo, hl = results["lopass"], results["hlpower"]
+        delta = percent_change(
+            lo.power.dynamic_power_mw, hl.power.dynamic_power_mw
+        )
+        deltas.append(delta)
+        rows.append(
+            [
+                name,
+                f"{lo.power.dynamic_power_mw:.2f}",
+                f"{hl.power.dynamic_power_mw:.2f}",
+                f"{delta:+.1f}%",
+                f"{lo.area_luts}/{hl.area_luts}",
+                f"{lo.muxes.largest_mux}/{hl.muxes.largest_mux}",
+            ]
+        )
+    if len(names) > 1:
+        rows.append(
+            ["average", "", "", f"{statistics.mean(deltas):+.1f}%", "", ""]
+        )
+    return rows
+
+
+def cmd_bench(args) -> int:
+    table = SATable(path=args.sa_table)
+    rows = _bench_rows([args.name], args, table)
+    table.save_if_dirty()
+    print(format_table(
+        ["bench", "LOPASS mW", "HLPower mW", "dPower", "LUTs", "lrg mux"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_suite(args) -> int:
+    table = SATable(path=args.sa_table)
+    rows = _bench_rows(list(BENCHMARK_NAMES), args, table)
+    table.save_if_dirty()
+    print(format_table(
+        ["bench", "LOPASS mW", "HLPower mW", "dPower", "LUTs", "lrg mux"],
+        rows,
+        title="LOPASS vs HLPower (paper average: -19.3% power)",
+    ))
+    return 0
+
+
+def cmd_synth(args) -> int:
+    spec = benchmark_spec(args.name)
+    config = HLSConfig(
+        scheduler=args.scheduler, binder=args.binder, width=args.width
+    )
+    constraints = spec.constraints if args.scheduler == "list" else None
+    result = synthesize(load_benchmark(args.name), constraints, config,
+                        entity=args.name)
+    print(f"schedule: {result.schedule.length} steps")
+    print(f"allocation: {result.allocation}")
+    print(f"registers: {result.solution.registers.n_registers}")
+    print(
+        f"muxes: largest {result.muxes.largest_mux}, length "
+        f"{result.muxes.mux_length}, muxDiff mean "
+        f"{result.muxes.mux_diff_mean:.2f}"
+    )
+    print(f"port-assignment flips: {result.port_flips}")
+    if args.vhdl:
+        with open(args.vhdl, "w") as handle:
+            handle.write(result.vhdl)
+        print(f"VHDL written to {args.vhdl}")
+    return 0
+
+
+def cmd_profiles(args) -> int:
+    rows = []
+    for name in BENCHMARK_NAMES:
+        spec = benchmark_spec(name)
+        rows.append(
+            [
+                name, spec.profile.n_inputs, spec.profile.n_outputs,
+                spec.profile.n_adds, spec.profile.n_mults,
+                spec.add_units, spec.mult_units, spec.paper_cycles,
+            ]
+        )
+    print(format_table(
+        ["bench", "PIs", "POs", "adds", "mults", "add FUs", "mult FUs",
+         "cycles"],
+        rows,
+        title="Table 1/2 benchmark data",
+    ))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "bench": cmd_bench,
+        "suite": cmd_suite,
+        "synth": cmd_synth,
+        "profiles": cmd_profiles,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

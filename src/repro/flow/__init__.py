@@ -1,0 +1,25 @@
+"""End-to-end synthesis + measurement flow.
+
+:func:`~repro.flow.run.run_flow` chains the full reproduction
+pipeline: scheduled CDFG -> register binding -> FU binding (HLPower or
+the LOPASS baseline) -> datapath -> gate-level elaboration -> K-LUT
+mapping -> unit-delay simulation -> timing and power reports. This is
+the code path every table/figure bench drives.
+"""
+
+from repro.flow.run import FlowConfig, FlowResult, compare_binders, run_flow
+from repro.flow.report import (
+    format_change,
+    format_table,
+    percent_change,
+)
+
+__all__ = [
+    "FlowConfig",
+    "FlowResult",
+    "compare_binders",
+    "run_flow",
+    "format_change",
+    "format_table",
+    "percent_change",
+]

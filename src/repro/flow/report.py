@@ -1,0 +1,50 @@
+"""Table formatting for the reproduction benches.
+
+Small, dependency-free helpers that render the paper-style rows the
+benches print (Tables 1-4, Figure 3) and compute the percentage
+changes the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def percent_change(before: float, after: float) -> float:
+    """Signed percentage change, as in Table 3's "Change" columns."""
+    if before == 0:
+        return 0.0
+    return (after - before) / before * 100.0
+
+
+def format_change(value: float) -> str:
+    """Render a percentage with the paper's sign convention."""
+    return f"{value:+.2f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Plain-text aligned table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def render_row(values: Sequence[str]) -> str:
+        return "  ".join(
+            value.rjust(widths[index]) if index else value.ljust(widths[0])
+            for index, value in enumerate(values)
+        )
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(render_row(row))
+    return "\n".join(lines)

@@ -1,0 +1,220 @@
+"""The end-to-end flow (Section 6.1's experimental pipeline).
+
+One :func:`run_flow` call reproduces, for one benchmark and one binder,
+everything the paper extracts from Quartus II: dynamic power, clock
+period, LUT count, multiplexer statistics, and the average toggle
+rate. :func:`compare_binders` runs LOPASS and HLPower on *identical*
+schedules, register bindings and port assignments — the paper's
+methodology — and returns both results.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Union
+
+from repro.errors import SimulationError
+from repro.binding import (
+    BindingSolution,
+    HLPowerConfig,
+    PortAssignment,
+    RegisterBinding,
+    SATable,
+    assign_ports,
+    bind_hlpower,
+    bind_lopass,
+    bind_registers,
+)
+from repro.cdfg.graph import CDFG
+from repro.cdfg.schedule import Schedule
+from repro.fpga.device import CYCLONE_II_LIKE, DeviceModel
+from repro.fpga.elaborate import ElaboratedDesign, elaborate_datapath
+from repro.fpga.power import PowerReport, power_report
+from repro.fpga.simulate import (
+    SimulationResult,
+    golden_outputs,
+    simulate_design,
+)
+from repro.fpga.timing import TimingReport, timing_report
+from repro.fpga.vectors import random_vectors
+from repro.rtl.controller import build_controller
+from repro.rtl.datapath import Datapath, build_datapath
+from repro.rtl.metrics import MuxReport, mux_report
+from repro.techmap import MapResult, map_netlist
+
+
+@dataclass
+class FlowConfig:
+    """Knobs of the measurement flow (defaults match the benches)."""
+
+    width: int = 8
+    k: int = 4
+    n_vectors: int = 256
+    vector_seed: int = 7
+    alpha: float = 0.5
+    device: DeviceModel = CYCLONE_II_LIKE
+    sa_table: Optional[SATable] = None
+    #: Verify simulated outputs against CDFG semantics.
+    check_function: bool = True
+    #: Activity hint for control inputs during mapping (selects change
+    #: a couple of times per iteration, not every cycle).
+    control_activity: float = 0.1
+    #: Idle-step control convention: "zero" (plain FSM synthesis, the
+    #: paper's flow) or "hold" (operand isolation; ablation).
+    idle_selects: str = "zero"
+    #: Stimulus clock period (the .vwf time base), shared by every
+    #: design under comparison; achieved clock period is reported
+    #: separately, as in Table 3.
+    sim_clock_ns: float = 40.0
+    #: Per-gate delay spread for the timing simulation (0 = pure unit
+    #: delay, the paper's model; >0 models routed-delay spread and is
+    #: exercised by an ablation bench).
+    delay_jitter: int = 0
+
+
+@dataclass
+class FlowResult:
+    """Everything measured for one (benchmark, binder) pair."""
+
+    solution: BindingSolution
+    datapath: Datapath
+    design: ElaboratedDesign
+    mapping: MapResult
+    muxes: MuxReport
+    timing: TimingReport
+    simulation: SimulationResult
+    power: PowerReport
+    area_luts: int
+    controller_luts: int
+    runtime_s: float
+
+    @property
+    def estimated_sa(self) -> float:
+        """The Equation-(3) estimate for the whole mapped design."""
+        return self.mapping.total_sa
+
+
+Binder = Union[str, Callable[..., BindingSolution]]
+
+
+def run_flow(
+    schedule: Schedule,
+    constraints: Mapping[str, int],
+    binder: Binder = "hlpower",
+    config: Optional[FlowConfig] = None,
+    registers: Optional[RegisterBinding] = None,
+    ports: Optional[PortAssignment] = None,
+) -> FlowResult:
+    """Bind, build, map, simulate, and measure one design."""
+    started = time.perf_counter()
+    cfg = config or FlowConfig()
+    cdfg = schedule.cdfg
+    if registers is None:
+        registers = bind_registers(schedule)
+    if ports is None:
+        ports = assign_ports(cdfg)
+
+    solution = _run_binder(binder, schedule, constraints, registers, ports, cfg)
+    datapath = build_datapath(solution, cfg.width)
+    design = elaborate_datapath(datapath)
+
+    input_activities = {
+        net: cfg.control_activity
+        for nets in design.control_nets.values()
+        for net in nets
+    }
+    mapping = map_netlist(
+        design.netlist,
+        k=cfg.k,
+        input_activities=input_activities,
+    )
+    mapped_design = ElaboratedDesign(
+        datapath=datapath,
+        netlist=mapping.netlist,
+        pad_nets=design.pad_nets,
+        register_nets=design.register_nets,
+        fu_nets=design.fu_nets,
+        control_nets=design.control_nets,
+        output_nets=design.output_nets,
+    )
+
+    timing = timing_report(mapping.netlist, cfg.device)
+    vectors = random_vectors(
+        len(cdfg.primary_inputs), cfg.width, cfg.n_vectors, cfg.vector_seed
+    )
+    simulation = simulate_design(
+        mapped_design,
+        vectors,
+        idle_selects=cfg.idle_selects,
+        delay_jitter=cfg.delay_jitter,
+    )
+    if cfg.check_function:
+        expected = golden_outputs(mapped_design, vectors)
+        if expected != simulation.outputs:
+            raise SimulationError(
+                f"simulated outputs disagree with CDFG semantics for "
+                f"{cdfg.name!r} ({solution.algorithm})"
+            )
+
+    controller_luts = build_controller(datapath).estimated_luts(cfg.k)
+    n_design_nets = mapping.area + len(mapping.netlist.latches)
+    power = power_report(
+        simulation, cfg.sim_clock_ns, cfg.device, n_nets=n_design_nets
+    )
+
+    return FlowResult(
+        solution=solution,
+        datapath=datapath,
+        design=mapped_design,
+        mapping=mapping,
+        muxes=mux_report(solution),
+        timing=timing,
+        simulation=simulation,
+        power=power,
+        area_luts=mapping.area + controller_luts,
+        controller_luts=controller_luts,
+        runtime_s=time.perf_counter() - started,
+    )
+
+
+def _run_binder(
+    binder: Binder,
+    schedule: Schedule,
+    constraints: Mapping[str, int],
+    registers: RegisterBinding,
+    ports: PortAssignment,
+    cfg: FlowConfig,
+) -> BindingSolution:
+    if callable(binder):
+        return binder(schedule, constraints, registers, ports)
+    if binder == "hlpower":
+        hl_cfg = HLPowerConfig(alpha=cfg.alpha, sa_table=cfg.sa_table)
+        return bind_hlpower(schedule, constraints, registers, ports, hl_cfg)
+    if binder == "lopass":
+        return bind_lopass(schedule, constraints, registers, ports)
+    raise ValueError(f"unknown binder {binder!r}")
+
+
+def compare_binders(
+    schedule: Schedule,
+    constraints: Mapping[str, int],
+    config: Optional[FlowConfig] = None,
+    binders: Mapping[str, Binder] = None,
+) -> Dict[str, FlowResult]:
+    """Run several binders on identical schedule/registers/ports.
+
+    Default comparison is the paper's: ``lopass`` vs ``hlpower``.
+    """
+    cfg = config or FlowConfig()
+    registers = bind_registers(schedule)
+    ports = assign_ports(schedule.cdfg)
+    table = cfg.sa_table if cfg.sa_table is not None else SATable()
+    if cfg.sa_table is None:
+        cfg = FlowConfig(**{**cfg.__dict__, "sa_table": table})
+    if binders is None:
+        binders = {"lopass": "lopass", "hlpower": "hlpower"}
+    return {
+        name: run_flow(schedule, constraints, binder, cfg, registers, ports)
+        for name, binder in binders.items()
+    }

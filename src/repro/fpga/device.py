@@ -1,0 +1,50 @@
+"""Cyclone II-like device model.
+
+Constants roughly matching Altera's Cyclone II (90 nm, 4-input LUTs,
+1.2 V core): per-level logic+routing delays that land combinational
+paths of 15-20 LUT levels in the paper's 20-27 ns clock-period range,
+and effective capacitances dominated by routing. Absolute watts are
+explicitly out of scope (DESIGN.md); the model's job is to convert
+toggle counts into power *consistently* for both binders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Electrical and timing constants of the target FPGA."""
+
+    name: str = "cyclone2-like"
+    lut_inputs: int = 4
+    vdd_v: float = 1.2
+    #: Combinational cell delay per LUT level (ns).
+    lut_delay_ns: float = 0.45
+    #: Average routing delay per level (ns).
+    routing_delay_ns: float = 0.95
+    #: Register clock-to-Q plus setup (ns).
+    register_overhead_ns: float = 1.2
+    #: Effective switched capacitance per LUT output, incl. routing (fF).
+    c_lut_ff: float = 180.0
+    #: Effective switched capacitance per register output (fF).
+    c_register_ff: float = 120.0
+    #: Effective switched capacitance per I/O pad (fF).
+    c_pad_ff: float = 900.0
+
+    def clock_period_ns(self, depth: int) -> float:
+        """Clock period for a ``depth``-level critical path."""
+        levels = max(1, depth)
+        return (
+            self.register_overhead_ns
+            + levels * (self.lut_delay_ns + self.routing_delay_ns)
+        )
+
+    def switch_energy_j(self, capacitance_ff: float) -> float:
+        """Energy of one output transition: ``0.5 * C * Vdd^2``."""
+        return 0.5 * capacitance_ff * 1e-15 * self.vdd_v ** 2
+
+
+#: The default device every bench uses.
+CYCLONE_II_LIKE = DeviceModel()

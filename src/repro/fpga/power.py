@@ -1,0 +1,83 @@
+"""Dynamic power model (the PowerPlay Power Analyzer substitute).
+
+PowerPlay converts a switching-activity file (toggle counts from
+vector simulation) into dynamic power:
+
+    P_dyn = 0.5 * Vdd^2 * sum_over_nets(C_net * toggle_rate_net)
+
+which is the paper's Section 1 equation applied per net. Toggle rates
+come from the simulator's exact transition counts over the *stimulus*
+time base: the paper drives both bindings with the same ``.vwf``
+waveform, so designs are compared at a common simulation clock — the
+achieved clock period is a separate Table 3 column, not the power
+normalizer. Capacitances come from the device model per net category
+(LUT outputs, register outputs, pads and control lines).
+
+The paper's Figure 3 "average toggle rate" — "number of transitions
+per second ... reported by Quartus II" — is
+:attr:`PowerReport.toggle_rate_mhz`: total design transitions per
+second of stimulus, in millions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.device import CYCLONE_II_LIKE, DeviceModel
+from repro.fpga.simulate import SimulationResult
+
+#: Default stimulus clock period (the ``.vwf`` time base), ns.
+DEFAULT_SIM_CLOCK_NS = 40.0
+
+
+@dataclass
+class PowerReport:
+    """Dynamic power breakdown for one simulated design."""
+
+    dynamic_power_mw: float
+    comb_power_mw: float
+    register_power_mw: float
+    io_power_mw: float
+    toggle_rate_mhz: float
+    total_toggles: int
+    simulated_time_ns: float
+
+
+def power_report(
+    sim: SimulationResult,
+    sim_clock_ns: float = DEFAULT_SIM_CLOCK_NS,
+    device: DeviceModel = CYCLONE_II_LIKE,
+    n_nets: int = 0,
+) -> PowerReport:
+    """Convert toggle counts into dynamic power at the stimulus clock.
+
+    ``n_nets`` (LUTs + flip-flops) makes the reported toggle rate a
+    per-signal average, as PowerPlay reports it; 0 leaves the rate as
+    a whole-design total.
+    """
+    if sim_clock_ns <= 0:
+        raise ValueError(f"stimulus clock must be positive: {sim_clock_ns}")
+    per_lane_time_ns = sim.steps * sim_clock_ns
+    total_time_s = per_lane_time_ns * 1e-9 * sim.lanes
+
+    def power_mw(toggles: int, capacitance_ff: float) -> float:
+        energy_j = toggles * device.switch_energy_j(capacitance_ff)
+        return energy_j / total_time_s * 1e3
+
+    comb = power_mw(sim.comb_toggles, device.c_lut_ff)
+    regs = power_mw(sim.register_toggles, device.c_register_ff)
+    pads = power_mw(sim.pad_toggles, device.c_pad_ff)
+    control = power_mw(sim.control_toggles, device.c_register_ff)
+
+    design_toggles = sim.comb_toggles + sim.register_toggles
+    toggle_rate = design_toggles / total_time_s / 1e6 / max(1, n_nets)
+
+    return PowerReport(
+        dynamic_power_mw=comb + regs + pads + control,
+        comb_power_mw=comb,
+        register_power_mw=regs + control,
+        io_power_mw=pads,
+        toggle_rate_mhz=toggle_rate,
+        total_toggles=sim.total_toggles,
+        simulated_time_ns=per_lane_time_ns,
+    )

@@ -1,0 +1,48 @@
+"""Gate-level netlist substrate.
+
+This subpackage provides the gate-level intermediate representation used
+throughout the reproduction: the binding algorithm generates partial
+datapath netlists from it (paper Section 5.2.2, Figure 2), the
+switching-activity estimator consumes it (Section 4), and the virtual
+FPGA flow elaborates full datapaths into it for simulation.
+
+Public API:
+
+* :class:`~repro.netlist.gates.Netlist` — the IR itself.
+* :class:`~repro.netlist.gates.TruthTable` — small boolean functions.
+* :mod:`~repro.netlist.blif` — BLIF reader/writer.
+* :mod:`~repro.netlist.library` — structural generators (adders,
+  multipliers, muxes, registers).
+"""
+
+from repro.netlist.gates import Gate, GateType, Netlist, TruthTable
+from repro.netlist.blif import parse_blif, write_blif
+from repro.netlist.library import (
+    build_adder,
+    build_addsub,
+    build_equality_comparator,
+    build_functional_unit,
+    build_mux,
+    build_partial_datapath,
+    build_multiplier,
+    build_register,
+    build_subtractor,
+)
+
+__all__ = [
+    "Gate",
+    "GateType",
+    "Netlist",
+    "TruthTable",
+    "parse_blif",
+    "write_blif",
+    "build_adder",
+    "build_addsub",
+    "build_equality_comparator",
+    "build_functional_unit",
+    "build_mux",
+    "build_multiplier",
+    "build_partial_datapath",
+    "build_register",
+    "build_subtractor",
+]

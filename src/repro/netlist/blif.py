@@ -1,0 +1,207 @@
+"""BLIF reader and writer.
+
+The paper generates partial datapaths "in .blif format [19]" (Figure 2)
+before running the switching-activity estimation on them, so the
+reproduction keeps the same interchange format. Supported constructs:
+``.model``, ``.inputs``, ``.outputs``, ``.names`` (single-output cover
+with ``0``/``1``/``-`` literals, on-set or off-set), ``.latch`` and
+``.end``. ``.search``/``.subckt`` are resolved at construction time by
+:meth:`repro.netlist.gates.Netlist.instantiate`, so emitted files are
+flat.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, TextIO, Tuple, Union
+
+from repro.errors import NetlistError
+from repro.netlist.gates import GateType, Netlist, TruthTable, iter_minterms
+
+
+def write_blif(netlist: Netlist, stream: TextIO) -> None:
+    """Write ``netlist`` to ``stream`` in flat BLIF."""
+    stream.write(f".model {netlist.name}\n")
+    _write_wrapped(stream, ".inputs", netlist.inputs)
+    _write_wrapped(stream, ".outputs", netlist.outputs)
+    for latch in netlist.latches.values():
+        init = 1 if latch.init else 0
+        stream.write(f".latch {latch.data} {latch.output} {init}\n")
+    for net in netlist.topological_order():
+        gate = netlist.gates[net]
+        _write_names(stream, gate.inputs, net, gate.table)
+    stream.write(".end\n")
+
+
+def blif_text(netlist: Netlist) -> str:
+    """Return the flat BLIF for ``netlist`` as a string."""
+    import io
+
+    buffer = io.StringIO()
+    write_blif(netlist, buffer)
+    return buffer.getvalue()
+
+
+def _write_wrapped(stream: TextIO, keyword: str, names: Iterable[str]) -> None:
+    line = keyword
+    for name in names:
+        if len(line) + len(name) + 1 > 78:
+            stream.write(line + " \\\n")
+            line = " "
+        line += " " + name
+    stream.write(line + "\n")
+
+
+def _write_names(
+    stream: TextIO,
+    inputs: Tuple[str, ...],
+    output: str,
+    table: TruthTable,
+) -> None:
+    stream.write(".names " + " ".join(list(inputs) + [output]) + "\n")
+    constant = table.is_constant()
+    if constant is True:
+        stream.write("1\n" if not inputs else "-" * len(inputs) + " 1\n")
+        return
+    if constant is False:
+        return  # empty cover = constant 0
+    for minterm in iter_minterms(table):
+        pattern = "".join("1" if bit else "0" for bit in minterm)
+        stream.write(pattern + " 1\n")
+
+
+def parse_blif(source: Union[str, TextIO], name: Optional[str] = None) -> Netlist:
+    """Parse flat BLIF text (or a stream) into a :class:`Netlist`."""
+    text = source if isinstance(source, str) else source.read()
+    lines = _logical_lines(text)
+    netlist = Netlist(name or "top")
+    declared_outputs: List[str] = []
+
+    index = 0
+    while index < len(lines):
+        tokens = lines[index].split()
+        index += 1
+        if not tokens:
+            continue
+        keyword = tokens[0]
+        if keyword == ".model":
+            if len(tokens) > 1 and name is None:
+                netlist.name = tokens[1]
+        elif keyword == ".inputs":
+            for net in tokens[1:]:
+                netlist.add_input(net)
+        elif keyword == ".outputs":
+            declared_outputs.extend(tokens[1:])
+        elif keyword == ".latch":
+            if len(tokens) < 3:
+                raise NetlistError(f"malformed .latch: {lines[index - 1]!r}")
+            init = tokens[3] == "1" if len(tokens) > 3 else False
+            netlist.add_latch(tokens[1], tokens[2], init)
+        elif keyword == ".names":
+            signals = tokens[1:]
+            if not signals:
+                raise NetlistError(".names with no signals")
+            cover: List[str] = []
+            while index < len(lines) and not lines[index].startswith("."):
+                row = lines[index].strip()
+                if row:
+                    cover.append(row)
+                index += 1
+            _add_cover(netlist, signals[:-1], signals[-1], cover)
+        elif keyword == ".end":
+            break
+        elif keyword in (".search", ".subckt"):
+            raise NetlistError(
+                f"hierarchical BLIF not supported by the parser: {keyword}"
+            )
+        # Silently ignore other dot-directives (.default_input_arrival...).
+
+    for net in declared_outputs:
+        netlist.set_output(net)
+    return netlist
+
+
+def _logical_lines(text: str) -> List[str]:
+    """Split BLIF text into lines, joining ``\\`` continuations."""
+    merged: List[str] = []
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if not line and not pending:
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        merged.append(pending + line)
+        pending = ""
+    if pending:
+        merged.append(pending)
+    return merged
+
+
+def _add_cover(
+    netlist: Netlist,
+    inputs: List[str],
+    output: str,
+    cover: List[str],
+) -> None:
+    n = len(inputs)
+    if not cover:
+        netlist.add_const(False, output)
+        return
+    if n == 0:
+        value = cover[0].strip() == "1"
+        netlist.add_const(value, output)
+        return
+
+    on_bits = 0
+    off_bits = 0
+    saw_on = saw_off = False
+    for row in cover:
+        parts = row.split()
+        if len(parts) != 2:
+            raise NetlistError(f"malformed cover row {row!r} for {output!r}")
+        pattern, value = parts
+        if len(pattern) != n:
+            raise NetlistError(
+                f"cover row {row!r} arity mismatch for {output!r}"
+            )
+        mask = _pattern_mask(pattern)
+        if value == "1":
+            on_bits |= mask
+            saw_on = True
+        elif value == "0":
+            off_bits |= mask
+            saw_off = True
+        else:
+            raise NetlistError(f"bad cover value {value!r} for {output!r}")
+    if saw_on and saw_off:
+        raise NetlistError(f"mixed on-set/off-set cover for {output!r}")
+    if saw_off:
+        size = 1 << n
+        bits = ((1 << size) - 1) ^ off_bits
+    else:
+        bits = on_bits
+    netlist.add_gate(TruthTable(n, bits), inputs, output)
+
+
+def _pattern_mask(pattern: str) -> int:
+    """Bitmask of input combinations matched by a cube like ``1-0``.
+
+    BLIF lists the first input as the leftmost character; our truth
+    tables use input 0 as the least-significant index bit.
+    """
+    indices = [0]
+    for position, char in enumerate(pattern):
+        bit = 1 << position
+        if char == "1":
+            indices = [i | bit for i in indices]
+        elif char == "0":
+            pass
+        elif char == "-":
+            indices = indices + [i | bit for i in indices]
+        else:
+            raise NetlistError(f"bad cube character {char!r} in {pattern!r}")
+    mask = 0
+    for i in indices:
+        mask |= 1 << i
+    return mask

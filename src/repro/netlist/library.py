@@ -1,0 +1,332 @@
+"""Structural netlist generators for the resource library.
+
+The paper's resource library contains "a multiplier, an adder, a
+register, and multiplexers" (Section 6.1), all single-cycle. These
+builders produce flat gate-level netlists for each, mirroring the
+pre-existing ``.blif`` instantiations the paper imports in Figure 2:
+
+* ripple-carry adder / subtractor (two's complement, truncating),
+* array multiplier (truncated to the datapath width),
+* N-input multiplexer with a binary select bus, built as a 2:1 tree
+  (unbalanced trees are exactly what creates the ``muxDiff`` glitch
+  imbalance the paper optimizes),
+* enabled register (bank of D flip-flops).
+
+All builders use bus naming ``<port><bit>`` (e.g. ``a0, a1, ...``) so
+netlists compose predictably in :func:`build_partial_datapath` and in
+the full datapath elaboration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.gates import GateType, Netlist
+
+#: Operation types understood by :func:`build_functional_unit`.
+FU_TYPES = ("add", "sub", "mult")
+
+
+def bus(name: str, width: int) -> List[str]:
+    """Net names of a ``width``-bit bus: ``name0 .. name{width-1}``."""
+    return [f"{name}{i}" for i in range(width)]
+
+
+def select_width(n_inputs: int) -> int:
+    """Number of binary select lines for an ``n_inputs``-way mux."""
+    if n_inputs < 1:
+        raise NetlistError(f"mux needs at least one input, got {n_inputs}")
+    return max(1, (n_inputs - 1).bit_length())
+
+
+def _full_adder(
+    netlist: Netlist, a: str, b: str, cin: str
+) -> Tuple[str, str]:
+    """Add a full adder; returns ``(sum, carry_out)`` nets."""
+    axb = netlist.add_simple(GateType.XOR, (a, b))
+    total = netlist.add_simple(GateType.XOR, (axb, cin))
+    and1 = netlist.add_simple(GateType.AND, (a, b))
+    and2 = netlist.add_simple(GateType.AND, (axb, cin))
+    carry = netlist.add_simple(GateType.OR, (and1, and2))
+    return total, carry
+
+
+def build_adder(width: int, name: str = "add") -> Netlist:
+    """Ripple-carry adder: ``s = a + b`` truncated to ``width`` bits."""
+    return _build_addsub(width, subtract=False, name=name)
+
+
+def build_subtractor(width: int, name: str = "sub") -> Netlist:
+    """Ripple-borrow subtractor: ``s = a - b`` (two's complement)."""
+    return _build_addsub(width, subtract=True, name=name)
+
+
+def _build_addsub(width: int, subtract: bool, name: str) -> Netlist:
+    if width < 1:
+        raise NetlistError(f"adder width must be positive, got {width}")
+    netlist = Netlist(name)
+    a_bits = [netlist.add_input(net) for net in bus("a", width)]
+    b_bits = [netlist.add_input(net) for net in bus("b", width)]
+    if subtract:
+        b_bits = [netlist.add_simple(GateType.NOT, (b,)) for b in b_bits]
+        carry = netlist.add_const(True)
+    else:
+        carry = netlist.add_const(False)
+    for i in range(width):
+        total, carry = _full_adder(netlist, a_bits[i], b_bits[i], carry)
+        out = netlist.add_simple(GateType.BUF, (total,), f"s{i}")
+        netlist.set_output(out)
+    return netlist
+
+
+def build_addsub(width: int, name: str = "addsub") -> Netlist:
+    """Adder/subtractor with a ``mode`` input (0 = add, 1 = subtract).
+
+    The textbook sharing structure: ``s = a + (b xor mode) + mode``.
+    Used when a bound FU serves both ``add`` and ``sub`` operations
+    (they share the adder resource class in the paper's library).
+    """
+    if width < 1:
+        raise NetlistError(f"addsub width must be positive, got {width}")
+    netlist = Netlist(name)
+    a_bits = [netlist.add_input(net) for net in bus("a", width)]
+    b_bits = [netlist.add_input(net) for net in bus("b", width)]
+    mode = netlist.add_input("mode")
+    b_bits = [
+        netlist.add_simple(GateType.XOR, (b, mode)) for b in b_bits
+    ]
+    carry = mode
+    for i in range(width):
+        total, carry = _full_adder(netlist, a_bits[i], b_bits[i], carry)
+        out = netlist.add_simple(GateType.BUF, (total,), f"s{i}")
+        netlist.set_output(out)
+    return netlist
+
+
+def build_multiplier(width: int, name: str = "mult") -> Netlist:
+    """Array multiplier, output truncated to ``width`` bits.
+
+    Classic carry-save array: partial products ``a_i & b_j`` are reduced
+    with rows of full adders. Only the low ``width`` product bits are
+    kept, matching a fixed-width datapath; the deep, unbalanced carry
+    chains of this structure are the dominant glitch source in the
+    paper's datapaths.
+    """
+    if width < 1:
+        raise NetlistError(f"multiplier width must be positive, got {width}")
+    netlist = Netlist(name)
+    a_bits = [netlist.add_input(net) for net in bus("a", width)]
+    b_bits = [netlist.add_input(net) for net in bus("b", width)]
+
+    # Row 0: partial products of b0.
+    row = [
+        netlist.add_simple(GateType.AND, (a_bits[k], b_bits[0]))
+        for k in range(width)
+    ]
+    outputs = [row[0]]
+    running = row[1:]  # bits width-1 .. 1 of the running sum, LSB first
+
+    for j in range(1, width):
+        partial = [
+            netlist.add_simple(GateType.AND, (a_bits[k], b_bits[j]))
+            for k in range(width - j)
+        ]
+        carry: Optional[str] = None
+        new_running: List[str] = []
+        for k, pp in enumerate(partial):
+            acc = running[k] if k < len(running) else None
+            if acc is None and carry is None:
+                total = pp
+            elif acc is None:
+                total, carry = _half_sum(netlist, pp, carry)
+            elif carry is None:
+                total, carry = _half_sum(netlist, pp, acc)
+            else:
+                total, carry = _full_adder(netlist, pp, acc, carry)
+            new_running.append(total)
+        outputs.append(new_running[0])
+        running = new_running[1:]
+
+    for i, net in enumerate(outputs):
+        out = netlist.add_simple(GateType.BUF, (net,), f"s{i}")
+        netlist.set_output(out)
+    return netlist
+
+
+def _half_sum(netlist: Netlist, a: str, b: str) -> Tuple[str, str]:
+    """Half adder; returns ``(sum, carry_out)`` nets."""
+    total = netlist.add_simple(GateType.XOR, (a, b))
+    carry = netlist.add_simple(GateType.AND, (a, b))
+    return total, carry
+
+
+def build_mux(n_inputs: int, width: int, name: Optional[str] = None) -> Netlist:
+    """``n_inputs``-to-1 multiplexer over ``width``-bit data ports.
+
+    Data ports are ``d<i>_<bit>``, the binary select bus is ``sel<k>``,
+    and the output bus is ``y<bit>``. A 1-input "mux" degenerates to
+    wires (no select). The tree is built pairwise over the input list,
+    so an input count that is not a power of two yields the unbalanced
+    structure real RTL synthesis produces.
+    """
+    if n_inputs < 1:
+        raise NetlistError(f"mux needs at least one input, got {n_inputs}")
+    if width < 1:
+        raise NetlistError(f"mux width must be positive, got {width}")
+    netlist = Netlist(name or f"mux{n_inputs}")
+    data = [
+        [netlist.add_input(f"d{i}_{bit}") for bit in range(width)]
+        for i in range(n_inputs)
+    ]
+    if n_inputs == 1:
+        for bit in range(width):
+            out = netlist.add_simple(GateType.BUF, (data[0][bit],), f"y{bit}")
+            netlist.set_output(out)
+        return netlist
+
+    selects = [
+        netlist.add_input(f"sel{k}") for k in range(select_width(n_inputs))
+    ]
+    level = data
+    for sel_index, sel in enumerate(selects):
+        next_level: List[List[str]] = []
+        for pair_start in range(0, len(level), 2):
+            if pair_start + 1 == len(level):
+                next_level.append(level[pair_start])
+                continue
+            low = level[pair_start]
+            high = level[pair_start + 1]
+            merged = [
+                netlist.add_simple(GateType.MUX, (sel, low[b], high[b]))
+                for b in range(width)
+            ]
+            next_level.append(merged)
+        level = next_level
+        if len(level) == 1:
+            break
+    if len(level) != 1:
+        raise NetlistError(
+            f"mux tree for {n_inputs} inputs did not reduce to one bus"
+        )
+    for bit in range(width):
+        out = netlist.add_simple(GateType.BUF, (level[0][bit],), f"y{bit}")
+        netlist.set_output(out)
+    return netlist
+
+
+def build_register(
+    width: int, with_enable: bool = True, name: str = "reg"
+) -> Netlist:
+    """Bank of ``width`` D flip-flops; data ``d<bit>``, output ``q<bit>``.
+
+    With ``with_enable``, an ``en`` input gates the update (implemented
+    as a recirculating mux in front of each flop, as on an FPGA).
+    """
+    if width < 1:
+        raise NetlistError(f"register width must be positive, got {width}")
+    netlist = Netlist(name)
+    data = [netlist.add_input(f"d{bit}") for bit in range(width)]
+    enable = netlist.add_input("en") if with_enable else None
+    for bit in range(width):
+        q_name = f"q{bit}"
+        if enable is not None:
+            # q <= en ? d : q — recirculation keeps q a latch output net.
+            d_mux = netlist.new_net("ce")
+            q = netlist.add_latch(d_mux, q_name)
+            netlist.add_simple(GateType.MUX, (enable, q, data[bit]), d_mux)
+        else:
+            q = netlist.add_latch(data[bit], q_name)
+        netlist.set_output(q)
+    return netlist
+
+
+def build_equality_comparator(width: int, name: str = "eq") -> Netlist:
+    """``y0 = (a == b)`` over ``width``-bit buses (controller helper)."""
+    if width < 1:
+        raise NetlistError(f"comparator width must be positive, got {width}")
+    netlist = Netlist(name)
+    a_bits = [netlist.add_input(net) for net in bus("a", width)]
+    b_bits = [netlist.add_input(net) for net in bus("b", width)]
+    eq_bits = [
+        netlist.add_simple(GateType.XNOR, (a_bits[i], b_bits[i]))
+        for i in range(width)
+    ]
+    if len(eq_bits) == 1:
+        out = netlist.add_simple(GateType.BUF, (eq_bits[0],), "y0")
+    else:
+        out = netlist.add_simple(GateType.AND, tuple(eq_bits), "y0")
+    netlist.set_output(out)
+    return netlist
+
+
+def build_functional_unit(
+    fu_type: str, width: int, name: Optional[str] = None
+) -> Netlist:
+    """Dispatch to the structural builder for ``fu_type``.
+
+    ``add`` and ``sub`` share the adder resource class in the paper's
+    library; ``mult`` is the array multiplier.
+    """
+    if fu_type == "add":
+        return build_adder(width, name or "add")
+    if fu_type == "sub":
+        return build_subtractor(width, name or "sub")
+    if fu_type == "mult":
+        return build_multiplier(width, name or "mult")
+    raise NetlistError(f"unknown functional unit type {fu_type!r}")
+
+
+def build_partial_datapath(
+    fu_type: str,
+    mux_a_size: int,
+    mux_b_size: int,
+    width: int,
+    name: Optional[str] = None,
+) -> Netlist:
+    """The paper's Figure 2 structure: two input muxes feeding one FU.
+
+    All mux data inputs and select lines are primary inputs of the
+    result (they come from registers and the controller in the real
+    datapath); the FU result bus ``s*`` is the primary output. This is
+    the netlist whose glitch-aware switching activity is precalculated
+    for every ``(fu_type, mux_a_size, mux_b_size)`` combination and
+    looked up during binding (Section 5.2.2).
+    """
+    if fu_type not in FU_TYPES:
+        raise NetlistError(f"unknown functional unit type {fu_type!r}")
+    top = Netlist(name or f"{fu_type}_{mux_a_size}_{mux_b_size}")
+
+    ports_a = _instantiate_mux(top, "a", mux_a_size, width)
+    ports_b = _instantiate_mux(top, "b", mux_b_size, width)
+
+    fu = build_functional_unit(fu_type, width)
+    fu_ports = {}
+    for bit in range(width):
+        fu_ports[f"a{bit}"] = ports_a[bit]
+        fu_ports[f"b{bit}"] = ports_b[bit]
+    out_map = top.instantiate(
+        fu,
+        fu_ports,
+        prefix="u_fu/",
+        output_map={f"s{bit}": f"s{bit}" for bit in range(width)},
+    )
+    for bit in range(width):
+        top.set_output(out_map[f"s{bit}"])
+    return top
+
+
+def _instantiate_mux(
+    top: Netlist, port: str, n_inputs: int, width: int
+) -> List[str]:
+    """Place one input mux; returns the mux output bus nets in ``top``."""
+    mux = build_mux(n_inputs, width)
+    port_map = {}
+    for i in range(n_inputs):
+        for bit in range(width):
+            port_map[f"d{i}_{bit}"] = top.add_input(f"{port}_d{i}_{bit}")
+    for k in range(select_width(n_inputs)):
+        if f"sel{k}" in mux.inputs:
+            port_map[f"sel{k}"] = top.add_input(f"{port}_sel{k}")
+    out_map = top.instantiate(mux, port_map, prefix=f"u_mux_{port}/")
+    return [out_map[f"y{bit}"] for bit in range(width)]

@@ -1,0 +1,26 @@
+"""RTL construction from binding solutions.
+
+* :mod:`~repro.rtl.datapath` — registers + input muxes + FUs + port
+  muxes, with the per-control-step select/enable table.
+* :mod:`~repro.rtl.controller` — FSM controller description.
+* :mod:`~repro.rtl.metrics` — the paper's multiplexer statistics
+  (largest MUX, MUX length, muxDiff mean/variance; Tables 3 and 4).
+* :mod:`~repro.rtl.vhdl` — VHDL emitter (the paper's "CDFG to VHDL
+  tool").
+"""
+
+from repro.rtl.datapath import Datapath, SourceRef, build_datapath
+from repro.rtl.controller import Controller, build_controller
+from repro.rtl.metrics import MuxReport, mux_report
+from repro.rtl.vhdl import emit_vhdl
+
+__all__ = [
+    "Datapath",
+    "SourceRef",
+    "build_datapath",
+    "Controller",
+    "build_controller",
+    "MuxReport",
+    "mux_report",
+    "emit_vhdl",
+]

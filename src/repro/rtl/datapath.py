@@ -1,0 +1,245 @@
+"""Datapath construction from a binding solution.
+
+The bound CDFG maps onto hardware as:
+
+* one register per allocated register index, fed by an input mux over
+  its distinct writers (functional units, or the input pad for primary
+  inputs) and gated by an enable;
+* one functional unit per allocated FU, each input port fed by a mux
+  over the distinct registers that port reads;
+* primary outputs read the registers holding the output variables at
+  the end of the iteration.
+
+The construction also derives the *control table*: for every control
+step, the select value of every mux and the enable set of registers —
+what the FSM controller drives. The table is what the gate-level
+simulation replays and what the VHDL emitter turns into a case
+statement.
+
+Primary-input handling: PI variables are register-bound like any other
+variable (their lifetime starts at step 0), so each PI register loads
+from the pad at a *load* step 0 preceding the iteration body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import RTLError
+from repro.binding.base import BindingSolution, FunctionalUnit
+from repro.cdfg.graph import CDFG
+
+#: A mux data source: ("reg", index) | ("fu", id) | ("pad", pi position).
+SourceRef = Tuple[str, int]
+
+
+@dataclass
+class MuxSpec:
+    """One multiplexer instance: an ordered list of sources."""
+
+    name: str
+    sources: List[SourceRef]
+
+    @property
+    def size(self) -> int:
+        return len(self.sources)
+
+    def select_of(self, source: SourceRef) -> int:
+        try:
+            return self.sources.index(source)
+        except ValueError:
+            raise RTLError(f"{self.name}: {source} is not a source")
+
+
+@dataclass
+class RegisterSpec:
+    """One datapath register and its input mux."""
+
+    index: int
+    mux: MuxSpec
+    variables: List[int]  # variable ids stored over time
+
+
+@dataclass
+class FUSpec:
+    """One functional unit with its two port muxes."""
+
+    unit: FunctionalUnit
+    mux_a: MuxSpec
+    mux_b: MuxSpec
+    #: True when the unit serves both add and sub operations and thus
+    #: needs a mode control (the shared adder/subtractor structure).
+    needs_mode: bool = False
+
+
+@dataclass
+class StepControl:
+    """Control signals for one control step."""
+
+    fu_selects: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    reg_enables: Dict[int, int] = field(default_factory=dict)  # reg -> select
+    #: For add/sub-sharing units: 0 = add, 1 = subtract.
+    fu_modes: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class Datapath:
+    """A complete datapath plus its control table.
+
+    ``control[0]`` is the PI-load step; ``control[t]`` for ``t >= 1``
+    drives control step ``t`` of the schedule.
+    """
+
+    solution: BindingSolution
+    width: int
+    registers: List[RegisterSpec]
+    fus: List[FUSpec]
+    output_registers: List[int]  # register index per primary output
+    control: List[StepControl]
+
+    @property
+    def cdfg(self) -> CDFG:
+        return self.solution.schedule.cdfg
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.control) - 1
+
+    def fu_of(self, op_id: int) -> FUSpec:
+        unit = self.solution.fus.unit_of(op_id)
+        for spec in self.fus:
+            if spec.unit.fu_id == unit.fu_id:
+                return spec
+        raise RTLError(f"no FU spec for unit {unit.fu_id}")
+
+    def validate(self) -> None:
+        """Every op must be drivable in its scheduled step."""
+        schedule = self.solution.schedule
+        for op in self.cdfg.operations.values():
+            step = schedule.start_of(op)
+            control = self.control[step]
+            spec = self.fu_of(op.op_id)
+            if spec.unit.fu_id not in control.fu_selects:
+                raise RTLError(
+                    f"{op.name}: no FU selects at step {step}"
+                )
+        for index, control in enumerate(self.control):
+            for reg, select in control.reg_enables.items():
+                mux = self.registers[reg].mux
+                if not 0 <= select < mux.size:
+                    raise RTLError(
+                        f"step {index}: register {reg} select {select} "
+                        f"out of range ({mux.size} sources)"
+                    )
+
+
+def build_datapath(solution: BindingSolution, width: int = 8) -> Datapath:
+    """Derive the datapath and control table from a binding solution."""
+    if width < 1:
+        raise RTLError(f"datapath width must be positive, got {width}")
+    cdfg = solution.schedule.cdfg
+    schedule = solution.schedule
+
+    fus: List[FUSpec] = []
+    fu_index: Dict[int, FUSpec] = {}
+    for unit in sorted(solution.fus.units, key=lambda u: u.fu_id):
+        sources_a, sources_b = solution.port_sources(unit)
+        op_types = {
+            cdfg.operations[op_id].op_type for op_id in unit.ops
+        }
+        spec = FUSpec(
+            unit=unit,
+            mux_a=MuxSpec(
+                f"fu{unit.fu_id}_mux_a",
+                [("reg", r) for r in sources_a],
+            ),
+            mux_b=MuxSpec(
+                f"fu{unit.fu_id}_mux_b",
+                [("reg", r) for r in sources_b],
+            ),
+            needs_mode="sub" in op_types and len(op_types) > 1,
+        )
+        fus.append(spec)
+        fu_index[unit.fu_id] = spec
+
+    pad_of: Dict[int, int] = {
+        var_id: position
+        for position, var_id in enumerate(cdfg.primary_inputs)
+    }
+    registers: List[RegisterSpec] = []
+    for reg in range(solution.registers.n_registers):
+        variables = solution.registers.variables_in(reg)
+        sources: List[SourceRef] = []
+        for var_id in variables:
+            variable = cdfg.variables[var_id]
+            if variable.producer is None:
+                ref: SourceRef = ("pad", pad_of[var_id])
+            else:
+                ref = ("fu", solution.fus.unit_of(variable.producer).fu_id)
+            if ref not in sources:
+                sources.append(ref)
+        registers.append(
+            RegisterSpec(reg, MuxSpec(f"reg{reg}_mux", sources), variables)
+        )
+
+    control = [StepControl() for _ in range(schedule.length + 1)]
+    # Step 0: load every primary input's register from its pad.
+    for var_id in cdfg.primary_inputs:
+        reg = solution.registers.assignment.get(var_id)
+        if reg is None:
+            continue  # unread input (generator forbids, but stay safe)
+        select = registers[reg].mux.select_of(("pad", pad_of[var_id]))
+        control[0].reg_enables[reg] = select
+
+    for op in cdfg.operations.values():
+        step = schedule.start_of(op)
+        unit = solution.fus.unit_of(op.op_id)
+        spec = fu_index[unit.fu_id]
+        var_a, var_b = solution.ports.of(op)
+        sel_a = spec.mux_a.select_of(
+            ("reg", solution.registers.register_of(var_a))
+        )
+        sel_b = spec.mux_b.select_of(
+            ("reg", solution.registers.register_of(var_b))
+        )
+        # Drive the selects (and mode) for the op's whole busy interval
+        # so multi-cycle operations keep their inputs stable regardless
+        # of the idle-select convention.
+        for busy_step in range(step, schedule.end_of(op) + 1):
+            if unit.fu_id in control[busy_step].fu_selects:
+                raise RTLError(
+                    f"unit {unit.fu_id} double-driven at step {busy_step}"
+                )
+            control[busy_step].fu_selects[unit.fu_id] = (sel_a, sel_b)
+            if fu_index[unit.fu_id].needs_mode:
+                control[busy_step].fu_modes[unit.fu_id] = (
+                    1 if op.op_type == "sub" else 0
+                )
+
+        # Result lands in its register at the end of the op's last step.
+        out_reg = solution.registers.register_of(op.output)
+        write_step = schedule.end_of(op)
+        select = registers[out_reg].mux.select_of(("fu", unit.fu_id))
+        existing = control[write_step].reg_enables.get(out_reg)
+        if existing is not None and existing != select:
+            raise RTLError(
+                f"register {out_reg} written twice at step {write_step}"
+            )
+        control[write_step].reg_enables[out_reg] = select
+
+    output_registers = [
+        solution.registers.register_of(var_id)
+        for var_id in cdfg.primary_outputs
+    ]
+
+    datapath = Datapath(
+        solution=solution,
+        width=width,
+        registers=registers,
+        fus=fus,
+        output_registers=output_registers,
+        control=control,
+    )
+    datapath.validate()
+    return datapath

@@ -1,0 +1,82 @@
+"""Multiplexer statistics (Tables 3 and 4).
+
+* ``largest_mux`` — the largest multiplexer needed to implement the
+  binding (over FU ports and register inputs);
+* ``mux_length`` — "a measure of the total number of multiplexers
+  implemented ... calculated by adding up the total number of
+  multiplexer inputs (sizes)"; single-source ports are wires, not
+  muxes, and do not count;
+* ``mux_diff`` per allocated FU — the absolute difference of its two
+  input mux sizes — with the mean/variance Table 4 reports.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.binding.base import BindingSolution
+
+
+@dataclass
+class MuxReport:
+    """The paper's multiplexer metrics for one binding solution."""
+
+    largest_mux: int
+    mux_length: int
+    fu_mux_length: int
+    register_mux_length: int
+    mux_diffs: List[int] = field(default_factory=list)
+    fu_mux_sizes: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def n_fus(self) -> int:
+        """Table 4's "# muxes" column counts allocated resources."""
+        return len(self.mux_diffs)
+
+    @property
+    def mux_diff_mean(self) -> float:
+        if not self.mux_diffs:
+            return 0.0
+        return statistics.mean(self.mux_diffs)
+
+    @property
+    def mux_diff_variance(self) -> float:
+        """Population variance, as papers conventionally report."""
+        if not self.mux_diffs:
+            return 0.0
+        return statistics.pvariance(self.mux_diffs)
+
+
+def mux_report(solution: BindingSolution) -> MuxReport:
+    """Compute the multiplexer statistics of a binding solution."""
+    largest = 0
+    fu_length = 0
+    diffs: List[int] = []
+    fu_sizes: List[Tuple[int, int]] = []
+    for unit in sorted(solution.fus.units, key=lambda u: u.fu_id):
+        size_a, size_b = solution.mux_sizes(unit)
+        fu_sizes.append((size_a, size_b))
+        diffs.append(abs(size_a - size_b))
+        largest = max(largest, size_a, size_b)
+        if size_a > 1:
+            fu_length += size_a
+        if size_b > 1:
+            fu_length += size_b
+
+    reg_length = 0
+    for register in range(solution.registers.n_registers):
+        size = len(solution.register_sources(register))
+        largest = max(largest, size)
+        if size > 1:
+            reg_length += size
+
+    return MuxReport(
+        largest_mux=largest,
+        mux_length=fu_length + reg_length,
+        fu_mux_length=fu_length,
+        register_mux_length=reg_length,
+        mux_diffs=diffs,
+        fu_mux_sizes=fu_sizes,
+    )

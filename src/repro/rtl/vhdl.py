@@ -1,0 +1,223 @@
+"""Structural VHDL emission (the paper's "CDFG to VHDL tool").
+
+Emits a synthesizable entity per datapath: a state-counter FSM, the
+control ROM as case statements, registers with enables and input
+muxes, and one arithmetic process per functional unit. The style
+mirrors what the paper feeds Quartus II: mux structure explicit in the
+RTL so the synthesizer preserves the binding's interconnect (they
+disable restructuring optimizations for the same reason).
+
+The virtual FPGA flow in :mod:`repro.fpga` consumes the datapath
+directly; this emitter exists for inspection and portability to real
+tools, and its output is validated structurally by the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.rtl.controller import Controller, build_controller
+from repro.rtl.datapath import Datapath, MuxSpec, SourceRef
+
+_OPS = {"add": "+", "sub": "-", "mult": "*"}
+
+
+def emit_vhdl(datapath: Datapath, entity: str = "design") -> str:
+    """Render ``datapath`` as a single-entity VHDL design."""
+    controller = build_controller(datapath)
+    width = datapath.width
+    cdfg = datapath.cdfg
+    lines: List[str] = []
+    emit = lines.append
+
+    emit("library ieee;")
+    emit("use ieee.std_logic_1164.all;")
+    emit("use ieee.numeric_std.all;")
+    emit("")
+    emit(f"entity {entity} is")
+    emit("  port (")
+    emit("    clk   : in  std_logic;")
+    emit("    rst   : in  std_logic;")
+    emit("    start : in  std_logic;")
+    for position in range(len(cdfg.primary_inputs)):
+        emit(
+            f"    pi{position} : in  std_logic_vector({width - 1} downto 0);"
+        )
+    for position in range(len(datapath.output_registers)):
+        emit(
+            f"    po{position} : out std_logic_vector({width - 1} downto 0);"
+        )
+    emit("    done  : out std_logic")
+    emit("  );")
+    emit(f"end entity {entity};")
+    emit("")
+    emit(f"architecture rtl of {entity} is")
+    emit(
+        f"  signal state : integer range 0 to {controller.n_steps - 1} := 0;"
+    )
+    for reg in datapath.registers:
+        emit(
+            f"  signal reg{reg.index} : unsigned({width - 1} downto 0)"
+            " := (others => '0');"
+        )
+    for spec in datapath.fus:
+        fu = spec.unit.fu_id
+        emit(f"  signal fu{fu}_a, fu{fu}_b : unsigned({width - 1} downto 0);")
+        emit(f"  signal fu{fu}_y : unsigned({width - 1} downto 0);")
+        if spec.needs_mode:
+            emit(f"  signal fu{fu}_mode : std_logic;")
+        for port, mux in (("a", spec.mux_a), ("b", spec.mux_b)):
+            if mux.size > 1:
+                emit(
+                    f"  signal fu{fu}_sel_{port} : integer range 0 to "
+                    f"{mux.size - 1};"
+                )
+    for reg in datapath.registers:
+        if reg.mux.size > 1:
+            emit(
+                f"  signal reg{reg.index}_sel : integer range 0 to "
+                f"{reg.mux.size - 1};"
+            )
+        emit(f"  signal reg{reg.index}_en : std_logic;")
+    emit("begin")
+    emit("")
+    _emit_fsm(emit, controller)
+    emit("")
+    _emit_control_rom(emit, datapath, controller)
+    emit("")
+    for spec in datapath.fus:
+        _emit_fu(emit, datapath, spec)
+    emit("")
+    _emit_registers(emit, datapath)
+    emit("")
+    for position, register in enumerate(datapath.output_registers):
+        emit(f"  po{position} <= std_logic_vector(reg{register});")
+    emit(
+        f"  done <= '1' when state = {controller.n_steps - 1} else '0';"
+    )
+    emit("")
+    emit("end architecture rtl;")
+    return "\n".join(lines) + "\n"
+
+
+def _emit_fsm(emit, controller: Controller) -> None:
+    emit("  fsm : process (clk) begin")
+    emit("    if rising_edge(clk) then")
+    emit("      if rst = '1' then")
+    emit("        state <= 0;")
+    emit(f"      elsif state = {controller.n_steps - 1} then")
+    emit("        if start = '1' then state <= 0; end if;")
+    emit("      else")
+    emit("        state <= state + 1;")
+    emit("      end if;")
+    emit("    end if;")
+    emit("  end process fsm;")
+
+
+def _emit_control_rom(
+    emit, datapath: Datapath, controller: Controller
+) -> None:
+    resolved = controller.resolved()
+    emit("  control : process (state) begin")
+    for sig in controller.signals:
+        values = resolved[sig.name]
+        if sig.name.endswith("_en"):
+            default = "'0'"
+            ones = [step for step, v in enumerate(values) if v == 1]
+            emit(f"    {sig.name} <= {default};")
+            for step in ones:
+                emit(
+                    f"    if state = {step} then {sig.name} <= '1'; end if;"
+                )
+        elif sig.name.endswith("_mode"):
+            emit(f"    {sig.name} <= '{values[0]}';")
+            previous = values[0]
+            for step, value in enumerate(values):
+                if value != previous:
+                    emit(
+                        f"    if state >= {step} then {sig.name} <= "
+                        f"'{value}'; end if;"
+                    )
+                previous = value
+        else:
+            emit(f"    {sig.name} <= {values[0]};")
+            previous = values[0]
+            for step, value in enumerate(values):
+                if value != previous:
+                    emit(
+                        f"    if state >= {step} then {sig.name} <= "
+                        f"{value}; end if;"
+                    )
+                previous = value
+    emit("  end process control;")
+
+
+def _mux_expression(datapath: Datapath, mux: MuxSpec, sel: str) -> List[str]:
+    lines = []
+    for index, source in enumerate(mux.sources):
+        operand = _source_name(source)
+        head = "    " + (
+            f"{operand} when {sel} = {index} else"
+            if index < mux.size - 1
+            else f"{operand};"
+        )
+        lines.append(head)
+    return lines
+
+
+def _source_name(source: SourceRef) -> str:
+    kind, index = source
+    if kind == "reg":
+        return f"reg{index}"
+    if kind == "pad":
+        return f"unsigned(pi{index})"
+    return f"fu{index}_y"
+
+
+def _emit_fu(emit, datapath: Datapath, spec) -> None:
+    fu = spec.unit.fu_id
+    for port, mux in (("a", spec.mux_a), ("b", spec.mux_b)):
+        target = f"fu{fu}_{port}"
+        if mux.size == 1:
+            emit(f"  {target} <= {_source_name(mux.sources[0])};")
+        else:
+            emit(f"  {target} <=")
+            for line in _mux_expression(datapath, mux, f"fu{fu}_sel_{port}"):
+                emit(line)
+    op_types = {
+        datapath.cdfg.operations[op_id].op_type for op_id in spec.unit.ops
+    }
+    if spec.needs_mode:
+        emit(
+            f"  fu{fu}_y <= (fu{fu}_a - fu{fu}_b) when fu{fu}_mode = '1'"
+            f" else (fu{fu}_a + fu{fu}_b);"
+        )
+        return
+    symbol = _OPS["mult" if "mult" in op_types else op_types.pop()]
+    if symbol == "*":
+        emit(
+            f"  fu{fu}_y <= resize(fu{fu}_a * fu{fu}_b, {datapath.width});"
+        )
+    else:
+        emit(f"  fu{fu}_y <= fu{fu}_a {symbol} fu{fu}_b;")
+
+
+def _emit_registers(emit, datapath: Datapath) -> None:
+    emit("  regs : process (clk) begin")
+    emit("    if rising_edge(clk) then")
+    for reg in datapath.registers:
+        name = f"reg{reg.index}"
+        emit(f"      if {name}_en = '1' then")
+        if reg.mux.size == 1:
+            emit(f"        {name} <= {_source_name(reg.mux.sources[0])};")
+        else:
+            for index, source in enumerate(reg.mux.sources):
+                keyword = "if" if index == 0 else "elsif"
+                emit(
+                    f"        {keyword} {name}_sel = {index} then "
+                    f"{name} <= {_source_name(source)};"
+                )
+            emit("        end if;")
+        emit("      end if;")
+    emit("    end if;")
+    emit("  end process regs;")

@@ -1,0 +1,20 @@
+"""Schedulers producing the scheduled CDFGs the binder consumes.
+
+The paper takes schedules as given (it reuses LOPASS's schedules so the
+binding comparison is apples-to-apples); this subpackage provides the
+schedulers needed to produce equivalent inputs: ASAP/ALAP bounds,
+resource-constrained list scheduling (used for every benchmark, with
+Table 2's constraints), and force-directed scheduling as an extension.
+"""
+
+from repro.scheduling.asap_alap import alap_schedule, asap_schedule, mobility
+from repro.scheduling.list_scheduler import list_schedule
+from repro.scheduling.force_directed import force_directed_schedule
+
+__all__ = [
+    "asap_schedule",
+    "alap_schedule",
+    "mobility",
+    "list_schedule",
+    "force_directed_schedule",
+]

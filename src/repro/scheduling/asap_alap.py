@@ -1,0 +1,82 @@
+"""ASAP / ALAP scheduling and operation mobility.
+
+Unconstrained schedules bounding every operation's feasible window:
+ASAP starts each operation as soon as its operands exist; ALAP delays
+it as much as a target length allows. The difference of the two start
+times is the operation's *mobility*, the standard list-scheduling
+priority.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.errors import ScheduleError
+from repro.cdfg.graph import CDFG, Operation
+from repro.cdfg.schedule import DEFAULT_LATENCIES, Schedule
+
+
+def asap_schedule(
+    cdfg: CDFG, latencies: Optional[Mapping[str, int]] = None
+) -> Schedule:
+    """Earliest feasible start for every operation (steps from 1)."""
+    lat = dict(latencies or DEFAULT_LATENCIES)
+    start: Dict[int, int] = {}
+    for op in cdfg.topological_order():
+        earliest = 1
+        for pred in cdfg.predecessors(op):
+            earliest = max(
+                earliest, start[pred.op_id] + lat[pred.resource_class]
+            )
+        start[op.op_id] = earliest
+    schedule = Schedule(cdfg, start, lat)
+    schedule.validate()
+    return schedule
+
+
+def alap_schedule(
+    cdfg: CDFG,
+    length: Optional[int] = None,
+    latencies: Optional[Mapping[str, int]] = None,
+) -> Schedule:
+    """Latest feasible start within ``length`` control steps.
+
+    ``length`` defaults to the ASAP schedule length (the critical
+    path); anything shorter is infeasible and raises
+    :class:`~repro.errors.ScheduleError`.
+    """
+    lat = dict(latencies or DEFAULT_LATENCIES)
+    asap = asap_schedule(cdfg, lat)
+    target = length if length is not None else asap.length
+    if target < asap.length:
+        raise ScheduleError(
+            f"target length {target} below critical path {asap.length}"
+        )
+    successors = cdfg.successor_map()
+    start: Dict[int, int] = {}
+    for op in reversed(cdfg.topological_order()):
+        own_latency = lat[op.resource_class]
+        latest = target - own_latency + 1
+        for succ in successors[op.op_id]:
+            latest = min(latest, start[succ.op_id] - own_latency)
+        if latest < 1:
+            raise ScheduleError(
+                f"operation {op.name} has no feasible ALAP slot"
+            )
+        start[op.op_id] = latest
+    schedule = Schedule(cdfg, start, lat)
+    schedule.validate()
+    return schedule
+
+
+def mobility(
+    cdfg: CDFG,
+    length: Optional[int] = None,
+    latencies: Optional[Mapping[str, int]] = None,
+) -> Dict[int, int]:
+    """Per-operation slack: ``alap_start - asap_start``."""
+    asap = asap_schedule(cdfg, latencies)
+    alap = alap_schedule(cdfg, length, latencies)
+    return {
+        op_id: alap.start[op_id] - asap.start[op_id] for op_id in asap.start
+    }

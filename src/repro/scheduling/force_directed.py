@@ -1,0 +1,149 @@
+"""Force-directed scheduling (Paulin-Knight style), as an extension.
+
+The paper's future work is "integrating HLPower into a complete
+high-level synthesis algorithm that includes scheduling"; this module
+provides the classic latency-constrained scheduler that minimizes the
+peak per-class concurrency — i.e. it *shapes* the distribution the
+binder's Theorem 1 bound depends on. Included as the scheduling half of
+that future-work integration and exercised by the ablation benches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.errors import ScheduleError
+from repro.cdfg.graph import CDFG, Operation
+from repro.cdfg.schedule import DEFAULT_LATENCIES, Schedule
+from repro.scheduling.asap_alap import alap_schedule, asap_schedule
+
+
+def force_directed_schedule(
+    cdfg: CDFG,
+    length: Optional[int] = None,
+    latencies: Optional[Mapping[str, int]] = None,
+) -> Schedule:
+    """Latency-constrained schedule balancing per-class concurrency.
+
+    Iteratively fixes the (operation, step) assignment with the lowest
+    *force* — the increase in the class's expected concurrency — then
+    re-tightens every other operation's window. ``length`` defaults to
+    the critical-path length.
+    """
+    lat = dict(latencies or DEFAULT_LATENCIES)
+    asap = asap_schedule(cdfg, lat)
+    target = length if length is not None else asap.length
+    alap = alap_schedule(cdfg, target, lat)
+
+    earliest = dict(asap.start)
+    latest = dict(alap.start)
+    fixed: Dict[int, int] = {}
+    successors = cdfg.successor_map()
+    predecessors = {
+        op.op_id: cdfg.predecessors(op) for op in cdfg.operations.values()
+    }
+
+    pending = sorted(cdfg.operations)
+    while pending:
+        distribution = _distribution_graph(cdfg, earliest, latest, lat, target)
+        best = None
+        for op_id in pending:
+            op = cdfg.operations[op_id]
+            for step in range(earliest[op_id], latest[op_id] + 1):
+                force = _force(op, step, earliest, latest, lat, distribution)
+                key = (force, op_id, step)
+                if best is None or key < best:
+                    best = key
+        _, op_id, step = best
+        fixed[op_id] = step
+        earliest[op_id] = latest[op_id] = step
+        pending.remove(op_id)
+        _propagate_windows(
+            cdfg, op_id, earliest, latest, lat, successors, predecessors
+        )
+
+    schedule = Schedule(cdfg, fixed, lat)
+    schedule.validate()
+    return schedule
+
+
+def _distribution_graph(
+    cdfg: CDFG,
+    earliest: Dict[int, int],
+    latest: Dict[int, int],
+    lat: Mapping[str, int],
+    length: int,
+) -> Dict[str, List[float]]:
+    """Expected per-step concurrency per resource class."""
+    dist: Dict[str, List[float]] = {
+        cls: [0.0] * (length + 2) for cls in cdfg.resource_classes()
+    }
+    for op in cdfg.operations.values():
+        window = latest[op.op_id] - earliest[op.op_id] + 1
+        weight = 1.0 / window
+        duration = lat[op.resource_class]
+        for start in range(earliest[op.op_id], latest[op.op_id] + 1):
+            for offset in range(duration):
+                step = start + offset
+                if step <= length + 1:
+                    dist[op.resource_class][step] += weight
+    return dist
+
+
+def _force(
+    op: Operation,
+    step: int,
+    earliest: Dict[int, int],
+    latest: Dict[int, int],
+    lat: Mapping[str, int],
+    distribution: Dict[str, List[float]],
+) -> float:
+    """Self-force of assigning ``op`` to ``step``."""
+    window = latest[op.op_id] - earliest[op.op_id] + 1
+    weight = 1.0 / window
+    duration = lat[op.resource_class]
+    dist = distribution[op.resource_class]
+    force = 0.0
+    for candidate in range(earliest[op.op_id], latest[op.op_id] + 1):
+        delta = (1.0 if candidate == step else 0.0) - weight
+        for offset in range(duration):
+            index = candidate + offset
+            if index < len(dist):
+                force += dist[index] * delta
+    return force
+
+
+def _propagate_windows(
+    cdfg: CDFG,
+    changed: int,
+    earliest: Dict[int, int],
+    latest: Dict[int, int],
+    lat: Mapping[str, int],
+    successors,
+    predecessors,
+) -> None:
+    """Re-tighten ASAP/ALAP windows after fixing one operation."""
+    worklist = [changed]
+    while worklist:
+        op_id = worklist.pop()
+        op = cdfg.operations[op_id]
+        done = earliest[op_id] + lat[op.resource_class]
+        for succ in successors[op_id]:
+            if earliest[succ.op_id] < done:
+                earliest[succ.op_id] = done
+                if earliest[succ.op_id] > latest[succ.op_id]:
+                    raise ScheduleError(
+                        f"window collapsed for {succ.name} during "
+                        "force-directed scheduling"
+                    )
+                worklist.append(succ.op_id)
+        for pred in predecessors[op_id]:
+            bound = latest[op_id] - lat[pred.resource_class]
+            if latest[pred.op_id] > bound:
+                latest[pred.op_id] = bound
+                if earliest[pred.op_id] > latest[pred.op_id]:
+                    raise ScheduleError(
+                        f"window collapsed for {pred.name} during "
+                        "force-directed scheduling"
+                    )
+                worklist.append(pred.op_id)

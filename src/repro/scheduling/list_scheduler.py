@@ -1,0 +1,104 @@
+"""Resource-constrained list scheduling.
+
+The classic priority-list algorithm: walk control steps forward; at
+each step start, among the ready operations of each resource class,
+the ones with the least slack (ALAP urgency) claim the available units.
+This produces the scheduled CDFGs that both binders consume — the
+paper runs LOPASS and HLPower on *identical* schedules (Table 2), and
+so do we.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.errors import ResourceError, ScheduleError
+from repro.cdfg.graph import CDFG, Operation
+from repro.cdfg.schedule import DEFAULT_LATENCIES, Schedule
+from repro.scheduling.asap_alap import alap_schedule, asap_schedule
+
+#: Safety bound on schedule length, as a multiple of the op count.
+_MAX_LENGTH_FACTOR = 4
+
+
+def list_schedule(
+    cdfg: CDFG,
+    constraints: Mapping[str, int],
+    latencies: Optional[Mapping[str, int]] = None,
+) -> Schedule:
+    """Schedule ``cdfg`` under per-class FU count limits.
+
+    ``constraints`` maps resource classes (``"add"``, ``"mult"``) to
+    unit counts; classes present in the graph must be covered.
+    Priority is ALAP-based urgency (critical operations first), with
+    operation id as the deterministic tie-break.
+    """
+    lat = dict(latencies or DEFAULT_LATENCIES)
+    for op_class in cdfg.resource_classes():
+        limit = constraints.get(op_class)
+        if limit is None:
+            raise ResourceError(f"no constraint for class {op_class!r}")
+        if limit < 1:
+            raise ResourceError(
+                f"constraint for {op_class!r} must be >= 1, got {limit}"
+            )
+
+    if not cdfg.operations:
+        return Schedule(cdfg, {}, lat)
+
+    urgency = _urgency(cdfg, lat)
+    predecessors = {
+        op.op_id: cdfg.predecessors(op) for op in cdfg.operations.values()
+    }
+
+    start: Dict[int, int] = {}
+    finished_at: Dict[int, int] = {}  # op id -> first step it is done
+    unscheduled = set(cdfg.operations)
+    busy_until: Dict[str, List[int]] = {}  # class -> end steps of running ops
+
+    step = 1
+    max_steps = _MAX_LENGTH_FACTOR * len(cdfg.operations) + len(lat)
+    while unscheduled:
+        if step > max_steps:
+            raise ScheduleError(
+                f"list scheduler exceeded {max_steps} steps on "
+                f"{cdfg.name!r} (constraints {dict(constraints)})"
+            )
+        for op_class in cdfg.resource_classes():
+            in_use = sum(
+                1
+                for end in busy_until.get(op_class, [])
+                if end >= step
+            )
+            free = constraints[op_class] - in_use
+            if free <= 0:
+                continue
+            ready = [
+                cdfg.operations[op_id]
+                for op_id in unscheduled
+                if cdfg.operations[op_id].resource_class == op_class
+                and all(
+                    pred.op_id in finished_at and finished_at[pred.op_id] <= step
+                    for pred in predecessors[op_id]
+                )
+            ]
+            ready.sort(key=lambda op: (urgency[op.op_id], op.op_id))
+            for op in ready[:free]:
+                start[op.op_id] = step
+                end = step + lat[op.resource_class] - 1
+                finished_at[op.op_id] = end + 1
+                busy_until.setdefault(op_class, []).append(end)
+                unscheduled.discard(op.op_id)
+        step += 1
+
+    schedule = Schedule(cdfg, start, lat)
+    schedule.validate()
+    if not schedule.respects(constraints):
+        raise ScheduleError("list scheduler produced an over-subscribed step")
+    return schedule
+
+
+def _urgency(cdfg: CDFG, lat: Mapping[str, int]) -> Dict[int, int]:
+    """ALAP start times at critical-path length (lower = more urgent)."""
+    alap = alap_schedule(cdfg, None, lat)
+    return dict(alap.start)

@@ -1,0 +1,14 @@
+"""FPGA technology mapping (GlitchMap [6] reimplementation).
+
+K-feasible cut enumeration with dominance pruning (Cong-Wu-Ding [8])
+and a glitch-aware low-power LUT mapper that selects, per node, the cut
+with the lowest effective switching activity under the unit-delay model
+of Section 4. The mapper is the connection between the high-level
+binding and the gate level: the paper's dynamic power estimation "is
+accomplished using a low-power FPGA technology mapper [6]".
+"""
+
+from repro.techmap.cuts import Cut, cone_function, enumerate_cuts
+from repro.techmap.mapper import MapResult, map_netlist
+
+__all__ = ["Cut", "cone_function", "enumerate_cuts", "MapResult", "map_netlist"]

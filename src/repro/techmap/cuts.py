@@ -1,0 +1,179 @@
+"""K-feasible cut enumeration and cone collapsing.
+
+A *cut* of node ``n`` is a set of nets (leaves) such that every path
+from a source to ``n`` passes through a leaf; a cut with at most ``K``
+leaves can be implemented by one K-input LUT computing the collapsed
+cone function. Enumeration follows Cong-Wu-Ding [8]: the cut set of a
+node is the cross-merge of its fanins' cut sets plus the trivial cut
+``{n}``, with dominated cuts pruned and the list truncated to a
+priority cap (smallest, shallowest cuts first).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import MappingError
+from repro.netlist.gates import Netlist, TruthTable
+
+#: A cut is a frozen set of leaf net names.
+Cut = FrozenSet[str]
+
+#: Default bound on cuts kept per node.
+DEFAULT_CUT_CAP = 8
+
+
+def enumerate_cuts(
+    netlist: Netlist,
+    k: int = 4,
+    cap: int = DEFAULT_CUT_CAP,
+    depths: Optional[Dict[str, int]] = None,
+) -> Dict[str, List[Cut]]:
+    """All (pruned) K-feasible cuts for every net of ``netlist``.
+
+    Each node's list includes its trivial cut ``{node}`` (needed when
+    the node serves as a leaf of a fanout's cut); callers selecting an
+    implementation cut for the node itself must skip it. Lists are
+    sorted by ``(estimated depth, size)`` and truncated to ``cap``
+    entries, with the trivial cut always retained.
+
+    ``depths`` optionally supplies unit-delay levels used for the depth
+    estimate; when omitted, :meth:`Netlist.levels` is used.
+    """
+    if k < 2:
+        raise MappingError(f"LUT input count must be >= 2, got {k}")
+    if cap < 1:
+        raise MappingError(f"cut cap must be >= 1, got {cap}")
+    levels = depths if depths is not None else netlist.levels()
+
+    def depth_estimate(cut: Cut) -> int:
+        return max((levels.get(leaf, 0) for leaf in cut), default=0)
+
+    cuts: Dict[str, List[Cut]] = {}
+    for net in list(netlist.inputs) + list(netlist.latches):
+        cuts[net] = [frozenset((net,))]
+
+    for net in netlist.topological_order():
+        gate = netlist.gates[net]
+        trivial = frozenset((net,))
+        if not gate.inputs:
+            cuts[net] = [trivial]
+            continue
+        fanin_lists = [cuts[name] for name in gate.inputs]
+        merged = _cross_merge(fanin_lists, k)
+        merged = _prune_dominated(merged)
+        merged.sort(key=lambda c: (depth_estimate(c), len(c)))
+        cuts[net] = [trivial] + merged[: cap - 1] if cap > 1 else [trivial]
+    return cuts
+
+
+def _cross_merge(fanin_lists: Sequence[List[Cut]], k: int) -> List[Cut]:
+    """Pairwise-merge fanin cut lists, keeping unions of size <= k."""
+    current: List[Cut] = [frozenset()]
+    for cut_list in fanin_lists:
+        next_level: List[Cut] = []
+        seen = set()
+        for base in current:
+            for cut in cut_list:
+                union = base | cut
+                if len(union) <= k and union not in seen:
+                    seen.add(union)
+                    next_level.append(union)
+        if not next_level:
+            return []
+        current = next_level
+    return current
+
+
+def _prune_dominated(cuts: List[Cut]) -> List[Cut]:
+    """Drop cuts that are strict supersets of another cut."""
+    ordered = sorted(cuts, key=len)
+    kept: List[Cut] = []
+    for cut in ordered:
+        if any(existing <= cut for existing in kept):
+            continue
+        kept.append(cut)
+    return kept
+
+
+def cone_nodes(netlist: Netlist, root: str, leaves: Cut) -> List[str]:
+    """Gate outputs inside the cone of ``root`` bounded by ``leaves``.
+
+    Returned in topological (leaves-to-root) order; ``root`` is last.
+    Raises :class:`MappingError` if the cone escapes through a source
+    that is not a leaf (i.e. ``leaves`` is not actually a cut).
+    """
+    if root in leaves:
+        return []
+    order: List[str] = []
+    state: Dict[str, int] = {}
+    stack: List[Tuple[str, int]] = [(root, 0)]
+    while stack:
+        net, phase = stack.pop()
+        if phase == 0:
+            if net in state:
+                continue
+            state[net] = 0
+            stack.append((net, 1))
+            gate = netlist.gates.get(net)
+            if gate is None:
+                raise MappingError(
+                    f"cone of {root!r} reaches source {net!r} "
+                    f"outside cut {sorted(leaves)}"
+                )
+            for fanin in gate.inputs:
+                if fanin not in leaves and fanin not in state:
+                    stack.append((fanin, 0))
+                elif fanin not in leaves and state.get(fanin) == 0:
+                    raise MappingError(f"cyclic cone at {fanin!r}")
+        else:
+            state[net] = 1
+            order.append(net)
+    return order
+
+
+def cone_function(
+    netlist: Netlist, root: str, leaves: Sequence[str]
+) -> TruthTable:
+    """Collapse the cone of ``root`` over ``leaves`` into a truth table.
+
+    ``leaves`` fixes the input ordering of the result (leaf ``i`` is
+    input ``i``). Uses bit-parallel evaluation: each net's value over
+    all ``2**len(leaves)`` leaf assignments is a single integer mask.
+    """
+    n = len(leaves)
+    if n > 16:
+        raise MappingError(f"cone collapse limited to 16 leaves, got {n}")
+    width = 1 << n
+    full = (1 << width) - 1
+
+    masks: Dict[str, int] = {}
+    for i, leaf in enumerate(leaves):
+        mask = 0
+        for combo in range(width):
+            if (combo >> i) & 1:
+                mask |= 1 << combo
+        masks[leaf] = mask
+
+    if root in masks:
+        return TruthTable(n, masks[root])
+
+    for net in cone_nodes(netlist, root, frozenset(leaves)):
+        gate = netlist.gates[net]
+        out_mask = 0
+        table = gate.table
+        fanin_masks = [masks[name] for name in gate.inputs]
+        for combo in range(1 << table.n_inputs):
+            if not (table.bits >> combo) & 1:
+                continue
+            term = full
+            for pos, fanin_mask in enumerate(fanin_masks):
+                if (combo >> pos) & 1:
+                    term &= fanin_mask
+                else:
+                    term &= full ^ fanin_mask
+                if not term:
+                    break
+            out_mask |= term
+        masks[net] = out_mask
+    return TruthTable(n, masks[root])

@@ -1,0 +1,135 @@
+"""Tests for the unit-delay glitch-aware waveform propagation."""
+
+import pytest
+
+from repro.activity.glitch import (
+    GlitchWaveform,
+    propagate_waveforms,
+    source_waveform,
+)
+from repro.netlist.gates import GateType, Netlist
+
+
+class TestWaveform:
+    def test_source_waveform_shape(self):
+        wave = source_waveform(0.5, 0.5)
+        assert wave.switch_times() == [0]
+        assert wave.total() == pytest.approx(0.5)
+        assert wave.glitch() == 0.0
+
+    def test_quiescent_source(self):
+        wave = source_waveform(0.5, 0.0)
+        assert wave.steps == {}
+        assert wave.total() == 0.0
+
+    def test_activity_clamped_to_probability(self):
+        wave = source_waveform(0.1, 0.9)
+        assert wave.total() == pytest.approx(0.2)
+
+    def test_functional_vs_glitch_split(self):
+        wave = GlitchWaveform(0.5, {1: 0.2, 2: 0.3, 3: 0.4})
+        assert wave.depth == 3
+        assert wave.functional() == pytest.approx(0.4)
+        assert wave.glitch() == pytest.approx(0.5)
+        assert wave.total() == pytest.approx(0.9)
+
+
+class TestPropagation:
+    def test_balanced_inputs_no_glitch(self):
+        # Both XOR inputs arrive at time 0, so the output can only
+        # switch at time 1: one (functional) transition, no glitches.
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        y = netlist.add_simple(GateType.XOR, (a, b), "y")
+        netlist.set_output(y)
+        waves = propagate_waveforms(netlist)
+        assert waves["y"].switch_times() == [1]
+        assert waves["y"].glitch() == 0.0
+
+    def test_unbalanced_paths_create_glitches(self):
+        # y = a XOR not(a-delayed-through-two-inverters): input b of the
+        # final gate arrives later, creating an early spurious switch.
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        n1 = netlist.add_simple(GateType.NOT, (b,))
+        n2 = netlist.add_simple(GateType.NOT, (n1,))
+        y = netlist.add_simple(GateType.XOR, (a, n2), "y")
+        netlist.set_output(y)
+        waves = propagate_waveforms(netlist)
+        assert waves["y"].switch_times() == [1, 3]
+        assert waves["y"].glitch() > 0.0
+        assert waves["y"].functional() > 0.0
+
+    def test_effective_sa_exceeds_single_transition(self):
+        # The unbalanced structure's total SA counts both the glitch
+        # and the functional transition.
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        n1 = netlist.add_simple(GateType.NOT, (b,))
+        y = netlist.add_simple(GateType.AND, (a, n1))
+        z = netlist.add_simple(GateType.XOR, (y, b), "z")
+        netlist.set_output(z)
+        waves = propagate_waveforms(netlist)
+        assert waves["z"].total() > waves["z"].functional()
+
+    def test_quiescent_inputs_produce_no_activity(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        y = netlist.add_simple(GateType.AND, (a, b), "y")
+        netlist.set_output(y)
+        waves = propagate_waveforms(
+            netlist, input_activities={"a": 0.0, "b": 0.0}
+        )
+        assert waves["y"].total() == 0.0
+
+    def test_constant_gate_waveform(self):
+        netlist = Netlist()
+        one = netlist.add_const(True, "one")
+        netlist.set_output(one)
+        waves = propagate_waveforms(netlist)
+        assert waves["one"].probability == 1.0
+        assert waves["one"].total() == 0.0
+
+    def test_depth_tracks_longest_path(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        current = a
+        for _ in range(4):
+            current = netlist.add_simple(GateType.NOT, (current,))
+        netlist.set_output(current)
+        waves = propagate_waveforms(netlist)
+        assert waves[current].depth == 4
+
+    def test_latch_outputs_are_sources(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        q = netlist.add_latch(a, "q")
+        y = netlist.add_simple(GateType.NOT, (q,), "y")
+        netlist.set_output(y)
+        waves = propagate_waveforms(netlist, input_activities={"q": 0.25})
+        assert waves["y"].total() == pytest.approx(0.25)
+
+    def test_wide_gate_fallback(self):
+        netlist = Netlist()
+        inputs = [netlist.add_input(f"i{k}") for k in range(8)]
+        y = netlist.add_simple(GateType.AND, tuple(inputs), "y")
+        netlist.set_output(y)
+        waves = propagate_waveforms(netlist)
+        # Fallback puts a single transition at the node's depth.
+        assert waves["y"].switch_times() in ([], [1])
+        assert waves["y"].glitch() == 0.0
+
+    def test_glitch_probability_conservation(self):
+        # Per-step activities must each respect the probability bound.
+        from repro.netlist.library import build_adder
+
+        netlist = build_adder(4)
+        waves = propagate_waveforms(netlist)
+        for wave in waves.values():
+            bound = 2.0 * min(wave.probability, 1 - wave.probability)
+            for step_activity in wave.steps.values():
+                assert step_activity <= bound + 1e-9

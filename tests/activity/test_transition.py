@@ -1,0 +1,153 @@
+"""Tests for transition density and simultaneous switching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EstimationError
+from repro.activity.transition import (
+    activity_bound,
+    clamp_activity,
+    held_distribution,
+    joint_input_matrix,
+    mixed_joint_matrix,
+    najm_density,
+    pair_distribution,
+    switching_activity,
+)
+from repro.netlist.gates import GateType, TruthTable
+
+probs = st.floats(0.05, 0.95, allow_nan=False)
+
+
+def feasible_activity(draw, prob):
+    return draw(st.floats(0.0, activity_bound(prob), allow_nan=False))
+
+
+class TestPairDistribution:
+    def test_rows_sum_to_marginals(self):
+        joint = pair_distribution(0.3, 0.2)
+        # Column/row sums give P(x=0), P(x=1) at each instant.
+        assert joint.sum() == pytest.approx(1.0)
+        assert joint[1].sum() == pytest.approx(0.3)
+        assert joint[:, 1].sum() == pytest.approx(0.3)
+
+    def test_off_diagonal_is_half_activity(self):
+        joint = pair_distribution(0.5, 0.4)
+        assert joint[0, 1] == pytest.approx(0.2)
+        assert joint[1, 0] == pytest.approx(0.2)
+
+    def test_infeasible_activity_rejected(self):
+        with pytest.raises(EstimationError):
+            pair_distribution(0.1, 0.5)  # bound is 0.2
+
+    def test_negative_activity_rejected(self):
+        with pytest.raises(EstimationError):
+            pair_distribution(0.5, -0.1)
+
+    def test_held_distribution_is_diagonal(self):
+        joint = held_distribution(0.7)
+        assert joint[0, 1] == 0.0 and joint[1, 0] == 0.0
+        assert joint[1, 1] == pytest.approx(0.7)
+
+
+class TestSwitchingActivity:
+    def test_buffer_passes_activity(self):
+        table = TruthTable.for_type(GateType.BUF, 1)
+        assert switching_activity(table, [0.5], [0.3]) == pytest.approx(0.3)
+
+    def test_inverter_passes_activity(self):
+        table = TruthTable.for_type(GateType.NOT, 1)
+        assert switching_activity(table, [0.5], [0.3]) == pytest.approx(0.3)
+
+    def test_xor_with_simultaneous_switching(self):
+        # Both inputs always switching together: XOR never switches.
+        table = TruthTable.for_type(GateType.XOR, 2)
+        result = switching_activity(table, [0.5, 0.5], [1.0, 1.0])
+        assert result == pytest.approx(0.0)
+
+    def test_xor_single_switching_input(self):
+        table = TruthTable.for_type(GateType.XOR, 2)
+        result = switching_activity(table, [0.5, 0.5], [0.5, 0.0])
+        assert result == pytest.approx(0.5)
+
+    def test_and_uniform(self):
+        # s(ab) with P=0.5, s=0.5 for both, independent switching.
+        # Each input's joint law is uniform over {0,1}^2, so
+        # P(y(t)=1, y(t+T)=1) = (1/4)^2 per input pair = 1/16, and
+        # s(y) = 2 (P(y) - 1/16) = 2 (1/4 - 1/16) = 3/8 (Equation (2)).
+        table = TruthTable.for_type(GateType.AND, 2)
+        result = switching_activity(table, [0.5, 0.5], [0.5, 0.5])
+        assert result == pytest.approx(0.375)
+
+    def test_constant_gate_never_switches(self):
+        assert switching_activity(TruthTable.constant(True), [], []) == 0.0
+
+    def test_najm_overestimates_simultaneous(self):
+        # Najm's formula counts each input independently, so for XOR
+        # with both inputs switching it reports 1.0 vs the true 0.
+        table = TruthTable.for_type(GateType.XOR, 2)
+        exact = switching_activity(table, [0.5, 0.5], [1.0, 1.0])
+        najm = najm_density(table, [0.5, 0.5], [1.0, 1.0])
+        assert najm > exact
+
+    def test_najm_matches_exact_for_single_switching_input(self):
+        table = TruthTable.for_type(GateType.AND, 3)
+        exact = switching_activity(table, [0.5] * 3, [0.4, 0.0, 0.0])
+        najm = najm_density(table, [0.5] * 3, [0.4, 0.0, 0.0])
+        assert najm == pytest.approx(exact)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(0, 15),
+        st.tuples(probs, probs),
+        st.floats(0.0, 0.1),
+        st.floats(0.0, 0.1),
+    )
+    def test_activity_within_bound(self, bits, input_probs, s1, s2):
+        table = TruthTable(2, bits)
+        result = switching_activity(table, list(input_probs), [s1, s2])
+        assert -1e-9 <= result <= 1.0 + 1e-9
+
+    def test_equation_2_identity(self):
+        # s(y) = 2 (P(y) - P(y(t) y(t+T))) — verify against the direct
+        # pair-space sum for an arbitrary function.
+        table = TruthTable.from_function(
+            3, lambda v: v[0] and (v[1] or not v[2])
+        )
+        input_probs = [0.3, 0.6, 0.5]
+        activities = [0.2, 0.3, 0.4]
+        matrix = joint_input_matrix(3, input_probs, activities)
+        column = np.array(table.output_column())
+        p_y = matrix[np.ix_(column, column)].sum() + 0.0
+        # P(y at both instants):
+        p_both = matrix[np.outer(column, column)].sum()
+        from repro.activity.probability import gate_output_probability
+
+        s_direct = switching_activity(table, input_probs, activities)
+        assert s_direct == pytest.approx(
+            2 * (gate_output_probability(table, input_probs) - p_both)
+        )
+
+
+class TestHelpers:
+    def test_activity_bound_symmetry(self):
+        assert activity_bound(0.3) == pytest.approx(activity_bound(0.7))
+        assert activity_bound(0.5) == 1.0
+        assert activity_bound(0.0) == 0.0
+
+    def test_clamp(self):
+        assert clamp_activity(0.5, 1.5) == 1.0
+        assert clamp_activity(0.1, 0.5) == pytest.approx(0.2)
+        assert clamp_activity(0.5, -0.1) == 0.0
+
+    def test_mixed_joint_matrix_matches_uniform(self):
+        uniform = joint_input_matrix(2, [0.4, 0.6], [0.2, 0.3])
+        mixed = mixed_joint_matrix(
+            2, [pair_distribution(0.4, 0.2), pair_distribution(0.6, 0.3)]
+        )
+        assert np.allclose(uniform, mixed)
+
+    def test_wide_gate_rejected_in_exact_path(self):
+        with pytest.raises(EstimationError):
+            joint_input_matrix(7, [0.5] * 7, [0.5] * 7)

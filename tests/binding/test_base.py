@@ -1,0 +1,127 @@
+"""Tests for binding result types and solution validation."""
+
+import pytest
+
+from repro.errors import BindingError
+from repro.binding.base import (
+    BindingSolution,
+    FUBinding,
+    FunctionalUnit,
+    PortAssignment,
+    RegisterBinding,
+)
+from repro.cdfg.graph import CDFG
+from repro.cdfg.schedule import Schedule
+
+
+def tiny_solution():
+    """Two adds in different steps sharing one FU and two registers."""
+    cdfg = CDFG()
+    a = cdfg.add_input("a")
+    b = cdfg.add_input("b")
+    t1 = cdfg.add_operation("add", a, b)
+    t2 = cdfg.add_operation("add", t1, a)
+    cdfg.mark_output(t2)
+    schedule = Schedule(cdfg, {0: 1, 1: 2})
+    registers = RegisterBinding(
+        3, {a: 0, b: 1, t1: 1, t2: 2}
+    )
+    ports = PortAssignment({0: (a, b), 1: (t1, a)})
+    units = [FunctionalUnit(0, "add", frozenset((0, 1)))]
+    return BindingSolution(
+        schedule, registers, ports, FUBinding(units)
+    ), (a, b, t1, t2)
+
+
+class TestQueries:
+    def test_port_sources(self):
+        solution, (a, b, t1, t2) = tiny_solution()
+        unit = solution.fus.units[0]
+        sources_a, sources_b = solution.port_sources(unit)
+        # op0 port A reads reg(a)=0; op1 port A reads reg(t1)=1.
+        assert sources_a == [0, 1]
+        # op0 port B reads reg(b)=1; op1 port B reads reg(a)=0.
+        assert sources_b == [1, 0]
+        assert solution.mux_sizes(unit) == (2, 2)
+
+    def test_register_sources(self):
+        solution, (a, b, t1, t2) = tiny_solution()
+        # Register 1 holds b (pad) and t1 (written by FU 0).
+        assert solution.register_sources(1) == [-1, 0]
+        # Register 2 holds only t2 (FU 0).
+        assert solution.register_sources(2) == [0]
+
+    def test_unit_of(self):
+        solution, _ = tiny_solution()
+        assert solution.fus.unit_of(0).fu_id == 0
+        with pytest.raises(BindingError):
+            solution.fus.unit_of(42)
+
+    def test_units_of_class_and_allocation(self):
+        solution, _ = tiny_solution()
+        assert len(solution.fus.units_of_class("add")) == 1
+        assert solution.fus.units_of_class("mult") == []
+        assert solution.fus.allocation() == {"add": 1}
+
+
+class TestValidation:
+    def test_valid_solution_passes(self):
+        solution, _ = tiny_solution()
+        solution.validate()
+
+    def test_wrong_class_rejected(self):
+        solution, _ = tiny_solution()
+        solution.fus.units[0] = FunctionalUnit(
+            0, "mult", solution.fus.units[0].ops
+        )
+        with pytest.raises(BindingError):
+            solution.validate()
+
+    def test_unbound_operation_rejected(self):
+        solution, _ = tiny_solution()
+        solution.fus.units[0] = FunctionalUnit(0, "add", frozenset((0,)))
+        with pytest.raises(BindingError):
+            solution.validate()
+
+    def test_double_binding_rejected(self):
+        solution, _ = tiny_solution()
+        solution.fus.units.append(
+            FunctionalUnit(1, "add", frozenset((1,)))
+        )
+        with pytest.raises(BindingError):
+            solution.validate()
+
+    def test_overlapping_ops_on_one_unit_rejected(self):
+        cdfg = CDFG()
+        a = cdfg.add_input("a")
+        t1 = cdfg.add_operation("add", a, a)
+        t2 = cdfg.add_operation("add", a, a)
+        cdfg.mark_output(t1)
+        cdfg.mark_output(t2)
+        schedule = Schedule(cdfg, {0: 1, 1: 1})  # same step!
+        registers = RegisterBinding(3, {a: 0, t1: 1, t2: 2})
+        ports = PortAssignment({})
+        units = [FunctionalUnit(0, "add", frozenset((0, 1)))]
+        solution = BindingSolution(
+            schedule, registers, ports, FUBinding(units)
+        )
+        with pytest.raises(BindingError):
+            solution.validate()
+
+    def test_register_lifetime_conflict_rejected(self):
+        solution, (a, b, t1, t2) = tiny_solution()
+        # Put a (alive steps 1-2) and t1 (written step 1, read step 2)
+        # in the same register: conflict.
+        solution.registers.assignment[t1] = 0
+        with pytest.raises(BindingError):
+            solution.validate()
+
+    def test_port_default_falls_back_to_inputs(self):
+        solution, _ = tiny_solution()
+        op = solution.schedule.cdfg.operations[0]
+        empty_ports = PortAssignment({})
+        assert empty_ports.of(op) == op.inputs
+
+    def test_variables_in(self):
+        solution, (a, b, t1, t2) = tiny_solution()
+        assert solution.registers.variables_in(1) == sorted((b, t1))

@@ -1,0 +1,143 @@
+"""Tests for the HLPower binder (Algorithm 1)."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.binding import (
+    HLPowerConfig,
+    assign_ports,
+    bind_hlpower,
+    bind_registers,
+)
+from repro.cdfg import Schedule, benchmark_spec, figure1_example, load_benchmark
+from repro.scheduling import list_schedule
+
+
+def figure1_sched():
+    cdfg, start_times = figure1_example()
+    return Schedule(cdfg, start_times)
+
+
+class TestFigure1:
+    def test_reaches_minimum_allocation(self, sa_table):
+        """The paper's worked example ends with 2 adders and 1 mult."""
+        schedule = figure1_sched()
+        solution = bind_hlpower(
+            schedule,
+            {"add": 2, "mult": 1},
+            config=HLPowerConfig(sa_table=sa_table),
+        )
+        assert solution.fus.allocation() == {"add": 2, "mult": 1}
+        assert solution.fus.constraint_met
+
+    def test_solution_validates(self, sa_table):
+        schedule = figure1_sched()
+        solution = bind_hlpower(
+            schedule,
+            {"add": 2, "mult": 1},
+            config=HLPowerConfig(sa_table=sa_table),
+        )
+        solution.validate()
+        assert solution.algorithm == "hlpower"
+        assert solution.runtime_s >= 0
+
+    def test_looser_constraint_stops_early(self, sa_table):
+        schedule = figure1_sched()
+        solution = bind_hlpower(
+            schedule,
+            {"add": 4, "mult": 2},
+            config=HLPowerConfig(sa_table=sa_table),
+        )
+        allocation = solution.fus.allocation()
+        assert allocation["add"] <= 4
+        assert allocation["mult"] <= 2
+        assert solution.fus.constraint_met
+
+    def test_run_to_exhaustion_reaches_minimum(self, sa_table):
+        schedule = figure1_sched()
+        config = HLPowerConfig(sa_table=sa_table, stop_at_constraint=False)
+        solution = bind_hlpower(schedule, {"add": 5, "mult": 3}, config=config)
+        assert solution.fus.allocation() == {"add": 2, "mult": 1}
+
+    def test_missing_constraint_rejected(self, sa_table):
+        schedule = figure1_sched()
+        with pytest.raises(ResourceError):
+            bind_hlpower(
+                schedule, {"add": 2}, config=HLPowerConfig(sa_table=sa_table)
+            )
+
+
+class TestBenchmarks:
+    @pytest.mark.parametrize("name", ["pr", "wang"])
+    def test_benchmark_binding_valid_and_minimal(self, name, sa_table):
+        spec = benchmark_spec(name)
+        schedule = list_schedule(load_benchmark(name), spec.constraints)
+        solution = bind_hlpower(
+            schedule,
+            spec.constraints,
+            config=HLPowerConfig(sa_table=sa_table),
+        )
+        solution.validate()
+        assert solution.fus.allocation() == spec.constraints
+        assert solution.fus.constraint_met
+
+    def test_deterministic(self, sa_table):
+        spec = benchmark_spec("pr")
+        schedule = list_schedule(load_benchmark("pr"), spec.constraints)
+        config = HLPowerConfig(sa_table=sa_table)
+        regs = bind_registers(schedule)
+        ports = assign_ports(schedule.cdfg)
+        first = bind_hlpower(schedule, spec.constraints, regs, ports, config)
+        second = bind_hlpower(schedule, spec.constraints, regs, ports, config)
+        assert [sorted(u.ops) for u in first.fus.units] == [
+            sorted(u.ops) for u in second.fus.units
+        ]
+
+    def test_alpha_changes_solution(self, sa_table):
+        spec = benchmark_spec("wang")
+        schedule = list_schedule(load_benchmark("wang"), spec.constraints)
+        regs = bind_registers(schedule)
+        ports = assign_ports(schedule.cdfg)
+        sa_only = bind_hlpower(
+            schedule, spec.constraints, regs, ports,
+            HLPowerConfig(alpha=1.0, sa_table=sa_table),
+        )
+        balanced = bind_hlpower(
+            schedule, spec.constraints, regs, ports,
+            HLPowerConfig(alpha=0.5, sa_table=sa_table),
+        )
+        assert [sorted(u.ops) for u in sa_only.fus.units] != [
+            sorted(u.ops) for u in balanced.fus.units
+        ]
+
+    def test_mux_balance_improves_with_muxdiff_term(self, sa_table):
+        """Table 4's direction: alpha=0.5 balances muxes at least as
+        well as alpha=1 on average."""
+        from repro.rtl import mux_report
+
+        means = {}
+        for alpha in (1.0, 0.5):
+            totals = []
+            for name in ("pr", "wang", "honda", "mcm", "dir"):
+                spec = benchmark_spec(name)
+                schedule = list_schedule(load_benchmark(name), spec.constraints)
+                solution = bind_hlpower(
+                    schedule,
+                    spec.constraints,
+                    config=HLPowerConfig(alpha=alpha, sa_table=sa_table),
+                )
+                totals.append(mux_report(solution).mux_diff_mean)
+            means[alpha] = sum(totals) / len(totals)
+        assert means[0.5] <= means[1.0] + 1e-9
+
+    def test_multicycle_resources_supported(self, sa_table):
+        cdfg = load_benchmark("pr")
+        schedule = list_schedule(
+            cdfg, {"add": 2, "mult": 2}, latencies={"add": 1, "mult": 2}
+        )
+        solution = bind_hlpower(
+            schedule,
+            {"add": 2, "mult": 2},
+            config=HLPowerConfig(sa_table=sa_table),
+        )
+        solution.validate()

@@ -1,0 +1,94 @@
+"""Tests for the LOPASS-style network-flow baseline binder."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.binding import assign_ports, bind_lopass, bind_registers
+from repro.cdfg import Schedule, benchmark_spec, figure1_example, load_benchmark
+from repro.scheduling import list_schedule
+
+
+def figure1_sched():
+    cdfg, start_times = figure1_example()
+    return Schedule(cdfg, start_times)
+
+
+class TestFlowBinding:
+    def test_figure1_allocation(self):
+        schedule = figure1_sched()
+        solution = bind_lopass(schedule, {"add": 2, "mult": 1})
+        solution.validate()
+        assert solution.fus.allocation() == {"add": 2, "mult": 1}
+        assert solution.algorithm == "lopass"
+
+    def test_every_operation_covered(self):
+        schedule = figure1_sched()
+        solution = bind_lopass(schedule, {"add": 2, "mult": 1})
+        bound = {op for unit in solution.fus.units for op in unit.ops}
+        assert bound == set(schedule.cdfg.operations)
+
+    def test_chains_respect_schedule_order(self):
+        schedule = figure1_sched()
+        solution = bind_lopass(schedule, {"add": 2, "mult": 1})
+        for unit in solution.fus.units:
+            steps = sorted(
+                schedule.start_of(schedule.cdfg.operations[op])
+                for op in unit.ops
+            )
+            assert len(set(steps)) == len(steps)
+
+    def test_infeasible_constraint_rejected(self):
+        schedule = figure1_sched()
+        with pytest.raises(ResourceError):
+            bind_lopass(schedule, {"add": 1, "mult": 1})
+
+    def test_missing_constraint_rejected(self):
+        schedule = figure1_sched()
+        with pytest.raises(ResourceError):
+            bind_lopass(schedule, {"add": 2})
+
+    def test_extra_units_absorbed_by_idle_edge(self):
+        schedule = figure1_sched()
+        solution = bind_lopass(schedule, {"add": 5, "mult": 4})
+        # Flow may leave some units unused; allocation never exceeds
+        # the constraint, and all ops stay covered.
+        allocation = solution.fus.allocation()
+        assert allocation["add"] <= 5
+        assert allocation["mult"] <= 4
+        bound = {op for unit in solution.fus.units for op in unit.ops}
+        assert bound == set(schedule.cdfg.operations)
+
+    @pytest.mark.parametrize("name", ["pr", "wang", "honda"])
+    def test_benchmarks_bind_validly(self, name):
+        spec = benchmark_spec(name)
+        schedule = list_schedule(load_benchmark(name), spec.constraints)
+        solution = bind_lopass(schedule, spec.constraints)
+        solution.validate()
+        assert solution.fus.allocation() == spec.constraints
+
+    def test_deterministic(self):
+        spec = benchmark_spec("pr")
+        schedule = list_schedule(load_benchmark("pr"), spec.constraints)
+        regs = bind_registers(schedule)
+        ports = assign_ports(schedule.cdfg)
+        first = bind_lopass(schedule, spec.constraints, regs, ports)
+        second = bind_lopass(schedule, spec.constraints, regs, ports)
+        assert [sorted(u.ops) for u in first.fus.units] == [
+            sorted(u.ops) for u in second.fus.units
+        ]
+
+    def test_shares_register_binding_with_hlpower(self, sa_table):
+        """The paper's setup: identical registers/ports for both."""
+        from repro.binding import HLPowerConfig, bind_hlpower
+
+        spec = benchmark_spec("pr")
+        schedule = list_schedule(load_benchmark("pr"), spec.constraints)
+        regs = bind_registers(schedule)
+        ports = assign_ports(schedule.cdfg)
+        lo = bind_lopass(schedule, spec.constraints, regs, ports)
+        hl = bind_hlpower(
+            schedule, spec.constraints, regs, ports,
+            HLPowerConfig(sa_table=sa_table),
+        )
+        assert lo.registers is hl.registers
+        assert lo.ports is hl.ports

@@ -1,0 +1,161 @@
+"""Tests for the exact binder (quality oracle) and left-edge registers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BindingError
+from repro.binding import (
+    HLPowerConfig,
+    assign_ports,
+    bind_hlpower,
+    bind_lopass,
+    bind_registers,
+)
+from repro.binding.leftedge import bind_registers_left_edge
+from repro.binding.optimal import bind_optimal
+from repro.binding.sa_table import SATable, SATableConfig
+from repro.cdfg import (
+    Schedule,
+    compute_lifetimes,
+    figure1_example,
+    max_overlap,
+)
+from repro.cdfg.generate import GraphProfile, generate_cdfg
+from repro.rtl import mux_report
+from repro.scheduling import list_schedule
+
+_TABLE = SATable(SATableConfig(width=3))
+
+
+def figure1_sched():
+    cdfg, start_times = figure1_example()
+    return Schedule(cdfg, start_times)
+
+
+class TestOptimalBinder:
+    def test_figure1_valid_and_minimal(self):
+        schedule = figure1_sched()
+        solution = bind_optimal(schedule, {"add": 2, "mult": 1})
+        solution.validate()
+        assert solution.fus.allocation() == {"add": 2, "mult": 1}
+        assert solution.algorithm == "optimal"
+
+    def test_oracle_never_worse_than_heuristics(self):
+        """The exact binder's mux length lower-bounds both heuristics
+        on the same registers/ports."""
+        schedule = figure1_sched()
+        registers = bind_registers(schedule)
+        ports = assign_ports(schedule.cdfg)
+        constraints = {"add": 2, "mult": 1}
+        optimal = bind_optimal(schedule, constraints, registers, ports)
+        heuristic = bind_hlpower(
+            schedule, constraints, registers, ports,
+            HLPowerConfig(sa_table=_TABLE),
+        )
+        baseline = bind_lopass(schedule, constraints, registers, ports)
+        opt_len = mux_report(optimal).fu_mux_length
+        assert opt_len <= mux_report(heuristic).fu_mux_length
+        assert opt_len <= mux_report(baseline).fu_mux_length
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 200))
+    def test_oracle_bound_on_random_small_graphs(self, seed):
+        profile = GraphProfile("opt", 3, 2, 6, 4)
+        cdfg = generate_cdfg(profile, seed=seed)
+        schedule = list_schedule(cdfg, {"add": 2, "mult": 2})
+        constraints = schedule.min_resources()
+        registers = bind_registers(schedule)
+        ports = assign_ports(cdfg)
+        optimal = bind_optimal(schedule, constraints, registers, ports)
+        heuristic = bind_hlpower(
+            schedule, constraints, registers, ports,
+            HLPowerConfig(sa_table=_TABLE),
+        )
+        assert (
+            mux_report(optimal).fu_mux_length
+            <= mux_report(heuristic).fu_mux_length
+        )
+
+    def test_size_limit_enforced(self):
+        from repro.cdfg import benchmark_spec, load_benchmark
+
+        spec = benchmark_spec("pr")
+        schedule = list_schedule(load_benchmark("pr"), spec.constraints)
+        with pytest.raises(BindingError):
+            bind_optimal(schedule, spec.constraints)
+
+    def test_hlpower_near_optimal_on_figure1(self):
+        """On the paper's own example the heuristic should be at or
+        near the exact optimum."""
+        schedule = figure1_sched()
+        registers = bind_registers(schedule)
+        ports = assign_ports(schedule.cdfg)
+        constraints = {"add": 2, "mult": 1}
+        optimal = mux_report(
+            bind_optimal(schedule, constraints, registers, ports)
+        ).fu_mux_length
+        heuristic = mux_report(
+            bind_hlpower(
+                schedule, constraints, registers, ports,
+                HLPowerConfig(sa_table=_TABLE),
+            )
+        ).fu_mux_length
+        assert heuristic <= optimal + 3
+
+
+class TestLeftEdge:
+    def test_minimum_register_count(self):
+        schedule = figure1_sched()
+        binding = bind_registers_left_edge(schedule)
+        _, peak = max_overlap(compute_lifetimes(schedule))
+        assert binding.n_registers == peak
+
+    def test_no_conflicts(self):
+        schedule = figure1_sched()
+        binding = bind_registers_left_edge(schedule)
+        lifetimes = compute_lifetimes(schedule)
+        for register in range(binding.n_registers):
+            items = [lifetimes[v] for v in binding.variables_in(register)]
+            for i, first in enumerate(items):
+                for second in items[i + 1:]:
+                    assert not first.overlaps(second)
+
+    def test_same_count_as_bipartite_binder(self):
+        from repro.cdfg import benchmark_spec, load_benchmark
+
+        for name in ("pr", "wang", "honda"):
+            spec = benchmark_spec(name)
+            schedule = list_schedule(load_benchmark(name), spec.constraints)
+            left_edge = bind_registers_left_edge(schedule)
+            bipartite = bind_registers(schedule)
+            assert left_edge.n_registers == bipartite.n_registers
+
+    def test_affinity_binder_not_worse_on_muxes(self):
+        """The paper-style affinity-weighted binder should produce mux
+        lengths no worse than plain left-edge on average."""
+        from repro.cdfg import benchmark_spec, load_benchmark
+
+        totals = {"affinity": 0, "leftedge": 0}
+        for name in ("pr", "wang", "honda"):
+            spec = benchmark_spec(name)
+            schedule = list_schedule(load_benchmark(name), spec.constraints)
+            ports = assign_ports(schedule.cdfg)
+            for label, binder in (
+                ("affinity", bind_registers),
+                ("leftedge", bind_registers_left_edge),
+            ):
+                registers = binder(schedule)
+                solution = bind_lopass(
+                    schedule, spec.constraints, registers, ports
+                )
+                totals[label] += mux_report(solution).mux_length
+        assert totals["affinity"] <= totals["leftedge"] * 1.1
+
+    def test_feeds_full_binding(self):
+        schedule = figure1_sched()
+        registers = bind_registers_left_edge(schedule)
+        solution = bind_hlpower(
+            schedule, {"add": 2, "mult": 1}, registers,
+            config=HLPowerConfig(sa_table=_TABLE),
+        )
+        solution.validate()

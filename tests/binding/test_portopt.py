@@ -1,0 +1,109 @@
+"""Tests for the port-assignment optimization pass."""
+
+import pytest
+
+from repro.binding import (
+    HLPowerConfig,
+    assign_ports,
+    bind_hlpower,
+    bind_registers,
+    optimize_ports,
+)
+from repro.cdfg import Schedule, benchmark_spec, figure1_example, load_benchmark
+from repro.rtl import mux_report
+from repro.scheduling import list_schedule
+
+
+def bound_benchmark(name, sa_table):
+    spec = benchmark_spec(name)
+    schedule = list_schedule(load_benchmark(name), spec.constraints)
+    return bind_hlpower(
+        schedule, spec.constraints, config=HLPowerConfig(sa_table=sa_table)
+    )
+
+
+class TestOptimizePorts:
+    def test_never_increases_mux_length(self, sa_table):
+        for name in ("pr", "wang", "honda"):
+            solution = bound_benchmark(name, sa_table)
+            before = mux_report(solution)
+            optimized, _ = optimize_ports(solution)
+            after = mux_report(optimized)
+            assert after.fu_mux_length <= before.fu_mux_length
+
+    def test_typically_improves_something(self, sa_table):
+        improved = 0
+        for name in ("pr", "wang", "honda", "mcm"):
+            solution = bound_benchmark(name, sa_table)
+            before = mux_report(solution)
+            optimized, flips = optimize_ports(solution)
+            after = mux_report(optimized)
+            if flips and (
+                after.fu_mux_length < before.fu_mux_length
+                or after.mux_diff_mean < before.mux_diff_mean
+            ):
+                improved += 1
+        assert improved >= 2
+
+    def test_result_validates(self, sa_table):
+        solution = bound_benchmark("pr", sa_table)
+        optimized, _ = optimize_ports(solution)
+        optimized.validate()
+        assert optimized.algorithm.endswith("+portopt")
+
+    def test_original_untouched(self, sa_table):
+        solution = bound_benchmark("pr", sa_table)
+        original_ports = dict(solution.ports.ports)
+        optimize_ports(solution)
+        assert solution.ports.ports == original_ports
+
+    def test_operand_sets_preserved(self, sa_table):
+        solution = bound_benchmark("wang", sa_table)
+        optimized, _ = optimize_ports(solution)
+        cdfg = solution.schedule.cdfg
+        for op in cdfg.operations.values():
+            assert sorted(optimized.ports.of(op)) == sorted(op.inputs)
+
+    def test_sub_never_flipped(self, sa_table):
+        from repro.cdfg.graph import CDFG
+
+        cdfg = CDFG()
+        a = cdfg.add_input()
+        b = cdfg.add_input()
+        t1 = cdfg.add_operation("sub", a, b)
+        t2 = cdfg.add_operation("sub", t1, b)
+        cdfg.mark_output(t2)
+        schedule = Schedule(cdfg, {0: 1, 1: 2})
+        solution = bind_hlpower(
+            schedule, {"add": 1, "mult": 1},
+            config=HLPowerConfig(sa_table=sa_table),
+        )
+        optimized, flips = optimize_ports(solution)
+        for op in cdfg.operations.values():
+            assert optimized.ports.of(op) == op.inputs
+        assert flips == 0
+
+    def test_fixpoint_idempotent(self, sa_table):
+        solution = bound_benchmark("pr", sa_table)
+        once, _ = optimize_ports(solution)
+        twice, flips = optimize_ports(once)
+        assert flips == 0
+
+    def test_functional_equivalence_after_flipping(self, sa_table):
+        """Flipped ports must not change the computed outputs."""
+        import random
+
+        from tests.rtl.test_datapath import golden, replay_control_table
+        from repro.rtl import build_datapath
+
+        solution = bound_benchmark("pr", sa_table)
+        optimized, flips = optimize_ports(solution)
+        assert flips > 0
+        datapath = build_datapath(optimized, width=6)
+        rng = random.Random(2)
+        cdfg = solution.schedule.cdfg
+        for _ in range(10):
+            pads = [rng.randrange(64) for _ in cdfg.primary_inputs]
+            assert replay_control_table(datapath, pads) == golden(
+                cdfg, pads, 6
+            )

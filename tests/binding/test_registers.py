@@ -1,0 +1,112 @@
+"""Tests for register binding and port assignment."""
+
+import pytest
+
+from repro.errors import BindingError
+from repro.binding import assign_ports, bind_registers
+from repro.cdfg import Schedule, compute_lifetimes, figure1_example, load_benchmark, max_overlap
+from repro.cdfg.lifetimes import live_variables
+from repro.scheduling import list_schedule
+
+
+def figure1_sched():
+    cdfg, start_times = figure1_example()
+    return Schedule(cdfg, start_times)
+
+
+class TestAllocation:
+    def test_allocation_equals_lifetime_peak(self):
+        schedule = figure1_sched()
+        binding = bind_registers(schedule)
+        _, peak = max_overlap(compute_lifetimes(schedule))
+        assert binding.n_registers == peak
+
+    def test_all_live_variables_bound(self):
+        schedule = figure1_sched()
+        binding = bind_registers(schedule)
+        live = live_variables(compute_lifetimes(schedule))
+        for lifetime in live:
+            assert lifetime.var_id in binding.assignment
+
+    def test_no_overlapping_variables_share_register(self):
+        schedule = figure1_sched()
+        binding = bind_registers(schedule)
+        lifetimes = compute_lifetimes(schedule)
+        for register in range(binding.n_registers):
+            items = [
+                lifetimes[v] for v in binding.variables_in(register)
+            ]
+            for i, first in enumerate(items):
+                for second in items[i + 1:]:
+                    assert not first.overlaps(second)
+
+    @pytest.mark.parametrize("name", ["pr", "wang", "honda"])
+    def test_benchmarks_bind_minimally(self, name):
+        from repro.cdfg import benchmark_spec
+
+        spec = benchmark_spec(name)
+        schedule = list_schedule(load_benchmark(name), spec.constraints)
+        binding = bind_registers(schedule)
+        _, peak = max_overlap(compute_lifetimes(schedule))
+        assert binding.n_registers == peak
+        lifetimes = compute_lifetimes(schedule)
+        for register in range(binding.n_registers):
+            items = [lifetimes[v] for v in binding.variables_in(register)]
+            items.sort(key=lambda lt: lt.birth)
+            for first, second in zip(items, items[1:]):
+                assert not first.overlaps(second)
+
+    def test_register_of_unbound_raises(self):
+        schedule = figure1_sched()
+        binding = bind_registers(schedule)
+        with pytest.raises(BindingError):
+            binding.register_of(99999)
+
+    def test_empty_cdfg(self):
+        from repro.cdfg.graph import CDFG
+
+        cdfg = CDFG()
+        cdfg.add_input()
+        schedule = Schedule(cdfg, {})
+        binding = bind_registers(schedule)
+        assert binding.n_registers == 0
+
+
+class TestPortAssignment:
+    def test_deterministic_per_seed(self):
+        cdfg, _ = figure1_example()
+        assert assign_ports(cdfg, seed=4).ports == assign_ports(cdfg, 4).ports
+
+    def test_seed_none_keeps_textual_order(self):
+        cdfg, _ = figure1_example()
+        ports = assign_ports(cdfg, seed=None)
+        for op in cdfg.operations.values():
+            assert ports.of(op) == op.inputs
+
+    def test_sub_never_swapped(self):
+        from repro.cdfg.graph import CDFG
+
+        cdfg = CDFG()
+        a = cdfg.add_input()
+        b = cdfg.add_input()
+        out = cdfg.add_operation("sub", a, b)
+        cdfg.mark_output(out)
+        for seed in range(10):
+            ports = assign_ports(cdfg, seed=seed)
+            assert ports.of(cdfg.operations[0]) == (a, b)
+
+    def test_commutative_ops_sometimes_swapped(self):
+        cdfg, _ = figure1_example()
+        swapped = False
+        for seed in range(10):
+            ports = assign_ports(cdfg, seed=seed)
+            for op in cdfg.operations.values():
+                if ports.of(op) != op.inputs:
+                    swapped = True
+        assert swapped
+
+    def test_swap_preserves_operand_set(self):
+        cdfg, _ = figure1_example()
+        ports = assign_ports(cdfg, seed=1)
+        for op in cdfg.operations.values():
+            assert sorted(ports.of(op)) == sorted(op.inputs)

@@ -1,0 +1,67 @@
+"""Property test for Theorem 1.
+
+"A weighted bipartite graph G = (U, V, E), containing the single-cycle
+operations of a scheduled CDFG, if iteratively generated and solved,
+combining matching nodes in each iteration, guarantees that the minimum
+possible resource constraints can be met."
+
+We exercise the full HLPower binder on random scheduled CDFGs with the
+constraint set to the schedule's densest-step count per class (the
+minimum any binding can achieve) and assert the constraint is always
+met — for single-cycle libraries, exactly Theorem 1's claim.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.binding import HLPowerConfig, bind_hlpower
+from repro.binding.sa_table import SATable, SATableConfig
+from repro.cdfg.generate import GraphProfile, generate_cdfg
+from repro.scheduling import list_schedule
+
+_TABLE = SATable(SATableConfig(width=3))
+
+
+@st.composite
+def scheduled_cdfg(draw):
+    n_adds = draw(st.integers(3, 20))
+    n_mults = draw(st.integers(3, 20))
+    n_inputs = draw(st.integers(2, 6))
+    n_outputs = draw(st.integers(1, 4))
+    profile = GraphProfile("thm1", n_inputs, n_outputs, n_adds, n_mults)
+    if n_outputs > profile.n_operations:
+        n_outputs = profile.n_operations
+    if n_inputs > profile.n_operations + n_outputs:
+        n_inputs = profile.n_operations + n_outputs
+    profile = GraphProfile("thm1", n_inputs, n_outputs, n_adds, n_mults)
+    seed = draw(st.integers(0, 500))
+    cdfg = generate_cdfg(profile, seed=seed)
+    adders = draw(st.integers(1, 4))
+    mults = draw(st.integers(1, 4))
+    return list_schedule(cdfg, {"add": adders, "mult": mults})
+
+
+@settings(max_examples=25, deadline=None)
+@given(scheduled_cdfg())
+def test_minimum_constraint_always_met(schedule):
+    constraints = schedule.min_resources()
+    solution = bind_hlpower(
+        schedule, constraints, config=HLPowerConfig(sa_table=_TABLE)
+    )
+    solution.validate()
+    assert solution.fus.constraint_met
+    allocation = solution.fus.allocation()
+    for fu_class, minimum in constraints.items():
+        assert allocation[fu_class] == minimum
+
+
+@settings(max_examples=10, deadline=None)
+@given(scheduled_cdfg(), st.integers(1, 3))
+def test_relaxed_constraints_also_met(schedule, slack):
+    constraints = {
+        cls: count + slack for cls, count in schedule.min_resources().items()
+    }
+    solution = bind_hlpower(
+        schedule, constraints, config=HLPowerConfig(sa_table=_TABLE)
+    )
+    solution.validate()
+    assert solution.fus.constraint_met

@@ -1,0 +1,66 @@
+"""Tests for the Equation (4) edge weight."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.binding.weights import DEFAULT_BETA, edge_weight
+
+
+class TestEquation4:
+    def test_alpha_one_is_pure_sa(self):
+        assert edge_weight(20.0, 5, "add", alpha=1.0) == pytest.approx(0.05)
+
+    def test_alpha_zero_is_pure_muxdiff(self):
+        expected = 1.0 / ((5 + 1) * 30.0)
+        assert edge_weight(20.0, 5, "add", alpha=0.0) == pytest.approx(expected)
+
+    def test_alpha_half_mixes_terms(self):
+        value = edge_weight(20.0, 1, "add", alpha=0.5)
+        expected = 0.5 / 20.0 + 0.5 / (2 * 30.0)
+        assert value == pytest.approx(expected)
+
+    def test_muxdiff_zero_valid(self):
+        """The (muxDiff + 1) guard makes a perfectly balanced pair legal."""
+        value = edge_weight(10.0, 0, "add", alpha=0.0)
+        assert value == pytest.approx(1.0 / 30.0)
+
+    def test_beta_per_class(self):
+        add = edge_weight(10.0, 2, "add", alpha=0.0)
+        mult = edge_weight(10.0, 2, "mult", alpha=0.0)
+        assert add / mult == pytest.approx(
+            DEFAULT_BETA["mult"] / DEFAULT_BETA["add"]
+        )
+
+    def test_custom_beta(self):
+        value = edge_weight(10.0, 0, "add", alpha=0.0, beta={"add": 7.0})
+        assert value == pytest.approx(1.0 / 7.0)
+
+    def test_lower_sa_means_higher_weight(self):
+        better = edge_weight(10.0, 2, "add")
+        worse = edge_weight(30.0, 2, "add")
+        assert better > worse
+
+    def test_lower_muxdiff_means_higher_weight(self):
+        balanced = edge_weight(10.0, 0, "add")
+        skewed = edge_weight(10.0, 6, "add")
+        assert balanced > skewed
+
+
+class TestValidation:
+    def test_alpha_out_of_range(self):
+        with pytest.raises(ConfigError):
+            edge_weight(10.0, 0, "add", alpha=1.5)
+        with pytest.raises(ConfigError):
+            edge_weight(10.0, 0, "add", alpha=-0.1)
+
+    def test_nonpositive_sa_rejected(self):
+        with pytest.raises(ConfigError):
+            edge_weight(0.0, 0, "add")
+
+    def test_negative_muxdiff_rejected(self):
+        with pytest.raises(ConfigError):
+            edge_weight(10.0, -1, "add")
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ConfigError):
+            edge_weight(10.0, 0, "nand")

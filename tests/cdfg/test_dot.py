@@ -1,0 +1,29 @@
+"""Tests for the Graphviz export."""
+
+from repro.cdfg import Schedule, figure1_example
+from repro.cdfg.dot import cdfg_to_dot
+
+
+def test_plain_export_contains_nodes_and_edges():
+    cdfg, _ = figure1_example()
+    text = cdfg_to_dot(cdfg)
+    assert text.startswith("digraph")
+    assert text.rstrip().endswith("}")
+    for op in cdfg.operations.values():
+        assert f"o{op.op_id} " in text
+    assert "->" in text
+
+
+def test_scheduled_export_groups_by_step():
+    cdfg, start_times = figure1_example()
+    schedule = Schedule(cdfg, start_times)
+    text = cdfg_to_dot(cdfg, schedule)
+    assert "cluster_step1" in text
+    assert "cluster_step3" in text
+    assert 'label="cstep 2"' in text
+
+
+def test_outputs_rendered():
+    cdfg, _ = figure1_example()
+    text = cdfg_to_dot(cdfg)
+    assert "out0" in text and "out1" in text

@@ -1,0 +1,134 @@
+"""Tests for the synthetic CDFG generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CDFGError
+from repro.cdfg.generate import GraphProfile, generate_cdfg
+
+
+def profile_strategy():
+    return st.builds(
+        GraphProfile,
+        name=st.just("prop"),
+        n_inputs=st.integers(2, 10),
+        n_outputs=st.integers(1, 6),
+        n_adds=st.integers(2, 30),
+        n_mults=st.integers(2, 30),
+    ).filter(
+        lambda p: p.n_outputs <= p.n_operations
+        and p.n_inputs <= p.n_operations + p.n_outputs
+    )
+
+
+class TestProfiles:
+    def test_counts_matched_exactly(self):
+        profile = GraphProfile("t", 6, 4, 20, 12)
+        cdfg = generate_cdfg(profile, seed=1)
+        assert len(cdfg.primary_inputs) == 6
+        assert len(cdfg.primary_outputs) == 4
+        adds = sum(
+            1 for op in cdfg.operations.values() if op.op_type == "add"
+        )
+        mults = sum(
+            1 for op in cdfg.operations.values() if op.op_type == "mult"
+        )
+        assert adds == 20
+        assert mults == 12
+
+    def test_determinism(self):
+        profile = GraphProfile("t", 5, 3, 15, 10)
+        first = generate_cdfg(profile, seed=7)
+        second = generate_cdfg(profile, seed=7)
+        assert [op.inputs for op in first.topological_order()] == [
+            op.inputs for op in second.topological_order()
+        ]
+
+    def test_seeds_differ(self):
+        profile = GraphProfile("t", 5, 3, 15, 10)
+        first = generate_cdfg(profile, seed=1)
+        second = generate_cdfg(profile, seed=2)
+        assert [op.inputs for op in first.operations.values()] != [
+            op.inputs for op in second.operations.values()
+        ]
+
+    def test_every_input_consumed(self):
+        profile = GraphProfile("t", 8, 4, 12, 8)
+        cdfg = generate_cdfg(profile, seed=3)
+        readers = cdfg.consumer_map()
+        for var_id in cdfg.primary_inputs:
+            assert readers[var_id], f"input {var_id} unused"
+
+    def test_no_dead_code(self):
+        profile = GraphProfile("t", 6, 3, 18, 9)
+        cdfg = generate_cdfg(profile, seed=4)
+        readers = cdfg.consumer_map()
+        outputs = set(cdfg.primary_outputs)
+        for op in cdfg.operations.values():
+            assert readers[op.output] or op.output in outputs
+
+    def test_layered_profile_bounds_density(self):
+        profile = GraphProfile(
+            "t", 6, 4, 24, 12, n_layers=8, add_width=3, mult_width=2
+        )
+        cdfg = generate_cdfg(profile, seed=0)
+        from repro.scheduling import list_schedule
+
+        schedule = list_schedule(cdfg, {"add": 3, "mult": 2})
+        assert schedule.min_resources() == {"add": 3, "mult": 2}
+
+    @settings(max_examples=25, deadline=None)
+    @given(profile_strategy(), st.integers(0, 5))
+    def test_random_profiles_satisfied(self, profile, seed):
+        cdfg = generate_cdfg(profile, seed=seed)
+        cdfg.validate()
+        assert len(cdfg.primary_inputs) == profile.n_inputs
+        assert len(cdfg.primary_outputs) == profile.n_outputs
+        assert cdfg.num_operations() == profile.n_operations
+
+
+class TestStress:
+    def test_many_random_profiles(self):
+        """Broad deterministic sweep over feasible profiles (regression
+        guard for the layer/funnel/sink machinery)."""
+        import random
+
+        rng = random.Random(99)
+        for trial in range(60):
+            adds = rng.randint(2, 40)
+            mults = rng.randint(2, 40)
+            ops = adds + mults
+            outs = rng.randint(1, min(8, ops))
+            ins = rng.randint(2, min(10, ops + outs))
+            profile = GraphProfile("stress", ins, outs, adds, mults)
+            cdfg = generate_cdfg(profile, seed=trial % 7)
+            cdfg.validate()
+            assert cdfg.num_operations("mult") == mults
+            assert len(cdfg.primary_outputs) == outs
+
+    def test_extreme_type_skew(self):
+        for adds, mults in ((2, 23), (25, 3), (13, 25), (21, 11)):
+            cdfg = generate_cdfg(
+                GraphProfile("skew", 2, 1, adds, mults), seed=0
+            )
+            cdfg.validate()
+
+
+class TestValidation:
+    def test_too_many_outputs_rejected(self):
+        with pytest.raises(CDFGError):
+            GraphProfile("t", 2, 5, 2, 2).validate()
+
+    def test_too_many_inputs_rejected(self):
+        with pytest.raises(CDFGError):
+            GraphProfile("t", 20, 1, 2, 2).validate()
+
+    def test_overfull_layers_rejected(self):
+        with pytest.raises(CDFGError):
+            GraphProfile(
+                "t", 2, 1, 10, 1, n_layers=2, add_width=2, mult_width=1
+            ).validate()
+
+    def test_zero_ops_rejected(self):
+        with pytest.raises(CDFGError):
+            GraphProfile("t", 1, 1, 0, 0).validate()

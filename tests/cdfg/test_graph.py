@@ -1,0 +1,113 @@
+"""Tests for the CDFG data structure."""
+
+import pytest
+
+from repro.errors import CDFGError
+from repro.cdfg.graph import CDFG, RESOURCE_CLASS
+
+
+def build_diamond() -> CDFG:
+    cdfg = CDFG("diamond")
+    a = cdfg.add_input("a")
+    b = cdfg.add_input("b")
+    t1 = cdfg.add_operation("add", a, b, "t1")
+    t2 = cdfg.add_operation("mult", t1, a, "t2")
+    t3 = cdfg.add_operation("sub", t1, b, "t3")
+    t4 = cdfg.add_operation("add", t2, t3, "t4")
+    cdfg.mark_output(t4)
+    return cdfg
+
+
+class TestConstruction:
+    def test_valid_graph(self):
+        cdfg = build_diamond()
+        cdfg.validate()
+        assert len(cdfg.operations) == 4
+        assert len(cdfg.primary_inputs) == 2
+        assert cdfg.primary_outputs != []
+
+    def test_unknown_op_type_rejected(self):
+        cdfg = CDFG()
+        a = cdfg.add_input()
+        with pytest.raises(CDFGError):
+            cdfg.add_operation("divide", a, a)
+
+    def test_unknown_operand_rejected(self):
+        cdfg = CDFG()
+        a = cdfg.add_input()
+        with pytest.raises(CDFGError):
+            cdfg.add_operation("add", a, 999)
+
+    def test_unknown_output_rejected(self):
+        cdfg = CDFG()
+        with pytest.raises(CDFGError):
+            cdfg.mark_output(3)
+
+    def test_mark_output_idempotent(self):
+        cdfg = CDFG()
+        a = cdfg.add_input()
+        out = cdfg.add_operation("add", a, a)
+        cdfg.mark_output(out)
+        cdfg.mark_output(out)
+        assert cdfg.primary_outputs.count(out) == 1
+
+    def test_resource_classes(self):
+        cdfg = build_diamond()
+        assert cdfg.resource_classes() == ["add", "mult"]
+        assert RESOURCE_CLASS["sub"] == "add"
+
+    def test_operation_counts_by_class(self):
+        cdfg = build_diamond()
+        assert cdfg.num_operations() == 4
+        assert cdfg.num_operations("add") == 3  # add, sub, add
+        assert cdfg.num_operations("mult") == 1
+
+
+class TestQueries:
+    def test_operation_of(self):
+        cdfg = build_diamond()
+        a = cdfg.primary_inputs[0]
+        assert cdfg.operation_of(a) is None
+        t1_out = cdfg.operations[0].output
+        assert cdfg.operation_of(t1_out).name == "t1"
+
+    def test_consumers_with_multiplicity(self):
+        cdfg = CDFG()
+        a = cdfg.add_input()
+        out = cdfg.add_operation("mult", a, a)
+        cdfg.mark_output(out)
+        assert len(cdfg.consumers(a)) == 2
+
+    def test_predecessors_deduplicated(self):
+        cdfg = CDFG()
+        a = cdfg.add_input()
+        t1 = cdfg.add_operation("add", a, a)
+        t2 = cdfg.add_operation("mult", t1, t1)
+        cdfg.mark_output(t2)
+        op2 = cdfg.operations[1]
+        assert len(cdfg.predecessors(op2)) == 1
+
+    def test_successor_map(self):
+        cdfg = build_diamond()
+        successors = cdfg.successor_map()
+        assert {op.name for op in successors[0]} == {"t2", "t3"}
+        assert successors[3] == []
+
+    def test_topological_order(self):
+        cdfg = build_diamond()
+        order = [op.name for op in cdfg.topological_order()]
+        assert order.index("t1") < order.index("t2")
+        assert order.index("t1") < order.index("t3")
+        assert order[-1] == "t4"
+
+    def test_topological_order_deterministic(self):
+        cdfg = build_diamond()
+        assert cdfg.topological_order() == cdfg.topological_order()
+
+    def test_edge_count(self):
+        cdfg = build_diamond()
+        # 4 binary ops + 1 primary output.
+        assert cdfg.num_edges() == 9
+
+    def test_repr_mentions_counts(self):
+        assert "ops=4" in repr(build_diamond())

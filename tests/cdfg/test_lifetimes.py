@@ -1,0 +1,97 @@
+"""Tests for variable lifetime analysis."""
+
+import pytest
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.lifetimes import (
+    Lifetime,
+    compute_lifetimes,
+    conflict_groups,
+    live_variables,
+    max_overlap,
+    overlap_at,
+)
+from repro.cdfg.schedule import Schedule
+
+
+def scheduled_chain():
+    cdfg = CDFG()
+    a = cdfg.add_input("a")
+    b = cdfg.add_input("b")
+    t1 = cdfg.add_operation("add", a, b)
+    t2 = cdfg.add_operation("mult", t1, a)
+    cdfg.mark_output(t2)
+    schedule = Schedule(cdfg, {0: 1, 1: 2})
+    return cdfg, schedule, (a, b, t1, t2)
+
+
+class TestConventions:
+    def test_primary_input_born_at_zero(self):
+        _, schedule, (a, b, t1, t2) = scheduled_chain()
+        lifetimes = compute_lifetimes(schedule)
+        assert lifetimes[a].birth == 0
+        # a is read by the mult at step 2.
+        assert lifetimes[a].death == 2
+
+    def test_intermediate_variable_span(self):
+        _, schedule, (a, b, t1, t2) = scheduled_chain()
+        lifetimes = compute_lifetimes(schedule)
+        # t1 written at end of step 1, read at step 2.
+        assert lifetimes[t1] == Lifetime(t1, 1, 2)
+
+    def test_output_survives_past_end(self):
+        _, schedule, (a, b, t1, t2) = scheduled_chain()
+        lifetimes = compute_lifetimes(schedule)
+        assert lifetimes[t2].death == schedule.length + 1
+
+    def test_overlap_semantics(self):
+        # Dying at t and born at t can share (read-before-write).
+        first = Lifetime(0, 0, 2)
+        second = Lifetime(1, 2, 4)
+        assert not first.overlaps(second)
+        third = Lifetime(2, 1, 3)
+        assert first.overlaps(third)
+        assert third.overlaps(first)
+
+    def test_zero_span_never_overlaps(self):
+        ghost = Lifetime(0, 3, 3)
+        other = Lifetime(1, 0, 9)
+        assert not ghost.overlaps(other)
+
+
+class TestAggregates:
+    def test_live_variables_excludes_zero_span(self):
+        cdfg = CDFG()
+        a = cdfg.add_input()
+        out = cdfg.add_operation("add", a, a)
+        cdfg.mark_output(out)
+        schedule = Schedule(cdfg, {0: 1})
+        live = live_variables(compute_lifetimes(schedule))
+        assert {lt.var_id for lt in live} == {a, out}
+
+    def test_max_overlap_counts_peak(self):
+        _, schedule, (a, b, t1, t2) = scheduled_chain()
+        lifetimes = compute_lifetimes(schedule)
+        _, count = max_overlap(lifetimes)
+        # Boundary after step 1: a (still read at 2), t1 -> 2 live; b died.
+        assert count == 2
+
+    def test_overlap_at_boundary(self):
+        _, schedule, (a, b, t1, t2) = scheduled_chain()
+        lifetimes = compute_lifetimes(schedule)
+        live_after_1 = {lt.var_id for lt in overlap_at(lifetimes, 1)}
+        assert live_after_1 == {a, t1}
+
+    def test_conflict_groups_sorted_by_birth(self):
+        _, schedule, _ = scheduled_chain()
+        lifetimes = compute_lifetimes(schedule)
+        for group in conflict_groups(lifetimes):
+            births = [lt.birth for lt in group]
+            assert births == sorted(births)
+
+    def test_empty_graph(self):
+        cdfg = CDFG()
+        cdfg.add_input()
+        schedule = Schedule(cdfg, {})
+        assert max_overlap(compute_lifetimes(schedule)) == (0, 0)
+        assert conflict_groups(compute_lifetimes(schedule)) == []

@@ -1,0 +1,118 @@
+"""Tests for scheduled CDFGs."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.cdfg.graph import CDFG
+from repro.cdfg.schedule import Schedule
+
+
+def chain_cdfg() -> CDFG:
+    cdfg = CDFG("chain")
+    a = cdfg.add_input("a")
+    b = cdfg.add_input("b")
+    t1 = cdfg.add_operation("add", a, b)
+    t2 = cdfg.add_operation("mult", t1, a)
+    t3 = cdfg.add_operation("add", t2, b)
+    cdfg.mark_output(t3)
+    return cdfg
+
+
+class TestValidation:
+    def test_valid_chain(self):
+        cdfg = chain_cdfg()
+        schedule = Schedule(cdfg, {0: 1, 1: 2, 2: 3})
+        schedule.validate()
+        assert schedule.length == 3
+
+    def test_dependence_violation_detected(self):
+        cdfg = chain_cdfg()
+        schedule = Schedule(cdfg, {0: 1, 1: 1, 2: 2})
+        with pytest.raises(ScheduleError):
+            schedule.validate()
+
+    def test_unscheduled_op_detected(self):
+        cdfg = chain_cdfg()
+        schedule = Schedule(cdfg, {0: 1, 1: 2})
+        with pytest.raises(ScheduleError):
+            schedule.validate()
+
+    def test_step_zero_rejected(self):
+        cdfg = chain_cdfg()
+        schedule = Schedule(cdfg, {0: 0, 1: 1, 2: 2})
+        with pytest.raises(ScheduleError):
+            schedule.validate()
+
+    def test_missing_latency_rejected(self):
+        cdfg = chain_cdfg()
+        with pytest.raises(ScheduleError):
+            Schedule(cdfg, {0: 1, 1: 2, 2: 3}, latencies={"add": 1})
+
+
+class TestMultiCycle:
+    def test_multicycle_latency_shifts_dependents(self):
+        cdfg = chain_cdfg()
+        latencies = {"add": 1, "mult": 3}
+        bad = Schedule(cdfg, {0: 1, 1: 2, 2: 3}, latencies)
+        with pytest.raises(ScheduleError):
+            bad.validate()
+        good = Schedule(cdfg, {0: 1, 1: 2, 2: 5}, latencies)
+        good.validate()
+        assert good.length == 5
+
+    def test_busy_interval(self):
+        cdfg = chain_cdfg()
+        schedule = Schedule(
+            cdfg, {0: 1, 1: 2, 2: 5}, {"add": 1, "mult": 3}
+        )
+        mult = cdfg.operations[1]
+        assert schedule.busy_interval(mult) == (2, 4)
+
+    def test_overlap_with_multicycle(self):
+        cdfg = CDFG()
+        a = cdfg.add_input()
+        m1 = cdfg.add_operation("mult", a, a)
+        m2 = cdfg.add_operation("mult", a, a)
+        cdfg.mark_output(m1)
+        cdfg.mark_output(m2)
+        schedule = Schedule(cdfg, {0: 1, 1: 2}, {"add": 1, "mult": 3})
+        op1, op2 = cdfg.operations[0], cdfg.operations[1]
+        assert schedule.overlaps(op1, op2)
+
+
+class TestStepQueries:
+    def test_operations_in_step(self):
+        cdfg = chain_cdfg()
+        schedule = Schedule(cdfg, {0: 1, 1: 2, 2: 3})
+        assert [op.op_id for op in schedule.operations_in_step(2)] == [1]
+        assert schedule.operations_in_step(2, "add") == []
+
+    def test_densest_step(self):
+        cdfg = CDFG()
+        a = cdfg.add_input()
+        outs = [cdfg.add_operation("add", a, a) for _ in range(3)]
+        for out in outs:
+            cdfg.mark_output(out)
+        schedule = Schedule(cdfg, {0: 1, 1: 1, 2: 2})
+        step, count = schedule.densest_step("add")
+        assert (step, count) == (1, 2)
+
+    def test_min_resources(self):
+        cdfg = chain_cdfg()
+        schedule = Schedule(cdfg, {0: 1, 1: 2, 2: 3})
+        assert schedule.min_resources() == {"add": 1, "mult": 1}
+
+    def test_respects_constraints(self):
+        cdfg = CDFG()
+        a = cdfg.add_input()
+        for _ in range(3):
+            cdfg.mark_output(cdfg.add_operation("add", a, a))
+        schedule = Schedule(cdfg, {0: 1, 1: 1, 2: 1})
+        assert schedule.respects({"add": 3})
+        assert not schedule.respects({"add": 2})
+
+    def test_empty_schedule_length_zero(self):
+        cdfg = CDFG()
+        cdfg.add_input()
+        schedule = Schedule(cdfg, {})
+        assert schedule.length == 0

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.binding import SATable
+from repro.binding.sa_table import SATableConfig
+from repro.cdfg import Schedule, figure1_example, generate_cdfg
+from repro.cdfg.generate import GraphProfile
+from repro.scheduling import list_schedule
+
+
+@pytest.fixture(scope="session")
+def sa_table(tmp_path_factory) -> SATable:
+    """One lazily-filled SA table shared by the whole test session."""
+    path = tmp_path_factory.mktemp("sa") / "table.txt"
+    return SATable(SATableConfig(width=4), str(path))
+
+
+@pytest.fixture()
+def figure1_schedule() -> Schedule:
+    """The paper's Figure 1 example, scheduled as printed."""
+    cdfg, start_times = figure1_example()
+    schedule = Schedule(cdfg, start_times)
+    schedule.validate()
+    return schedule
+
+
+@pytest.fixture()
+def small_schedule() -> Schedule:
+    """A small random scheduled CDFG (fast enough for full flows)."""
+    profile = GraphProfile("small", 4, 3, 10, 6, n_layers=6,
+                           add_width=2, mult_width=2)
+    cdfg = generate_cdfg(profile, seed=3)
+    return list_schedule(cdfg, {"add": 2, "mult": 2})
+
+
+def evaluate_netlist(netlist, assignment):
+    """Reference truth-table evaluation of a combinational netlist."""
+    values = dict(assignment)
+    for net in netlist.topological_order():
+        gate = netlist.gates[net]
+        values[net] = gate.table.evaluate(
+            [values[name] for name in gate.inputs]
+        )
+    return values
+
+
+def random_assignment(netlist, rng: random.Random):
+    return {net: rng.random() < 0.5 for net in netlist.inputs}

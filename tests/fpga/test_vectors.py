@@ -1,0 +1,88 @@
+"""Tests for vector packing and stimulus generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.fpga.vectors import (
+    VectorSet,
+    broadcast,
+    n_words,
+    pack_values,
+    popcount,
+    random_vectors,
+    unpack_values,
+)
+
+
+class TestPacking:
+    def test_n_words(self):
+        assert n_words(1) == 1
+        assert n_words(64) == 1
+        assert n_words(65) == 2
+        with pytest.raises(SimulationError):
+            n_words(0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    def test_pack_unpack_round_trip(self, bits):
+        assert unpack_values(pack_values(bits), len(bits)) == bits
+
+    def test_broadcast_true_masks_tail(self):
+        words = broadcast(True, 70)
+        assert unpack_values(words, 70) == [True] * 70
+        # Bits past lane 70 must be clear.
+        assert int(words[1]) >> 6 == 0
+
+    def test_broadcast_false(self):
+        assert not broadcast(False, 100).any()
+
+    def test_popcount(self):
+        assert popcount(pack_values([True, False, True, True])) == 3
+        assert popcount(np.zeros(3, dtype=np.uint64)) == 0
+
+
+class TestRandomVectors:
+    def test_shape(self):
+        vectors = random_vectors(n_pads=3, width=4, lanes=100, seed=1)
+        assert vectors.lanes == 100
+        assert set(vectors.pads) == {0, 1, 2}
+        assert len(vectors.pads[0]) == 4
+        assert vectors.pads[0][0].shape == (2,)
+
+    def test_deterministic(self):
+        a = random_vectors(2, 4, 50, seed=9)
+        b = random_vectors(2, 4, 50, seed=9)
+        for pad in a.pads:
+            for bit in range(4):
+                assert (a.pads[pad][bit] == b.pads[pad][bit]).all()
+
+    def test_seeds_differ(self):
+        a = random_vectors(2, 8, 128, seed=1)
+        b = random_vectors(2, 8, 128, seed=2)
+        assert any(
+            (a.pads[p][k] != b.pads[p][k]).any()
+            for p in a.pads
+            for k in range(8)
+        )
+
+    def test_lane_value_consistency(self):
+        vectors = random_vectors(1, 8, 10, seed=3)
+        for lane in range(10):
+            value = vectors.lane_value(0, lane)
+            bits = [
+                unpack_values(vectors.pads[0][k], 10)[lane] for k in range(8)
+            ]
+            expected = sum(1 << k for k, bit in enumerate(bits) if bit)
+            assert value == expected
+
+    def test_tail_lanes_masked(self):
+        vectors = random_vectors(1, 4, 70, seed=4)
+        for bit in range(4):
+            assert int(vectors.pads[0][bit][1]) >> 6 == 0
+
+    def test_values_roughly_uniform(self):
+        vectors = random_vectors(1, 1, 4096, seed=5)
+        ones = popcount(vectors.pads[0][0])
+        assert 1700 < ones < 2400

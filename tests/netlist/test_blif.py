@@ -1,0 +1,149 @@
+"""Tests for the BLIF reader/writer."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.blif import blif_text, parse_blif
+from repro.netlist.gates import GateType, Netlist, TruthTable
+from repro.netlist.library import build_adder
+
+from tests.conftest import evaluate_netlist
+
+
+class TestWriter:
+    def test_header_and_end(self):
+        netlist = Netlist("widget")
+        a = netlist.add_input("a")
+        netlist.set_output(netlist.add_simple(GateType.NOT, (a,), "y"))
+        text = blif_text(netlist)
+        assert text.startswith(".model widget\n")
+        assert ".inputs a" in text
+        assert ".outputs y" in text
+        assert text.rstrip().endswith(".end")
+
+    def test_not_gate_cover(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        netlist.set_output(netlist.add_simple(GateType.NOT, (a,), "y"))
+        assert "0 1" in blif_text(netlist)
+
+    def test_constant_covers(self):
+        netlist = Netlist()
+        one = netlist.add_const(True, "one")
+        zero = netlist.add_const(False, "zero")
+        netlist.set_output(one)
+        netlist.set_output(zero)
+        text = blif_text(netlist)
+        assert ".names one\n1" in text
+        # Constant 0 is an empty cover.
+        assert ".names zero" in text
+
+    def test_latch_line(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        q = netlist.add_latch(a, "q", init=True)
+        netlist.set_output(q)
+        assert ".latch a q 1" in blif_text(netlist)
+
+    def test_long_input_list_wraps(self):
+        netlist = Netlist()
+        nets = [netlist.add_input(f"verylonginputname{i}") for i in range(20)]
+        netlist.set_output(netlist.add_simple(GateType.NOT, (nets[0],), "y"))
+        text = blif_text(netlist)
+        assert "\\\n" in text
+        assert all(len(line) <= 80 for line in text.splitlines())
+
+
+class TestParser:
+    def test_round_trip_adder(self):
+        original = build_adder(3)
+        parsed = parse_blif(blif_text(original))
+        parsed.validate()
+        rng = random.Random(5)
+        for _ in range(20):
+            assignment = {pi: rng.random() < 0.5 for pi in original.inputs}
+            expected = evaluate_netlist(original, assignment)
+            actual = evaluate_netlist(parsed, assignment)
+            for out in original.outputs:
+                assert actual[out] == expected[out]
+
+    def test_dont_care_cube(self):
+        text = """
+.model m
+.inputs a b c
+.outputs y
+.names a b c y
+1-0 1
+.end
+"""
+        netlist = parse_blif(text)
+        gate = netlist.gates["y"]
+        assert gate.table.evaluate([True, False, False]) is True
+        assert gate.table.evaluate([True, True, False]) is True
+        assert gate.table.evaluate([True, True, True]) is False
+
+    def test_multi_row_cover_is_or_of_cubes(self):
+        text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n10 1\n01 1\n.end\n"
+        netlist = parse_blif(text)
+        assert netlist.gates["y"].table == TruthTable.for_type(GateType.XOR, 2)
+
+    def test_off_set_cover(self):
+        text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n"
+        netlist = parse_blif(text)
+        assert netlist.gates["y"].table == TruthTable.for_type(GateType.NAND, 2)
+
+    def test_mixed_cover_rejected(self):
+        text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n"
+        with pytest.raises(NetlistError):
+            parse_blif(text)
+
+    def test_continuation_lines(self):
+        text = ".model m\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n"
+        netlist = parse_blif(text)
+        assert netlist.inputs == ["a", "b"]
+
+    def test_comments_stripped(self):
+        text = "# header\n.model m # name\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n"
+        netlist = parse_blif(text)
+        assert netlist.inputs == ["a"]
+
+    def test_subckt_rejected(self):
+        text = ".model m\n.inputs a\n.outputs y\n.subckt foo a=a y=y\n.end\n"
+        with pytest.raises(NetlistError):
+            parse_blif(text)
+
+    def test_malformed_cover_rejected(self):
+        text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n1 1\n.end\n"
+        with pytest.raises(NetlistError):
+            parse_blif(text)
+
+    def test_bad_cube_character_rejected(self):
+        text = ".model m\n.inputs a\n.outputs y\n.names a y\nx 1\n.end\n"
+        with pytest.raises(NetlistError):
+            parse_blif(text)
+
+    def test_latch_parsing(self):
+        text = ".model m\n.inputs d\n.outputs q\n.latch d q 1\n.end\n"
+        netlist = parse_blif(text)
+        assert netlist.latches["q"].init is True
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2 ** 16 - 1))
+def test_random_table_round_trips(bits):
+    """Any 4-input function survives a write/parse cycle."""
+    netlist = Netlist("roundtrip")
+    inputs = [netlist.add_input(f"i{k}") for k in range(4)]
+    table = TruthTable(4, bits)
+    netlist.set_output(netlist.add_gate(table, inputs, "y"))
+    parsed = parse_blif(blif_text(netlist))
+    parsed_table = parsed.gates["y"].table
+    constant = table.is_constant()
+    if constant is not None:
+        # Constant covers legitimately parse as 0-arity constants.
+        assert parsed_table.is_constant() == constant
+    else:
+        assert parsed_table == table

@@ -1,0 +1,201 @@
+"""Functional tests for the structural library generators."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.library import (
+    build_adder,
+    build_addsub,
+    build_equality_comparator,
+    build_functional_unit,
+    build_multiplier,
+    build_mux,
+    build_partial_datapath,
+    build_register,
+    build_subtractor,
+    select_width,
+)
+
+from tests.conftest import evaluate_netlist
+
+
+def drive_bus(assignment, name, width, value):
+    for bit in range(width):
+        assignment[f"{name}{bit}"] = bool((value >> bit) & 1)
+
+
+def read_bus(values, name, width):
+    return sum(1 << bit for bit in range(width) if values[f"{name}{bit}"])
+
+
+class TestAdders:
+    @pytest.mark.parametrize("width", [1, 2, 4])
+    def test_adder_exhaustive(self, width):
+        netlist = build_adder(width)
+        netlist.validate()
+        for a, b in itertools.product(range(1 << width), repeat=2):
+            assignment = {}
+            drive_bus(assignment, "a", width, a)
+            drive_bus(assignment, "b", width, b)
+            values = evaluate_netlist(netlist, assignment)
+            assert read_bus(values, "s", width) == (a + b) % (1 << width)
+
+    @pytest.mark.parametrize("width", [1, 2, 4])
+    def test_subtractor_exhaustive(self, width):
+        netlist = build_subtractor(width)
+        for a, b in itertools.product(range(1 << width), repeat=2):
+            assignment = {}
+            drive_bus(assignment, "a", width, a)
+            drive_bus(assignment, "b", width, b)
+            values = evaluate_netlist(netlist, assignment)
+            assert read_bus(values, "s", width) == (a - b) % (1 << width)
+
+    def test_addsub_both_modes(self):
+        width = 4
+        netlist = build_addsub(width)
+        for a, b, mode in itertools.product(range(16), range(16), (0, 1)):
+            assignment = {"mode": bool(mode)}
+            drive_bus(assignment, "a", width, a)
+            drive_bus(assignment, "b", width, b)
+            values = evaluate_netlist(netlist, assignment)
+            expected = (a - b) % 16 if mode else (a + b) % 16
+            assert read_bus(values, "s", width) == expected
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(NetlistError):
+            build_adder(0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_adder_width8_random(self, a, b):
+        netlist = build_adder(8)
+        assignment = {}
+        drive_bus(assignment, "a", 8, a)
+        drive_bus(assignment, "b", 8, b)
+        values = evaluate_netlist(netlist, assignment)
+        assert read_bus(values, "s", 8) == (a + b) % 256
+
+
+class TestMultiplier:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4])
+    def test_multiplier_exhaustive(self, width):
+        netlist = build_multiplier(width)
+        netlist.validate()
+        for a, b in itertools.product(range(1 << width), repeat=2):
+            assignment = {}
+            drive_bus(assignment, "a", width, a)
+            drive_bus(assignment, "b", width, b)
+            values = evaluate_netlist(netlist, assignment)
+            assert read_bus(values, "s", width) == (a * b) % (1 << width)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_multiplier_width6_random(self, a, b):
+        netlist = build_multiplier(6)
+        assignment = {}
+        drive_bus(assignment, "a", 6, a)
+        drive_bus(assignment, "b", 6, b)
+        values = evaluate_netlist(netlist, assignment)
+        assert read_bus(values, "s", 6) == (a * b) % 64
+
+
+class TestMux:
+    def test_select_width(self):
+        assert select_width(1) == 1
+        assert select_width(2) == 1
+        assert select_width(3) == 2
+        assert select_width(4) == 2
+        assert select_width(5) == 3
+        with pytest.raises(NetlistError):
+            select_width(0)
+
+    @pytest.mark.parametrize("n_inputs", [2, 3, 4, 5, 7, 8])
+    def test_mux_selects_every_input(self, n_inputs):
+        width = 3
+        netlist = build_mux(n_inputs, width)
+        netlist.validate()
+        rng = random.Random(n_inputs)
+        data = [rng.randrange(1 << width) for _ in range(n_inputs)]
+        sel_bits = select_width(n_inputs)
+        for index in range(n_inputs):
+            assignment = {}
+            for position, value in enumerate(data):
+                drive_bus(assignment, f"d{position}_", width, value)
+            for k in range(sel_bits):
+                name = f"sel{k}"
+                if name in netlist.inputs:
+                    assignment[name] = bool((index >> k) & 1)
+            values = evaluate_netlist(netlist, assignment)
+            assert read_bus(values, "y", width) == data[index]
+
+    def test_single_input_mux_is_wires(self):
+        netlist = build_mux(1, 2)
+        assert not any(name.startswith("sel") for name in netlist.inputs)
+        assignment = {"d0_0": True, "d0_1": False}
+        values = evaluate_netlist(netlist, assignment)
+        assert values["y0"] is True and values["y1"] is False
+
+
+class TestRegisterAndComparator:
+    def test_register_structure(self):
+        netlist = build_register(4)
+        assert netlist.num_latches() == 4
+        assert "en" in netlist.inputs
+        netlist.validate()
+
+    def test_register_without_enable(self):
+        netlist = build_register(2, with_enable=False)
+        assert "en" not in netlist.inputs
+        assert netlist.num_latches() == 2
+
+    def test_equality_comparator(self):
+        width = 3
+        netlist = build_equality_comparator(width)
+        for a, b in itertools.product(range(8), repeat=2):
+            assignment = {}
+            drive_bus(assignment, "a", width, a)
+            drive_bus(assignment, "b", width, b)
+            values = evaluate_netlist(netlist, assignment)
+            assert values["y0"] == (a == b)
+
+
+class TestPartialDatapath:
+    def test_structure_matches_figure2(self):
+        netlist = build_partial_datapath("mult", 2, 3, 4)
+        assert netlist.name == "mult_2_3"
+        # Data inputs: 2 buses + 3 buses of width 4, plus selects.
+        data_inputs = [n for n in netlist.inputs if "_d" in n]
+        assert len(data_inputs) == (2 + 3) * 4
+        assert any(n.startswith("a_sel") for n in netlist.inputs)
+        assert any(n.startswith("b_sel") for n in netlist.inputs)
+        netlist.validate()
+
+    def test_functional_unit_dispatch(self):
+        assert build_functional_unit("add", 2).name == "add"
+        assert build_functional_unit("sub", 2).name == "sub"
+        assert build_functional_unit("mult", 2).name == "mult"
+        with pytest.raises(NetlistError):
+            build_functional_unit("div", 2)
+
+    def test_partial_datapath_computes_selected_sum(self):
+        width = 3
+        netlist = build_partial_datapath("add", 2, 2, width)
+        rng = random.Random(9)
+        data = {
+            ("a", 0): 5, ("a", 1): 2, ("b", 0): 7, ("b", 1): 1,
+        }
+        for sel_a, sel_b in itertools.product((0, 1), repeat=2):
+            assignment = {"a_sel0": bool(sel_a), "b_sel0": bool(sel_b)}
+            for (port, position), value in data.items():
+                drive_bus(assignment, f"{port}_d{position}_", width, value)
+            values = evaluate_netlist(netlist, assignment)
+            expected = (data[("a", sel_a)] + data[("b", sel_b)]) % 8
+            assert read_bus(values, "s", width) == expected
+
+    def test_unknown_fu_rejected(self):
+        with pytest.raises(NetlistError):
+            build_partial_datapath("nand", 1, 1, 4)

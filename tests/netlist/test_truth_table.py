@@ -1,0 +1,204 @@
+"""Unit tests for :class:`repro.netlist.gates.TruthTable`."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.gates import GateType, TruthTable, iter_minterms
+
+
+def table_strategy(max_inputs: int = 4):
+    return st.integers(0, max_inputs).flatmap(
+        lambda n: st.builds(
+            TruthTable,
+            st.just(n),
+            st.integers(0, (1 << (1 << n)) - 1),
+        )
+    )
+
+
+class TestConstruction:
+    def test_constant_true(self):
+        table = TruthTable.constant(True)
+        assert table.n_inputs == 0
+        assert table.evaluate([]) is True
+
+    def test_constant_false(self):
+        assert TruthTable.constant(False).evaluate([]) is False
+
+    def test_bits_are_masked(self):
+        table = TruthTable(1, 0b1111)
+        assert table.bits == 0b11
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(NetlistError):
+            TruthTable(-1, 0)
+
+    def test_from_function_matches_direct(self):
+        table = TruthTable.from_function(2, lambda v: v[0] and not v[1])
+        assert table.evaluate([True, False]) is True
+        assert table.evaluate([True, True]) is False
+        assert table.evaluate([False, False]) is False
+
+
+class TestNamedTypes:
+    @pytest.mark.parametrize(
+        "gate_type,inputs,expected",
+        [
+            (GateType.AND, [True, True], True),
+            (GateType.AND, [True, False], False),
+            (GateType.OR, [False, False], False),
+            (GateType.OR, [False, True], True),
+            (GateType.NAND, [True, True], False),
+            (GateType.NOR, [False, False], True),
+            (GateType.XOR, [True, False], True),
+            (GateType.XOR, [True, True], False),
+            (GateType.XNOR, [True, True], True),
+        ],
+    )
+    def test_two_input_gates(self, gate_type, inputs, expected):
+        table = TruthTable.for_type(gate_type, 2)
+        assert table.evaluate(inputs) is expected
+
+    def test_wide_xor_is_parity(self):
+        table = TruthTable.for_type(GateType.XOR, 4)
+        assert table.evaluate([True, True, True, False]) is True
+        assert table.evaluate([True, True, True, True]) is False
+
+    def test_not_and_buf(self):
+        assert TruthTable.for_type(GateType.NOT, 1).evaluate([True]) is False
+        assert TruthTable.for_type(GateType.BUF, 1).evaluate([True]) is True
+
+    def test_mux_semantics(self):
+        # inputs are (sel, a, b): output is b when sel else a.
+        table = TruthTable.for_type(GateType.MUX, 3)
+        assert table.evaluate([False, True, False]) is True
+        assert table.evaluate([True, True, False]) is False
+
+    def test_buf_arity_enforced(self):
+        with pytest.raises(NetlistError):
+            TruthTable.for_type(GateType.BUF, 2)
+
+    def test_mux_arity_enforced(self):
+        with pytest.raises(NetlistError):
+            TruthTable.for_type(GateType.MUX, 2)
+
+    def test_classify_round_trip(self):
+        for gate_type in (
+            GateType.AND,
+            GateType.OR,
+            GateType.XOR,
+            GateType.NAND,
+            GateType.NOR,
+            GateType.XNOR,
+        ):
+            table = TruthTable.for_type(gate_type, 3)
+            assert table.classify() is gate_type
+
+    def test_classify_constants(self):
+        assert TruthTable(2, 0).classify() is GateType.CONST0
+        assert TruthTable(2, 0b1111).classify() is GateType.CONST1
+
+    def test_classify_generic_is_lut(self):
+        # f = a AND (b OR c) matches no named type.
+        table = TruthTable.from_function(
+            3, lambda v: v[0] and (v[1] or v[2])
+        )
+        assert table.classify() is GateType.LUT
+
+
+class TestCofactorAndDifference:
+    def test_cofactor_of_and(self):
+        table = TruthTable.for_type(GateType.AND, 2)
+        assert table.cofactor(0, True) == TruthTable.for_type(GateType.BUF, 1)
+        assert table.cofactor(0, False).is_constant() is False
+
+    def test_cofactor_out_of_range(self):
+        with pytest.raises(NetlistError):
+            TruthTable.for_type(GateType.AND, 2).cofactor(2, True)
+
+    def test_boolean_difference_of_xor_is_one(self):
+        table = TruthTable.for_type(GateType.XOR, 2)
+        assert table.boolean_difference(0).is_constant() is True
+
+    def test_boolean_difference_of_and(self):
+        # d(ab)/da = b.
+        table = TruthTable.for_type(GateType.AND, 2)
+        assert table.boolean_difference(0) == TruthTable.for_type(
+            GateType.BUF, 1
+        )
+
+    def test_depends_on_and_support(self):
+        # f = a (ignores b).
+        table = TruthTable.from_function(2, lambda v: v[0])
+        assert table.depends_on(0)
+        assert not table.depends_on(1)
+        assert table.support() == [0]
+
+    @given(table_strategy(3), st.integers(0, 2))
+    def test_shannon_expansion(self, table, var):
+        if var >= table.n_inputs:
+            return
+        hi = table.cofactor(var, True)
+        lo = table.cofactor(var, False)
+        for i in range(1 << table.n_inputs):
+            inputs = [bool((i >> k) & 1) for k in range(table.n_inputs)]
+            reduced = [v for k, v in enumerate(inputs) if k != var]
+            expected = hi.evaluate(reduced) if inputs[var] else lo.evaluate(
+                reduced
+            )
+            assert table.evaluate(inputs) == expected
+
+
+class TestPermute:
+    def test_identity(self):
+        table = TruthTable.from_function(3, lambda v: v[0] and not v[2])
+        assert table.permute([0, 1, 2]) == table
+
+    def test_swap(self):
+        table = TruthTable.from_function(2, lambda v: v[0] and not v[1])
+        swapped = table.permute([1, 0])
+        assert swapped.evaluate([False, True]) is True
+        assert swapped.evaluate([True, False]) is False
+
+    def test_bad_permutation_rejected(self):
+        with pytest.raises(NetlistError):
+            TruthTable.for_type(GateType.AND, 2).permute([0, 0])
+
+    @given(table_strategy(4), st.permutations(range(4)))
+    def test_permute_preserves_function(self, table, order):
+        if table.n_inputs != 4:
+            return
+        permuted = table.permute(order)
+        for i in range(16):
+            inputs = [bool((i >> k) & 1) for k in range(4)]
+            new_inputs = [inputs[order[k]] for k in range(4)]
+            assert permuted.evaluate(new_inputs) == table.evaluate(inputs)
+
+
+class TestMisc:
+    def test_negate(self):
+        table = TruthTable.for_type(GateType.AND, 2)
+        assert table.negate() == TruthTable.for_type(GateType.NAND, 2)
+
+    @given(table_strategy(4))
+    def test_double_negation(self, table):
+        assert table.negate().negate() == table
+
+    def test_iter_minterms(self):
+        table = TruthTable.for_type(GateType.AND, 2)
+        assert list(iter_minterms(table)) == [(True, True)]
+
+    def test_output_column_length(self):
+        assert len(TruthTable(3, 0).output_column()) == 8
+
+    def test_hash_and_eq(self):
+        a = TruthTable.for_type(GateType.AND, 2)
+        b = TruthTable(2, 0b1000)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != TruthTable.for_type(GateType.OR, 2)
+
+    def test_evaluate_arity_checked(self):
+        with pytest.raises(NetlistError):
+            TruthTable.for_type(GateType.AND, 2).evaluate([True])

@@ -1,0 +1,84 @@
+"""Tests for the FSM controller description."""
+
+import pytest
+
+from repro.binding import HLPowerConfig, bind_hlpower
+from repro.rtl import build_datapath, build_controller
+
+
+@pytest.fixture()
+def figure1_datapath(figure1_schedule, sa_table):
+    solution = bind_hlpower(
+        figure1_schedule,
+        {"add": 2, "mult": 1},
+        config=HLPowerConfig(sa_table=sa_table),
+    )
+    return build_datapath(solution, width=4)
+
+
+class TestSignals:
+    def test_every_register_has_enable(self, figure1_datapath):
+        controller = build_controller(figure1_datapath)
+        names = {sig.name for sig in controller.signals}
+        for reg in figure1_datapath.registers:
+            assert f"reg{reg.index}_en" in names
+
+    def test_single_source_muxes_have_no_select(self, figure1_datapath):
+        controller = build_controller(figure1_datapath)
+        names = {sig.name for sig in controller.signals}
+        for spec in figure1_datapath.fus:
+            for port, mux in (("a", spec.mux_a), ("b", spec.mux_b)):
+                signal = f"fu{spec.unit.fu_id}_sel_{port}"
+                assert (signal in names) == (mux.size > 1)
+
+    def test_select_widths(self, figure1_datapath):
+        controller = build_controller(figure1_datapath)
+        for sig in controller.signals:
+            if sig.name.endswith("_en"):
+                assert sig.width == 1
+
+    def test_state_bits_cover_steps(self, figure1_datapath):
+        controller = build_controller(figure1_datapath)
+        assert (1 << controller.state_bits) >= controller.n_steps
+
+    def test_signal_lookup(self, figure1_datapath):
+        controller = build_controller(figure1_datapath)
+        name = controller.signals[0].name
+        assert controller.signal(name).name == name
+        with pytest.raises(KeyError):
+            controller.signal("nonexistent")
+
+
+class TestResolution:
+    def test_zero_policy_zeroes_idle_steps(self, figure1_datapath):
+        controller = build_controller(figure1_datapath)
+        resolved = controller.resolved("zero")
+        for sig in controller.signals:
+            values = resolved[sig.name]
+            assert len(values) == controller.n_steps
+            for raw, cooked in zip(sig.values, values):
+                if raw is None:
+                    assert cooked == 0
+
+    def test_hold_policy_repeats_last_value(self, figure1_datapath):
+        controller = build_controller(figure1_datapath)
+        resolved = controller.resolved("hold")
+        for sig in controller.signals:
+            last = 0
+            for raw, cooked in zip(sig.values, resolved[sig.name]):
+                if raw is not None:
+                    last = raw
+                assert cooked == last
+
+    def test_unknown_policy_rejected(self, figure1_datapath):
+        controller = build_controller(figure1_datapath)
+        with pytest.raises(ValueError):
+            controller.resolved("random")
+
+
+class TestAreaEstimate:
+    def test_positive_and_scales_with_signals(self, figure1_datapath):
+        controller = build_controller(figure1_datapath)
+        estimate = controller.estimated_luts()
+        assert estimate > 0
+        assert estimate >= controller.state_bits

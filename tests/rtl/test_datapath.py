@@ -1,0 +1,187 @@
+"""Tests for datapath construction and its control table.
+
+The key test replays the control table with a plain integer register
+file and checks the primary outputs against the CDFG's arithmetic
+semantics — exercising binding, mux source ordering and the control
+table without any gate-level machinery.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import RTLError
+from repro.binding import HLPowerConfig, bind_hlpower, bind_lopass
+from repro.cdfg import Schedule, benchmark_spec, figure1_example, load_benchmark
+from repro.rtl import build_datapath
+from repro.scheduling import list_schedule
+
+
+def replay_control_table(datapath, pad_values):
+    """Integer-level behavioural simulation of the control table."""
+    mask = (1 << datapath.width) - 1
+    registers = [0] * len(datapath.registers)
+    fu_values = {}
+    selects = {}
+    modes = {}
+
+    def source_value(ref):
+        kind, index = ref
+        if kind == "reg":
+            return registers[index]
+        if kind == "pad":
+            return pad_values[index]
+        return fu_values[index]
+
+    for control in datapath.control:
+        for fu_id, sel in control.fu_selects.items():
+            selects[fu_id] = sel
+        for fu_id, mode in control.fu_modes.items():
+            modes[fu_id] = mode
+        for spec in datapath.fus:
+            sel = selects.get(spec.unit.fu_id)
+            if sel is None:
+                continue
+            a = source_value(spec.mux_a.sources[sel[0]])
+            b = source_value(spec.mux_b.sources[sel[1]])
+            if spec.unit.fu_class == "mult":
+                result = (a * b) & mask
+            elif modes.get(spec.unit.fu_id, 0) == 1:
+                result = (a - b) & mask
+            else:
+                result = (a + b) & mask
+            fu_values[spec.unit.fu_id] = result
+        updated = list(registers)
+        for register, sel in control.reg_enables.items():
+            source = datapath.registers[register].mux.sources[sel]
+            updated[register] = source_value(source)
+        registers = updated
+    return [registers[r] for r in datapath.output_registers]
+
+
+def golden(cdfg, pad_values, width):
+    mask = (1 << width) - 1
+    values = {}
+    for position, var_id in enumerate(cdfg.primary_inputs):
+        values[var_id] = pad_values[position]
+    for op in cdfg.topological_order():
+        a, b = values[op.inputs[0]], values[op.inputs[1]]
+        if op.op_type == "add":
+            values[op.output] = (a + b) & mask
+        elif op.op_type == "sub":
+            values[op.output] = (a - b) & mask
+        else:
+            values[op.output] = (a * b) & mask
+    return [values[v] for v in cdfg.primary_outputs]
+
+
+class TestConstruction:
+    def test_figure1_structure(self, figure1_schedule, sa_table):
+        solution = bind_hlpower(
+            figure1_schedule,
+            {"add": 2, "mult": 1},
+            config=HLPowerConfig(sa_table=sa_table),
+        )
+        datapath = build_datapath(solution, width=8)
+        assert len(datapath.fus) == 3
+        assert len(datapath.registers) == solution.registers.n_registers
+        assert datapath.n_steps == figure1_schedule.length
+        assert len(datapath.output_registers) == 2
+
+    def test_load_step_covers_all_inputs(self, figure1_schedule, sa_table):
+        solution = bind_hlpower(
+            figure1_schedule,
+            {"add": 2, "mult": 1},
+            config=HLPowerConfig(sa_table=sa_table),
+        )
+        datapath = build_datapath(solution, width=4)
+        loaded = set(datapath.control[0].reg_enables)
+        pi_regs = {
+            solution.registers.register_of(v)
+            for v in figure1_schedule.cdfg.primary_inputs
+        }
+        assert pi_regs <= loaded
+
+    def test_invalid_width_rejected(self, figure1_schedule, sa_table):
+        solution = bind_hlpower(
+            figure1_schedule,
+            {"add": 2, "mult": 1},
+            config=HLPowerConfig(sa_table=sa_table),
+        )
+        with pytest.raises(RTLError):
+            build_datapath(solution, width=0)
+
+    def test_fu_of_lookup(self, figure1_schedule, sa_table):
+        solution = bind_hlpower(
+            figure1_schedule,
+            {"add": 2, "mult": 1},
+            config=HLPowerConfig(sa_table=sa_table),
+        )
+        datapath = build_datapath(solution, width=4)
+        for op_id in figure1_schedule.cdfg.operations:
+            spec = datapath.fu_of(op_id)
+            assert op_id in spec.unit.ops
+
+
+class TestBehaviouralReplay:
+    @pytest.mark.parametrize("binder", ["hlpower", "lopass"])
+    def test_figure1_replay_matches_golden(
+        self, figure1_schedule, sa_table, binder
+    ):
+        if binder == "hlpower":
+            solution = bind_hlpower(
+                figure1_schedule,
+                {"add": 2, "mult": 1},
+                config=HLPowerConfig(sa_table=sa_table),
+            )
+        else:
+            solution = bind_lopass(figure1_schedule, {"add": 2, "mult": 1})
+        datapath = build_datapath(solution, width=8)
+        rng = random.Random(11)
+        cdfg = figure1_schedule.cdfg
+        for _ in range(25):
+            pads = [rng.randrange(256) for _ in cdfg.primary_inputs]
+            assert replay_control_table(datapath, pads) == golden(
+                cdfg, pads, 8
+            )
+
+    @pytest.mark.parametrize("name", ["pr", "wang"])
+    def test_benchmark_replay_matches_golden(self, name, sa_table):
+        spec = benchmark_spec(name)
+        schedule = list_schedule(load_benchmark(name), spec.constraints)
+        solution = bind_hlpower(
+            schedule,
+            spec.constraints,
+            config=HLPowerConfig(sa_table=sa_table),
+        )
+        datapath = build_datapath(solution, width=8)
+        rng = random.Random(13)
+        cdfg = schedule.cdfg
+        for _ in range(10):
+            pads = [rng.randrange(256) for _ in cdfg.primary_inputs]
+            assert replay_control_table(datapath, pads) == golden(
+                cdfg, pads, 8
+            )
+
+    def test_sub_operations_replay(self, sa_table):
+        from repro.cdfg.graph import CDFG
+
+        cdfg = CDFG("subtest")
+        a = cdfg.add_input()
+        b = cdfg.add_input()
+        t1 = cdfg.add_operation("sub", a, b)
+        t2 = cdfg.add_operation("add", t1, a)
+        t3 = cdfg.add_operation("sub", t2, t1)
+        cdfg.mark_output(t3)
+        schedule = Schedule(cdfg, {0: 1, 1: 2, 2: 3})
+        solution = bind_hlpower(
+            schedule, {"add": 1, "mult": 1},
+            config=HLPowerConfig(sa_table=sa_table),
+        )
+        datapath = build_datapath(solution, width=6)
+        rng = random.Random(3)
+        for _ in range(20):
+            pads = [rng.randrange(64) for _ in cdfg.primary_inputs]
+            assert replay_control_table(datapath, pads) == golden(
+                cdfg, pads, 6
+            )

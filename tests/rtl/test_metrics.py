@@ -1,0 +1,95 @@
+"""Tests for the multiplexer statistics (Tables 3/4 metrics)."""
+
+import pytest
+
+from repro.binding import HLPowerConfig, bind_hlpower
+from repro.cdfg import benchmark_spec, load_benchmark
+from repro.rtl import mux_report
+from repro.scheduling import list_schedule
+
+
+@pytest.fixture()
+def figure1_solution(figure1_schedule, sa_table):
+    return bind_hlpower(
+        figure1_schedule,
+        {"add": 2, "mult": 1},
+        config=HLPowerConfig(sa_table=sa_table),
+    )
+
+
+class TestMuxReport:
+    def test_one_diff_per_allocated_fu(self, figure1_solution):
+        report = mux_report(figure1_solution)
+        assert report.n_fus == 3  # Table 4's "# muxes" convention
+
+    def test_diffs_match_sizes(self, figure1_solution):
+        report = mux_report(figure1_solution)
+        for (size_a, size_b), diff in zip(
+            report.fu_mux_sizes, report.mux_diffs
+        ):
+            assert diff == abs(size_a - size_b)
+
+    def test_largest_covers_fu_and_register_muxes(self, figure1_solution):
+        report = mux_report(figure1_solution)
+        max_fu = max(max(a, b) for a, b in report.fu_mux_sizes)
+        assert report.largest_mux >= max_fu
+
+    def test_single_source_ports_are_wires(self, figure1_solution):
+        report = mux_report(figure1_solution)
+        manual = sum(
+            size
+            for pair in report.fu_mux_sizes
+            for size in pair
+            if size > 1
+        )
+        assert report.fu_mux_length == manual
+
+    def test_length_decomposition(self, figure1_solution):
+        report = mux_report(figure1_solution)
+        assert report.mux_length == (
+            report.fu_mux_length + report.register_mux_length
+        )
+
+    def test_mean_and_variance(self, figure1_solution):
+        report = mux_report(figure1_solution)
+        diffs = report.mux_diffs
+        mean = sum(diffs) / len(diffs)
+        assert report.mux_diff_mean == pytest.approx(mean)
+        variance = sum((d - mean) ** 2 for d in diffs) / len(diffs)
+        assert report.mux_diff_variance == pytest.approx(variance)
+
+    def test_benchmark_report_consistency(self, sa_table):
+        spec = benchmark_spec("pr")
+        schedule = list_schedule(load_benchmark("pr"), spec.constraints)
+        solution = bind_hlpower(
+            schedule,
+            spec.constraints,
+            config=HLPowerConfig(sa_table=sa_table),
+        )
+        report = mux_report(solution)
+        assert report.n_fus == sum(spec.constraints.values())
+        assert report.largest_mux >= 2
+        assert report.mux_length > 0
+
+    def test_empty_solution(self):
+        from repro.binding.base import (
+            BindingSolution,
+            FUBinding,
+            PortAssignment,
+            RegisterBinding,
+        )
+        from repro.cdfg.graph import CDFG
+        from repro.cdfg.schedule import Schedule
+
+        cdfg = CDFG()
+        cdfg.add_input()
+        solution = BindingSolution(
+            Schedule(cdfg, {}),
+            RegisterBinding(0, {}),
+            PortAssignment({}),
+            FUBinding([]),
+        )
+        report = mux_report(solution)
+        assert report.mux_diff_mean == 0.0
+        assert report.mux_diff_variance == 0.0
+        assert report.mux_length == 0

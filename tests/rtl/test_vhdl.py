@@ -1,0 +1,93 @@
+"""Structural checks on the emitted VHDL."""
+
+import re
+
+import pytest
+
+from repro.binding import HLPowerConfig, bind_hlpower
+from repro.rtl import build_datapath, emit_vhdl
+
+
+@pytest.fixture()
+def figure1_vhdl(figure1_schedule, sa_table):
+    solution = bind_hlpower(
+        figure1_schedule,
+        {"add": 2, "mult": 1},
+        config=HLPowerConfig(sa_table=sa_table),
+    )
+    datapath = build_datapath(solution, width=8)
+    return datapath, emit_vhdl(datapath, entity="fig1")
+
+
+class TestStructure:
+    def test_entity_declaration(self, figure1_vhdl):
+        _, text = figure1_vhdl
+        assert "entity fig1 is" in text
+        assert "end entity fig1;" in text
+        assert "architecture rtl of fig1 is" in text
+        assert "end architecture rtl;" in text
+
+    def test_ports_present(self, figure1_vhdl):
+        datapath, text = figure1_vhdl
+        assert "clk   : in  std_logic;" in text
+        for position in range(len(datapath.cdfg.primary_inputs)):
+            assert f"pi{position} : in" in text
+        for position in range(len(datapath.output_registers)):
+            assert f"po{position} : out" in text
+        assert "done  : out std_logic" in text
+
+    def test_width_consistent(self, figure1_vhdl):
+        datapath, text = figure1_vhdl
+        expected = f"std_logic_vector({datapath.width - 1} downto 0)"
+        assert expected in text
+
+    def test_every_register_declared_and_clocked(self, figure1_vhdl):
+        datapath, text = figure1_vhdl
+        for reg in datapath.registers:
+            assert f"signal reg{reg.index} :" in text
+            assert f"if reg{reg.index}_en = '1' then" in text
+
+    def test_every_fu_has_expression(self, figure1_vhdl):
+        datapath, text = figure1_vhdl
+        for spec in datapath.fus:
+            fu = spec.unit.fu_id
+            assert f"fu{fu}_y <=" in text
+            if spec.unit.fu_class == "mult":
+                assert f"resize(fu{fu}_a * fu{fu}_b" in text
+
+    def test_processes_balanced(self, figure1_vhdl):
+        _, text = figure1_vhdl
+        assert text.count("process") % 2 == 0  # begin/end paired
+        assert text.count("rising_edge(clk)") == 2  # FSM + registers
+
+    def test_fsm_counts_states(self, figure1_vhdl):
+        datapath, text = figure1_vhdl
+        last_state = len(datapath.control) - 1
+        assert f"state = {last_state}" in text
+        assert "state <= state + 1;" in text
+
+    def test_if_end_if_balanced(self, figure1_vhdl):
+        _, text = figure1_vhdl
+        opens = len(re.findall(r"(?<!els)\bif\b.*\bthen\b", text))
+        closes = text.count("end if;")
+        assert opens == closes
+
+    def test_addsub_unit_emits_mode(self, sa_table):
+        from repro.cdfg.graph import CDFG
+        from repro.cdfg.schedule import Schedule
+
+        cdfg = CDFG("modes")
+        a = cdfg.add_input()
+        b = cdfg.add_input()
+        t1 = cdfg.add_operation("add", a, b)
+        t2 = cdfg.add_operation("sub", t1, a)
+        cdfg.mark_output(t2)
+        schedule = Schedule(cdfg, {0: 1, 1: 2})
+        solution = bind_hlpower(
+            schedule, {"add": 1, "mult": 1},
+            config=HLPowerConfig(sa_table=sa_table),
+        )
+        datapath = build_datapath(solution, width=4)
+        text = emit_vhdl(datapath)
+        assert "fu0_mode" in text
+        assert "when fu0_mode = '1'" in text

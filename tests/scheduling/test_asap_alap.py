@@ -1,0 +1,83 @@
+"""Tests for ASAP/ALAP scheduling and mobility."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.cdfg import load_benchmark
+from repro.cdfg.graph import CDFG
+from repro.scheduling import alap_schedule, asap_schedule, mobility
+
+
+def diamond() -> CDFG:
+    cdfg = CDFG()
+    a = cdfg.add_input()
+    b = cdfg.add_input()
+    t1 = cdfg.add_operation("add", a, b)
+    t2 = cdfg.add_operation("mult", t1, a)
+    t3 = cdfg.add_operation("add", t1, b)
+    t4 = cdfg.add_operation("add", t2, t3)
+    cdfg.mark_output(t4)
+    return cdfg
+
+
+class TestAsap:
+    def test_chain_depths(self):
+        cdfg = diamond()
+        schedule = asap_schedule(cdfg)
+        assert schedule.start[0] == 1
+        assert schedule.start[1] == 2
+        assert schedule.start[2] == 2
+        assert schedule.start[3] == 3
+
+    def test_multicycle_pushes_successors(self):
+        cdfg = diamond()
+        schedule = asap_schedule(cdfg, {"add": 1, "mult": 2})
+        assert schedule.start[3] == 4  # waits for the 2-cycle mult
+
+    def test_valid(self):
+        asap_schedule(load_benchmark("pr")).validate()
+
+
+class TestAlap:
+    def test_defaults_to_critical_path(self):
+        cdfg = diamond()
+        asap = asap_schedule(cdfg)
+        alap = alap_schedule(cdfg)
+        assert alap.length == asap.length
+
+    def test_slack_distributed_to_start(self):
+        cdfg = diamond()
+        alap = alap_schedule(cdfg, length=5)
+        assert alap.start[3] == 5
+        assert alap.start[0] == 3
+
+    def test_too_short_rejected(self):
+        cdfg = diamond()
+        with pytest.raises(ScheduleError):
+            alap_schedule(cdfg, length=2)
+
+    def test_alap_at_least_asap(self):
+        cdfg = load_benchmark("wang")
+        asap = asap_schedule(cdfg)
+        alap = alap_schedule(cdfg, length=asap.length + 3)
+        for op_id in asap.start:
+            assert alap.start[op_id] >= asap.start[op_id]
+
+
+class TestMobility:
+    def test_critical_ops_have_zero_mobility(self):
+        cdfg = diamond()
+        slack = mobility(cdfg)
+        assert slack[0] == 0
+        assert slack[3] == 0
+
+    def test_mobility_grows_with_length(self):
+        cdfg = diamond()
+        tight = mobility(cdfg)
+        loose = mobility(cdfg, length=6)
+        assert all(loose[op] >= tight[op] for op in tight)
+        assert any(loose[op] > tight[op] for op in tight)
+
+    def test_all_nonnegative(self):
+        cdfg = load_benchmark("pr")
+        assert all(v >= 0 for v in mobility(cdfg).values())

@@ -1,0 +1,63 @@
+"""Tests for force-directed scheduling."""
+
+import pytest
+
+from repro.cdfg import load_benchmark
+from repro.scheduling import (
+    asap_schedule,
+    force_directed_schedule,
+    list_schedule,
+)
+
+
+class TestForceDirected:
+    def test_valid_at_critical_path(self):
+        cdfg = load_benchmark("pr")
+        schedule = force_directed_schedule(cdfg)
+        schedule.validate()
+        assert schedule.length <= asap_schedule(cdfg).length
+
+    def test_valid_with_slack(self):
+        cdfg = load_benchmark("pr")
+        target = asap_schedule(cdfg).length + 4
+        schedule = force_directed_schedule(cdfg, length=target)
+        schedule.validate()
+        assert schedule.length <= target
+
+    def test_slack_reduces_peak_concurrency(self):
+        """Extra latency budget lets force-directed flatten the
+        distribution, lowering the per-class FU lower bound."""
+        cdfg = load_benchmark("wang")
+        tight = force_directed_schedule(cdfg)
+        loose = force_directed_schedule(
+            cdfg, length=asap_schedule(cdfg).length + 6
+        )
+        tight_peak = sum(tight.min_resources().values())
+        loose_peak = sum(loose.min_resources().values())
+        assert loose_peak <= tight_peak
+
+    def test_no_worse_than_asap_peak(self):
+        cdfg = load_benchmark("pr")
+        asap = asap_schedule(cdfg)
+        fd = force_directed_schedule(cdfg, length=asap.length + 2)
+        asap_peak = sum(asap.min_resources().values())
+        fd_peak = sum(fd.min_resources().values())
+        assert fd_peak <= asap_peak
+
+    def test_deterministic(self):
+        cdfg = load_benchmark("pr")
+        first = force_directed_schedule(cdfg)
+        second = force_directed_schedule(cdfg)
+        assert first.start == second.start
+
+    def test_feeds_binding_pipeline(self):
+        """A force-directed schedule is a valid binder input."""
+        from repro.binding import bind_lopass
+
+        cdfg = load_benchmark("pr")
+        schedule = force_directed_schedule(
+            cdfg, length=asap_schedule(cdfg).length + 2
+        )
+        constraints = schedule.min_resources()
+        solution = bind_lopass(schedule, constraints)
+        solution.validate()

@@ -1,0 +1,79 @@
+"""Tests for the resource-constrained list scheduler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ResourceError
+from repro.cdfg import benchmark_spec, load_benchmark
+from repro.cdfg.generate import GraphProfile, generate_cdfg
+from repro.scheduling import asap_schedule, list_schedule
+
+
+class TestConstraints:
+    def test_constraints_respected(self):
+        cdfg = load_benchmark("pr")
+        schedule = list_schedule(cdfg, {"add": 2, "mult": 2})
+        assert schedule.respects({"add": 2, "mult": 2})
+
+    def test_tighter_constraints_lengthen_schedule(self):
+        cdfg = load_benchmark("wang")
+        loose = list_schedule(cdfg, {"add": 4, "mult": 4})
+        tight = list_schedule(cdfg, {"add": 1, "mult": 1})
+        assert tight.length > loose.length
+        assert tight.respects({"add": 1, "mult": 1})
+
+    def test_length_at_least_critical_path(self):
+        cdfg = load_benchmark("honda")
+        schedule = list_schedule(cdfg, {"add": 99, "mult": 99})
+        assert schedule.length == asap_schedule(cdfg).length
+
+    def test_missing_constraint_rejected(self):
+        cdfg = load_benchmark("pr")
+        with pytest.raises(ResourceError):
+            list_schedule(cdfg, {"add": 2})
+
+    def test_zero_constraint_rejected(self):
+        cdfg = load_benchmark("pr")
+        with pytest.raises(ResourceError):
+            list_schedule(cdfg, {"add": 0, "mult": 1})
+
+    def test_deterministic(self):
+        cdfg = load_benchmark("wang")
+        first = list_schedule(cdfg, {"add": 2, "mult": 2})
+        second = list_schedule(cdfg, {"add": 2, "mult": 2})
+        assert first.start == second.start
+
+
+class TestMultiCycle:
+    def test_multicycle_occupies_unit(self):
+        cdfg = load_benchmark("pr")
+        schedule = list_schedule(
+            cdfg, {"add": 2, "mult": 2}, latencies={"add": 1, "mult": 2}
+        )
+        schedule.validate()
+        assert schedule.respects({"add": 2, "mult": 2})
+
+    def test_multicycle_lengthens(self):
+        cdfg = load_benchmark("pr")
+        single = list_schedule(cdfg, {"add": 2, "mult": 2})
+        multi = list_schedule(
+            cdfg, {"add": 2, "mult": 2}, latencies={"add": 1, "mult": 3}
+        )
+        assert multi.length > single.length
+
+
+class TestProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 100), st.integers(1, 3), st.integers(1, 3))
+    def test_random_graphs_schedule_validly(self, seed, adders, mults):
+        profile = GraphProfile("prop", 4, 2, 12, 8)
+        cdfg = generate_cdfg(profile, seed=seed)
+        schedule = list_schedule(cdfg, {"add": adders, "mult": mults})
+        schedule.validate()
+        assert schedule.respects({"add": adders, "mult": mults})
+
+    def test_paper_constraints_reach_paper_cycles(self):
+        for name in ("pr", "wang", "honda", "mcm", "chem", "steam", "dir"):
+            spec = benchmark_spec(name)
+            schedule = list_schedule(load_benchmark(name), spec.constraints)
+            assert schedule.length == spec.paper_cycles, name

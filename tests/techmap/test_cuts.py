@@ -1,0 +1,122 @@
+"""Tests for K-feasible cut enumeration and cone collapsing."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MappingError
+from repro.netlist.gates import GateType, Netlist
+from repro.netlist.library import build_adder
+from repro.techmap.cuts import cone_function, cone_nodes, enumerate_cuts
+
+from tests.conftest import evaluate_netlist
+
+
+def build_tree() -> Netlist:
+    """y = (a AND b) OR (c AND d)."""
+    netlist = Netlist()
+    a, b, c, d = (netlist.add_input(n) for n in "abcd")
+    n1 = netlist.add_simple(GateType.AND, (a, b), "n1")
+    n2 = netlist.add_simple(GateType.AND, (c, d), "n2")
+    y = netlist.add_simple(GateType.OR, (n1, n2), "y")
+    netlist.set_output(y)
+    return netlist
+
+
+class TestEnumeration:
+    def test_source_has_trivial_cut_only(self):
+        netlist = build_tree()
+        cuts = enumerate_cuts(netlist, k=4)
+        assert cuts["a"] == [frozenset(("a",))]
+
+    def test_root_includes_leaf_cut(self):
+        netlist = build_tree()
+        cuts = enumerate_cuts(netlist, k=4)
+        assert frozenset("abcd") in cuts["y"]
+        assert frozenset(("y",)) in cuts["y"]
+
+    def test_k_limits_cut_width(self):
+        netlist = build_tree()
+        cuts = enumerate_cuts(netlist, k=3)
+        assert frozenset("abcd") not in cuts["y"]
+        assert all(len(cut) <= 3 for cut in cuts["y"])
+
+    def test_dominated_cuts_pruned(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        n1 = netlist.add_simple(GateType.NOT, (a,), "n1")
+        n2 = netlist.add_simple(GateType.NOT, (n1,), "n2")
+        netlist.set_output(n2)
+        cuts = enumerate_cuts(netlist, k=4)
+        # {a} dominates any superset; only {n2}, {n1}, {a} survive.
+        assert set(cuts["n2"]) == {
+            frozenset(("n2",)),
+            frozenset(("n1",)),
+            frozenset(("a",)),
+        }
+
+    def test_cap_respected(self):
+        netlist = build_adder(4)
+        cuts = enumerate_cuts(netlist, k=4, cap=3)
+        assert all(len(cut_list) <= 3 for cut_list in cuts.values())
+
+    def test_invalid_parameters_rejected(self):
+        netlist = build_tree()
+        with pytest.raises(MappingError):
+            enumerate_cuts(netlist, k=1)
+        with pytest.raises(MappingError):
+            enumerate_cuts(netlist, k=4, cap=0)
+
+    def test_every_cut_is_a_real_cut(self):
+        netlist = build_adder(3)
+        cuts = enumerate_cuts(netlist, k=4)
+        for net in netlist.gates:
+            for cut in cuts[net]:
+                if cut == frozenset((net,)):
+                    continue
+                # cone_nodes raises if the cut does not bound the cone.
+                cone_nodes(netlist, net, cut)
+
+
+class TestConeFunction:
+    def test_collapse_two_level_tree(self):
+        netlist = build_tree()
+        table = cone_function(netlist, "y", ("a", "b", "c", "d"))
+        assert table.evaluate([True, True, False, False]) is True
+        assert table.evaluate([False, True, True, False]) is False
+        assert table.evaluate([False, False, True, True]) is True
+
+    def test_leaf_ordering_defines_inputs(self):
+        netlist = build_tree()
+        table = cone_function(netlist, "n1", ("b", "a"))
+        assert table.evaluate([True, True]) is True
+        assert table.evaluate([True, False]) is False
+
+    def test_root_as_leaf_is_identity(self):
+        netlist = build_tree()
+        table = cone_function(netlist, "n1", ("n1",))
+        assert table.evaluate([True]) is True
+        assert table.evaluate([False]) is False
+
+    def test_escaping_cone_rejected(self):
+        netlist = build_tree()
+        with pytest.raises(MappingError):
+            cone_nodes(netlist, "y", frozenset(("n1", "c")))  # d escapes
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10 ** 6))
+    def test_collapse_matches_direct_evaluation(self, seed):
+        netlist = build_adder(3)
+        cuts = enumerate_cuts(netlist, k=4)
+        rng = random.Random(seed)
+        net = rng.choice(sorted(netlist.gates))
+        candidates = [c for c in cuts[net] if c != frozenset((net,))]
+        if not candidates:  # constant gates have only the trivial cut
+            return
+        cut = rng.choice(candidates)
+        leaves = tuple(sorted(cut))
+        table = cone_function(netlist, net, leaves)
+        assignment = {pi: rng.random() < 0.5 for pi in netlist.inputs}
+        values = evaluate_netlist(netlist, assignment)
+        assert table.evaluate([values[l] for l in leaves]) == values[net]

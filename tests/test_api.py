@@ -1,0 +1,54 @@
+"""Public API surface tests."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_readme_quickstart_path():
+    """The README quickstart must keep working verbatim."""
+    from repro import (
+        FlowConfig,
+        benchmark_spec,
+        compare_binders,
+        list_schedule,
+        load_benchmark,
+    )
+    from repro.binding.sa_table import SATable, SATableConfig
+
+    spec = benchmark_spec("pr")
+    schedule = list_schedule(load_benchmark("pr"), spec.constraints)
+    results = compare_binders(
+        schedule,
+        spec.constraints,
+        FlowConfig(width=4, n_vectors=16, sa_table=SATable(SATableConfig(3))),
+    )
+    assert results["hlpower"].power.dynamic_power_mw > 0
+    assert results["lopass"].power.dynamic_power_mw > 0
+
+
+def test_error_hierarchy():
+    from repro import errors
+
+    subclasses = [
+        errors.CDFGError,
+        errors.ScheduleError,
+        errors.NetlistError,
+        errors.BindingError,
+        errors.ResourceError,
+        errors.EstimationError,
+        errors.MappingError,
+        errors.RTLError,
+        errors.SimulationError,
+        errors.ConfigError,
+    ]
+    for cls in subclasses:
+        assert issubclass(cls, errors.ReproError)
+    assert issubclass(errors.ResourceError, errors.BindingError)

@@ -1,0 +1,128 @@
+"""Tests for the integrated HLS driver."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro import HLSConfig, benchmark_spec, load_benchmark, synthesize
+from repro.binding.sa_table import SATable, SATableConfig
+
+_TABLE = SATable(SATableConfig(width=3))
+
+
+class TestSynthesize:
+    def test_list_scheduled_flow(self):
+        spec = benchmark_spec("pr")
+        result = synthesize(
+            load_benchmark("pr"),
+            spec.constraints,
+            HLSConfig(sa_table=_TABLE),
+        )
+        assert result.allocation == spec.constraints
+        assert result.schedule.length == spec.paper_cycles
+        assert "entity design is" in result.vhdl
+        assert result.muxes.n_fus == sum(spec.constraints.values())
+
+    def test_force_scheduled_flow_defaults_constraints(self):
+        result = synthesize(
+            load_benchmark("pr"),
+            config=HLSConfig(scheduler="force", latency=20, sa_table=_TABLE),
+        )
+        assert result.schedule.length <= 20
+        assert result.allocation == result.schedule.min_resources()
+
+    def test_list_without_constraints_rejected(self):
+        with pytest.raises(ConfigError):
+            synthesize(load_benchmark("pr"), config=HLSConfig(sa_table=_TABLE))
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ConfigError):
+            synthesize(
+                load_benchmark("pr"),
+                {"add": 2, "mult": 2},
+                HLSConfig(scheduler="magic", sa_table=_TABLE),
+            )
+
+    def test_unknown_binder_rejected(self):
+        with pytest.raises(ConfigError):
+            synthesize(
+                load_benchmark("pr"),
+                {"add": 2, "mult": 2},
+                HLSConfig(binder="magic", sa_table=_TABLE),
+            )
+
+    def test_baseline_binder(self):
+        spec = benchmark_spec("wang")
+        result = synthesize(
+            load_benchmark("wang"),
+            spec.constraints,
+            HLSConfig(binder="lopass", sa_table=_TABLE),
+        )
+        assert result.allocation == spec.constraints
+        assert result.solution.algorithm.startswith("lopass")
+
+    def test_port_optimization_toggle(self):
+        spec = benchmark_spec("pr")
+        with_opt = synthesize(
+            load_benchmark("pr"), spec.constraints,
+            HLSConfig(sa_table=_TABLE, optimize_port_assignment=True),
+        )
+        without = synthesize(
+            load_benchmark("pr"), spec.constraints,
+            HLSConfig(sa_table=_TABLE, optimize_port_assignment=False),
+        )
+        assert without.port_flips == 0
+        assert with_opt.muxes.fu_mux_length <= without.muxes.fu_mux_length
+
+    def test_custom_entity_name(self):
+        spec = benchmark_spec("pr")
+        result = synthesize(
+            load_benchmark("pr"), spec.constraints,
+            HLSConfig(sa_table=_TABLE), entity="pr_core",
+        )
+        assert "entity pr_core is" in result.vhdl
+
+    def test_multicycle_latencies(self):
+        spec = benchmark_spec("pr")
+        result = synthesize(
+            load_benchmark("pr"),
+            spec.constraints,
+            HLSConfig(sa_table=_TABLE, latencies={"add": 1, "mult": 2}),
+        )
+        result.solution.validate()
+        assert result.schedule.latencies["mult"] == 2
+
+
+class TestCLI:
+    def test_profiles_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "chem" in out and "cycles" in out
+
+    def test_synth_command(self, capsys, tmp_path):
+        from repro.cli import main
+
+        vhdl = tmp_path / "pr.vhd"
+        assert main(["synth", "pr", "--width", "4", "--vhdl", str(vhdl)]) == 0
+        out = capsys.readouterr().out
+        assert "allocation" in out
+        assert vhdl.exists()
+        assert "entity pr is" in vhdl.read_text()
+
+    def test_bench_command(self, capsys, tmp_path):
+        from repro.cli import main
+
+        code = main([
+            "bench", "pr", "--width", "4", "--vectors", "16",
+            "--sa-table", str(tmp_path / "t.txt"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LOPASS" in out and "HLPower" in out
+
+    def test_bad_benchmark_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["bench", "nonexistent"])
