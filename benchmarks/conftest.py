@@ -2,7 +2,9 @@
 
 The heavyweight work — running the full flow (bind, elaborate, map,
 simulate) for every benchmark under every binder configuration — is
-done once per session and cached; each table/figure bench then formats
+done once per session through the sweep engine
+(:func:`repro.flow.run_sweep`, the same path ``python -m repro sweep``
+and ``suite`` drive) and cached; each table/figure bench then formats
 and checks its slice of the results.
 
 Scaling knobs (environment variables):
@@ -26,16 +28,9 @@ from typing import Dict, Tuple
 
 import pytest
 
-from repro import (
-    BENCHMARK_NAMES,
-    FlowConfig,
-    benchmark_spec,
-    list_schedule,
-    load_benchmark,
-)
-from repro.binding import SATable, bind_registers, assign_ports
-from repro.flow import FlowResult, run_flow
-from repro.flow.run import _run_binder
+from repro import BENCHMARK_NAMES, benchmark_spec, run_sweep
+from repro.binding import SATable
+from repro.flow import BinderConfig, FlowResult, SweepSpec
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 _TABLE_PATH = os.path.join(_REPO_ROOT, "data", "sa_table.txt")
@@ -43,6 +38,13 @@ _RESULTS_DIR = os.path.join(_REPO_ROOT, "benchmarks", "results")
 
 #: The three configurations Tables 3/4 and Figure 3 compare.
 CONFIGS = ("lopass", "hlpower_a1", "hlpower_a05")
+
+#: Binder/alpha behind each configuration label.
+BINDER_CONFIGS = (
+    BinderConfig("lopass", "lopass", 0.5),
+    BinderConfig("hlpower_a1", "hlpower", 1.0),
+    BinderConfig("hlpower_a05", "hlpower", 0.5),
+)
 
 
 def bench_names() -> Tuple[str, ...]:
@@ -84,29 +86,28 @@ def sa_table() -> SATable:
 
 @pytest.fixture(scope="session")
 def suite(sa_table) -> SuiteResults:
-    """Run the full measurement flow for every (benchmark, config)."""
+    """Run the full measurement flow for every (benchmark, config).
+
+    Uses the sweep engine's in-process mode (``jobs=1``) with
+    ``keep_results=True``: the benches need the full
+    :class:`FlowResult` objects (mux lists, mapping, simulation), not
+    just the per-cell metric records.
+    """
     width = bench_width()
     vectors = bench_vectors()
-    results: Dict[Tuple[str, str], FlowResult] = {}
-    for name in bench_names():
-        spec = benchmark_spec(name)
-        schedule = list_schedule(load_benchmark(name), spec.constraints)
-        registers = bind_registers(schedule)
-        ports = assign_ports(schedule.cdfg)
-        for config in CONFIGS:
-            alpha = 1.0 if config == "hlpower_a1" else 0.5
-            flow_config = FlowConfig(
-                width=width,
-                n_vectors=vectors,
-                alpha=alpha,
-                sa_table=sa_table,
-            )
-            binder = "lopass" if config == "lopass" else "hlpower"
-            results[(name, config)] = run_flow(
-                schedule, spec.constraints, binder, flow_config,
-                registers, ports,
-            )
+    spec = SweepSpec(
+        benchmarks=list(bench_names()),
+        configs=list(BINDER_CONFIGS),
+        widths=(width,),
+        n_vectors=vectors,
+    )
+    sweep = run_sweep(spec, jobs=1, sa_table=sa_table, keep_results=True)
     sa_table.save_if_dirty()
+    results = {
+        (name, config): sweep.result_of(name, config)
+        for name in bench_names()
+        for config in CONFIGS
+    }
     return SuiteResults(results, width, vectors)
 
 

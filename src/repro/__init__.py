@@ -43,7 +43,17 @@ from repro.binding import (
     bind_registers,
 )
 from repro.rtl import build_datapath, emit_vhdl, mux_report
-from repro.flow import FlowConfig, FlowResult, compare_binders, run_flow
+from repro.flow import (
+    BinderConfig,
+    FlowConfig,
+    FlowResult,
+    SweepResult,
+    SweepSpec,
+    compare_binders,
+    expand_grid,
+    run_flow,
+    run_sweep,
+)
 from repro.hls import HLSConfig, HLSResult, synthesize
 
 __version__ = "1.0.0"
@@ -70,10 +80,15 @@ __all__ = [
     "build_datapath",
     "emit_vhdl",
     "mux_report",
+    "BinderConfig",
     "FlowConfig",
     "FlowResult",
+    "SweepResult",
+    "SweepSpec",
     "compare_binders",
+    "expand_grid",
     "run_flow",
+    "run_sweep",
     "HLSConfig",
     "HLSResult",
     "synthesize",

@@ -24,8 +24,9 @@ mirroring the paper's precalc-vs-dynamic equivalence claim.
 from __future__ import annotations
 
 import os
+import tempfile
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, TextIO, Tuple
+from typing import Dict, Iterable, Mapping, Optional, TextIO, Tuple
 
 from repro.errors import BindingError
 from repro.activity import estimate_switching_activity
@@ -137,12 +138,42 @@ class SATable:
                         computed += 1
         return computed
 
+    # -- sharing ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[Key, float]:
+        """Copy of the cached values (for shipping to sweep workers)."""
+        return dict(self._values)
+
+    def merge(self, values: Mapping[Key, float]) -> int:
+        """Absorb entries computed elsewhere (e.g. by a sweep worker).
+
+        Only keys not already cached are taken, so a worker's copy can
+        never overwrite the parent's values. Returns the number of new
+        entries (the table is marked dirty if any were added).
+        """
+        added = 0
+        for key, value in values.items():
+            if key not in self._values:
+                self._values[key] = value
+                added += 1
+        if added:
+            self._dirty = True
+        return added
+
     # -- persistence ------------------------------------------------------
 
     _HEADER = "# fu mux_a mux_b width k mapped glitch sa"
 
     def save(self, path: Optional[str] = None) -> None:
-        """Write the table as the paper's text file."""
+        """Write the table as the paper's text file.
+
+        The write is atomic: content goes to a uniquely-named temp file
+        in the target directory and is moved into place with
+        :func:`os.replace`, so a concurrent reader (or another saver —
+        e.g. parallel sweep workers) can never observe a torn file.
+        Last writer wins; the sweep engine funnels all saves through
+        the parent process so nothing is lost.
+        """
         target = path or self.path
         if target is None:
             raise BindingError("no path to save the SA table to")
@@ -150,16 +181,35 @@ class SATable:
         if directory:
             os.makedirs(directory, exist_ok=True)
         config = self.config
-        with open(target, "w") as handle:
-            handle.write(self._HEADER + "\n")
-            for (fu_class, mux_a, mux_b), value in sorted(
-                self._values.items()
-            ):
-                handle.write(
-                    f"{fu_class} {mux_a} {mux_b} {config.width} "
-                    f"{config.k} {int(config.map_to_luts)} "
-                    f"{int(config.glitch_aware)} {value:.9f}\n"
-                )
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory or ".",
+            prefix=os.path.basename(target) + ".",
+            suffix=".tmp",
+        )
+        try:
+            # mkstemp creates 0600; keep the target's existing mode (or
+            # a normal umask-respecting default) instead.
+            if os.path.exists(target):
+                os.chmod(tmp_path, os.stat(target).st_mode & 0o777)
+            else:
+                umask = os.umask(0)
+                os.umask(umask)
+                os.chmod(tmp_path, 0o666 & ~umask)
+            with os.fdopen(fd, "w") as handle:
+                handle.write(self._HEADER + "\n")
+                for (fu_class, mux_a, mux_b), value in sorted(
+                    self._values.items()
+                ):
+                    handle.write(
+                        f"{fu_class} {mux_a} {mux_b} {config.width} "
+                        f"{config.k} {int(config.map_to_luts)} "
+                        f"{int(config.glitch_aware)} {value:.9f}\n"
+                    )
+            os.replace(tmp_path, target)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
         self._dirty = False
 
     def save_if_dirty(self) -> None:

@@ -8,7 +8,14 @@ Commands:
   and mux statistics, optionally writes VHDL.
 * ``suite`` — the full LOPASS-vs-HLPower comparison over all seven
   benchmarks (what `benchmarks/test_table3_power_area.py` runs).
+* ``sweep`` — run a declarative ``benchmark x binder x alpha x width x
+  seed`` grid across worker processes and dump a JSON result store
+  (see docs/sweeps.md).
 * ``profiles`` — print Table 1.
+
+``bench``, ``suite`` and ``sweep`` are all thin wrappers over the same
+sweep engine (:mod:`repro.flow.batch`), so they share one execution
+path, one elaboration memo, and one SA-table lifecycle.
 """
 
 from __future__ import annotations
@@ -16,20 +23,25 @@ from __future__ import annotations
 import argparse
 import statistics
 import sys
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro import (
     BENCHMARK_NAMES,
-    FlowConfig,
     HLSConfig,
     benchmark_spec,
-    compare_binders,
-    list_schedule,
     load_benchmark,
+    run_sweep,
     synthesize,
 )
 from repro.binding import SATable
-from repro.flow import format_table, percent_change
+from repro.errors import ReproError
+from repro.flow import (
+    BinderConfig,
+    SweepSpec,
+    format_sweep_summary,
+    format_table,
+    percent_change,
+)
 
 
 def _add_flow_args(parser: argparse.ArgumentParser) -> None:
@@ -41,6 +53,8 @@ def _add_flow_args(parser: argparse.ArgumentParser) -> None:
                         help="Equation (4) alpha (default 0.5)")
     parser.add_argument("--sa-table", default="data/sa_table.txt",
                         help="persistent SA table path")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1 = in-process)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,6 +71,54 @@ def build_parser() -> argparse.ArgumentParser:
     suite = sub.add_parser("suite", help="run the full Table 3 comparison")
     _add_flow_args(suite)
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a benchmark x binder x alpha x width x seed grid",
+        description=(
+            "Expand a declarative grid into jobs, run them across "
+            "--jobs worker processes (1 = in-process), and print/save "
+            "per-cell metrics with seed-averaged aggregates. Schedules "
+            "and register/port bindings are elaborated once per "
+            "benchmark and shared; the SA table is precalculated and "
+            "shipped to every worker, then saved once."
+        ),
+    )
+    sweep.add_argument(
+        "--benchmarks", default="all",
+        help="comma-separated names, a count N (= first N benchmarks), "
+             "or 'all' (default)")
+    sweep.add_argument(
+        "--binders", default="lopass,hlpower",
+        help="comma-separated binder names (default lopass,hlpower)")
+    sweep.add_argument(
+        "--alphas", default="0.5",
+        help="comma-separated Equation (4) alpha values (default 0.5)")
+    sweep.add_argument(
+        "--widths", default="8",
+        help="comma-separated datapath bit-widths (default 8)")
+    sweep.add_argument(
+        "--seeds", default="1",
+        help="a count N (= vector seeds 7..7+N-1) or a comma-separated "
+             "list of explicit seeds (default 1)")
+    sweep.add_argument("--vectors", type=int, default=256,
+                       help="random input vectors per cell (default 256)")
+    sweep.add_argument("--scheduler", choices=("list", "force"),
+                       default="list")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default 1 = in-process)")
+    sweep.add_argument("--out", metavar="FILE",
+                       help="write the JSON result store here")
+    sweep.add_argument("--sa-table", default="data/sa_table.txt",
+                       help="persistent SA table path")
+    sweep.add_argument(
+        "--precalc-mux", type=int, default=0, metavar="N",
+        help="bulk-precalculate SA entries up to NxN muxes before "
+             "dispatch (default 0 = lazy)")
+    sweep.add_argument("--baseline", default="lopass",
+                       help="binder label (or name) percent changes compare "
+                            "against; 'none' disables the column "
+                            "(default lopass)")
+
     synth = sub.add_parser("synth", help="integrated HLS on a benchmark")
     synth.add_argument("name", choices=BENCHMARK_NAMES)
     synth.add_argument("--scheduler", choices=("list", "force"),
@@ -71,30 +133,78 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _bench_rows(names, args, table: SATable) -> List[List[str]]:
+def _parse_benchmarks(raw: str) -> List[str]:
+    raw = raw.strip()
+    if raw == "all":
+        return list(BENCHMARK_NAMES)
+    try:
+        count = int(raw)
+    except ValueError:
+        names = [name.strip() for name in raw.split(",") if name.strip()]
+        for name in names:
+            try:
+                benchmark_spec(name)
+            except ReproError as exc:
+                raise SystemExit(f"error: {exc}")
+        return names
+    if not 1 <= count <= len(BENCHMARK_NAMES):
+        raise SystemExit(
+            f"--benchmarks count must be in 1..{len(BENCHMARK_NAMES)}"
+        )
+    return list(BENCHMARK_NAMES[:count])
+
+
+def _parse_seeds(raw: str) -> List[int]:
+    raw = raw.strip()
+    if "," in raw:
+        return _comma_list(raw, int, "--seeds")
+    try:
+        count = int(raw)
+    except ValueError:
+        raise SystemExit(f"error: --seeds expects integers, got {raw!r}")
+    if count < 1:
+        raise SystemExit("error: --seeds count must be >= 1")
+    return list(range(7, 7 + count))
+
+
+def _comma_list(raw: str, cast, flag: str) -> List:
+    try:
+        return [cast(token) for token in raw.split(",") if token.strip()]
+    except ValueError:
+        raise SystemExit(
+            f"error: {flag} expects comma-separated "
+            f"{cast.__name__} values, got {raw!r}"
+        )
+
+
+def _bench_rows(names: Sequence[str], args, table: SATable) -> List[List[str]]:
+    spec = SweepSpec(
+        benchmarks=list(names),
+        configs=[
+            BinderConfig("lopass", "lopass", args.alpha),
+            BinderConfig("hlpower", "hlpower", args.alpha),
+        ],
+        widths=(args.width,),
+        n_vectors=args.vectors,
+    )
+    sweep = run_sweep(spec, jobs=args.jobs, sa_table=table)
     rows = []
     deltas = []
     for name in names:
-        spec = benchmark_spec(name)
-        schedule = list_schedule(load_benchmark(name), spec.constraints)
-        config = FlowConfig(
-            width=args.width, n_vectors=args.vectors,
-            alpha=args.alpha, sa_table=table,
-        )
-        results = compare_binders(schedule, spec.constraints, config)
-        lo, hl = results["lopass"], results["hlpower"]
+        lo = sweep.cell(name, "lopass").metrics
+        hl = sweep.cell(name, "hlpower").metrics
         delta = percent_change(
-            lo.power.dynamic_power_mw, hl.power.dynamic_power_mw
+            lo["dynamic_power_mw"], hl["dynamic_power_mw"]
         )
         deltas.append(delta)
         rows.append(
             [
                 name,
-                f"{lo.power.dynamic_power_mw:.2f}",
-                f"{hl.power.dynamic_power_mw:.2f}",
+                f"{lo['dynamic_power_mw']:.2f}",
+                f"{hl['dynamic_power_mw']:.2f}",
                 f"{delta:+.1f}%",
-                f"{lo.area_luts}/{hl.area_luts}",
-                f"{lo.muxes.largest_mux}/{hl.muxes.largest_mux}",
+                f"{lo['area_luts']}/{hl['area_luts']}",
+                f"{lo['largest_mux']}/{hl['largest_mux']}",
             ]
         )
     if len(names) > 1:
@@ -106,7 +216,10 @@ def _bench_rows(names, args, table: SATable) -> List[List[str]]:
 
 def cmd_bench(args) -> int:
     table = SATable(path=args.sa_table)
-    rows = _bench_rows([args.name], args, table)
+    try:
+        rows = _bench_rows([args.name], args, table)
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}")
     table.save_if_dirty()
     print(format_table(
         ["bench", "LOPASS mW", "HLPower mW", "dPower", "LUTs", "lrg mux"],
@@ -117,13 +230,45 @@ def cmd_bench(args) -> int:
 
 def cmd_suite(args) -> int:
     table = SATable(path=args.sa_table)
-    rows = _bench_rows(list(BENCHMARK_NAMES), args, table)
+    try:
+        rows = _bench_rows(list(BENCHMARK_NAMES), args, table)
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}")
     table.save_if_dirty()
     print(format_table(
         ["bench", "LOPASS mW", "HLPower mW", "dPower", "LUTs", "lrg mux"],
         rows,
         title="LOPASS vs HLPower (paper average: -19.3% power)",
     ))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    spec = SweepSpec(
+        benchmarks=_parse_benchmarks(args.benchmarks),
+        binders=_comma_list(args.binders, str, "--binders"),
+        alphas=_comma_list(args.alphas, float, "--alphas"),
+        widths=_comma_list(args.widths, int, "--widths"),
+        vector_seeds=_parse_seeds(args.seeds),
+        n_vectors=args.vectors,
+        scheduler=args.scheduler,
+        baseline=args.baseline,
+    )
+    table = SATable(path=args.sa_table)
+    try:
+        sweep = run_sweep(
+            spec,
+            jobs=args.jobs,
+            sa_table=table,
+            precalc_max_mux=args.precalc_mux,
+        )
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}")
+    table.save_if_dirty()
+    print(format_sweep_summary(sweep))
+    if args.out:
+        sweep.save(args.out)
+        print(f"result store written to {args.out}")
     return 0
 
 
@@ -176,6 +321,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "bench": cmd_bench,
         "suite": cmd_suite,
+        "sweep": cmd_sweep,
         "synth": cmd_synth,
         "profiles": cmd_profiles,
     }

@@ -5,11 +5,35 @@ pipeline: scheduled CDFG -> register binding -> FU binding (HLPower or
 the LOPASS baseline) -> datapath -> gate-level elaboration -> K-LUT
 mapping -> unit-delay simulation -> timing and power reports. This is
 the code path every table/figure bench drives.
+
+:mod:`repro.flow.batch` scales that single call into declarative
+experiment grids: :class:`~repro.flow.batch.SweepSpec` describes a
+``benchmark x binder x alpha x width x seed`` grid and
+:func:`~repro.flow.batch.run_sweep` executes it across worker
+processes with shared SA-table state and memoized elaborations,
+collecting per-cell records into a JSON-serializable
+:class:`~repro.flow.batch.SweepResult`.
 """
 
-from repro.flow.run import FlowConfig, FlowResult, compare_binders, run_flow
+from repro.flow.run import (
+    FlowConfig,
+    FlowResult,
+    compare_binders,
+    prepare_flow_inputs,
+    run_flow,
+)
+from repro.flow.batch import (
+    BinderConfig,
+    SweepCell,
+    SweepJob,
+    SweepResult,
+    SweepSpec,
+    expand_grid,
+    run_sweep,
+)
 from repro.flow.report import (
     format_change,
+    format_sweep_summary,
     format_table,
     percent_change,
 )
@@ -18,8 +42,17 @@ __all__ = [
     "FlowConfig",
     "FlowResult",
     "compare_binders",
+    "prepare_flow_inputs",
     "run_flow",
+    "BinderConfig",
+    "SweepCell",
+    "SweepJob",
+    "SweepResult",
+    "SweepSpec",
+    "expand_grid",
+    "run_sweep",
     "format_change",
+    "format_sweep_summary",
     "format_table",
     "percent_change",
 ]

@@ -1,0 +1,576 @@
+"""Parallel sweep engine for the experiment flow.
+
+The paper's results are all grids of the same measurement: every table
+and figure is ``benchmark x binder x alpha x seed`` cells of
+:func:`~repro.flow.run.run_flow`. This module turns that shape into a
+first-class subsystem:
+
+* :class:`SweepSpec` — a declarative grid (benchmarks, binder
+  configurations, alphas, widths, vector seeds) plus the shared flow
+  knobs;
+* :func:`expand_grid` — spec -> concrete :class:`SweepJob` list;
+* :func:`run_sweep` — executes the jobs across a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs=1`` is a
+  fully in-process deterministic mode used by the tests and the bench
+  fixtures) and collects per-cell records into a JSON-serializable
+  :class:`SweepResult`.
+
+Two performance layers keep the grid cheap:
+
+* a content-keyed **elaboration memo** — schedule, register binding
+  and port assignment depend only on ``(benchmark, scheduler,
+  constraints)``, so each worker process computes them once per
+  benchmark and every binder/alpha/seed job on that benchmark reuses
+  them (cache hits are counted per cell);
+* **shared SA-table state** — the parent precalculates/loads the
+  Section 5.2.2 table once per sweep, ships the values to every worker
+  via the pool initializer, and merges any entries a worker still had
+  to compute back into the master table, which is saved once
+  (atomically) at the end instead of once per job.
+
+Determinism: every per-cell ``metrics`` record is a pure function of
+the cell's inputs — SA-table values are themselves deterministic, so
+cache state cannot influence binding decisions — and ``jobs=N``
+produces byte-identical metrics to ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.binding import SATable
+from repro.cdfg import Schedule, benchmark_spec, load_benchmark
+from repro.errors import ConfigError
+from repro.flow.run import FlowConfig, FlowResult, prepare_flow_inputs, run_flow
+from repro.scheduling import force_directed_schedule, list_schedule
+
+
+@dataclass(frozen=True)
+class BinderConfig:
+    """One binder column of the grid.
+
+    ``label`` names the column in records and reports ("lopass",
+    "hlpower_a05", ...); ``alpha`` is Equation (4)'s weight and is
+    ignored by binders that do not consume it (LOPASS).
+    """
+
+    label: str
+    binder: str
+    alpha: float = 0.5
+
+
+@dataclass
+class SweepSpec:
+    """Declarative description of one experiment grid.
+
+    The grid is the cross product ``benchmarks x binder_configs x
+    widths x vector_seeds``. Binder configurations come either from the
+    ``binders x alphas`` cross product (the default) or from an
+    explicit ``configs`` list when the columns are not a product — e.g.
+    the bench suite's ``lopass / hlpower_a1 / hlpower_a05``.
+    """
+
+    benchmarks: Sequence[str]
+    binders: Sequence[str] = ("lopass", "hlpower")
+    alphas: Sequence[float] = (0.5,)
+    widths: Sequence[int] = (8,)
+    vector_seeds: Sequence[int] = (7,)
+    configs: Optional[Sequence[BinderConfig]] = None
+    n_vectors: int = 256
+    k: int = 4
+    scheduler: str = "list"
+    check_function: bool = True
+    #: Binder label (or binder name) used as the reference for
+    #: percentage changes; "none" (or empty) disables the comparison.
+    baseline: str = "lopass"
+
+    def binder_configs(self) -> List[BinderConfig]:
+        if self.configs is not None:
+            return list(self.configs)
+        out = []
+        for binder in self.binders:
+            for alpha in self.alphas:
+                label = binder if len(self.alphas) == 1 else (
+                    f"{binder}_a{alpha:g}"
+                )
+                out.append(BinderConfig(label, binder, alpha))
+        return out
+
+    def validate(self) -> None:
+        if not self.benchmarks:
+            raise ConfigError("sweep spec has no benchmarks")
+        for name in self.benchmarks:
+            benchmark_spec(name)  # raises on unknown names
+        if self.scheduler not in ("list", "force"):
+            raise ConfigError(f"unknown scheduler {self.scheduler!r}")
+        configs = self.binder_configs()
+        if not configs:
+            raise ConfigError("sweep spec has no binder configurations")
+        for config in configs:
+            if config.binder not in ("lopass", "hlpower"):
+                raise ConfigError(
+                    f"unknown binder {config.binder!r}; choose from "
+                    f"('lopass', 'hlpower')"
+                )
+        labels = [config.label for config in configs]
+        if len(set(labels)) != len(labels):
+            raise ConfigError(f"duplicate binder labels: {labels}")
+        if not self.widths or not self.vector_seeds:
+            raise ConfigError("sweep spec needs >= 1 width and seed")
+        if self.baseline and self.baseline != "none":
+            if self.baseline not in labels:
+                matches = [
+                    c for c in configs if c.binder == self.baseline
+                ]
+                if not matches:
+                    raise ConfigError(
+                        f"baseline {self.baseline!r} matches no binder "
+                        f"configuration; choose from {sorted(labels)} or "
+                        f"pass 'none'"
+                    )
+                # LOPASS ignores alpha, so all its grid columns hold
+                # identical cells and any of them can anchor the
+                # comparison; an alpha-sensitive binder must be named
+                # by its exact label.
+                if len(matches) > 1 and self.baseline != "lopass":
+                    raise ConfigError(
+                        f"baseline {self.baseline!r} is ambiguous across "
+                        f"alphas; use an explicit label such as "
+                        f"{matches[0].label!r}"
+                    )
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["benchmarks"] = list(self.benchmarks)
+        data["binders"] = list(self.binders)
+        data["alphas"] = list(self.alphas)
+        data["widths"] = list(self.widths)
+        data["vector_seeds"] = list(self.vector_seeds)
+        if self.configs is not None:
+            data["configs"] = [asdict(config) for config in self.configs]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        kwargs = dict(data)
+        if kwargs.get("configs") is not None:
+            kwargs["configs"] = [
+                BinderConfig(**config) for config in kwargs["configs"]
+            ]
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One expanded grid cell, ready to run."""
+
+    index: int
+    benchmark: str
+    config: BinderConfig
+    width: int
+    vector_seed: int
+
+
+@dataclass
+class SweepCell:
+    """The record one job produces."""
+
+    benchmark: str
+    config: str
+    binder: str
+    alpha: float
+    width: int
+    vector_seed: int
+    #: Deterministic measurements (see :meth:`FlowResult.metrics`).
+    metrics: Dict[str, float]
+    runtime_s: float
+    schedule_cache_hit: bool
+    sa_new_entries: int
+
+    @property
+    def key(self) -> Tuple[str, str, int, int]:
+        return (self.benchmark, self.config, self.width, self.vector_seed)
+
+
+def expand_grid(spec: SweepSpec) -> List[SweepJob]:
+    """Expand the spec into jobs, benchmark-major.
+
+    Benchmark-major order keeps jobs that share an elaboration-memo key
+    adjacent, so pool chunking hands workers runs of cache hits.
+    """
+    spec.validate()
+    jobs: List[SweepJob] = []
+    for benchmark in spec.benchmarks:
+        for config in spec.binder_configs():
+            for width in spec.widths:
+                for seed in spec.vector_seeds:
+                    jobs.append(
+                        SweepJob(len(jobs), benchmark, config, width, seed)
+                    )
+    return jobs
+
+
+# ---------------------------------------------------------------------------
+# Worker side. One module-level state dict per process, filled by the pool
+# initializer (or directly for jobs=1 in-process mode).
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _WorkerPayload:
+    """Everything a worker process needs, shipped once at pool start."""
+
+    spec: SweepSpec
+    sa_table: SATable  # preloaded values travel inside
+
+
+_WORKER: Dict[str, Any] = {}
+
+
+def _init_worker(payload: _WorkerPayload) -> None:
+    _WORKER["spec"] = payload.spec
+    _WORKER["sa_table"] = payload.sa_table
+    _WORKER["sa_known"] = set(payload.sa_table.snapshot())
+    _WORKER["memo"] = {}
+
+
+def _elaborate(benchmark: str, spec: SweepSpec) -> Tuple[Schedule, Dict[str, int], Any, Any, bool]:
+    """Memoized schedule + registers + ports for one benchmark.
+
+    Keyed by the content that determines them: benchmark name,
+    scheduler, and the resource constraints. Returns the cached tuple
+    plus whether this call was a hit.
+
+    With the list scheduler the Table 2 constraints drive the
+    schedule; with the force-directed scheduler the binding
+    constraints are the balanced schedule's own lower bound
+    (``min_resources``), matching :func:`repro.hls.synthesize` — the
+    Table 2 numbers need not be feasible for a latency-balanced
+    schedule.
+    """
+    bench = benchmark_spec(benchmark)
+    key = (
+        benchmark,
+        spec.scheduler,
+        tuple(sorted(bench.constraints.items())),
+    )
+    memo: Dict[Any, Any] = _WORKER["memo"]
+    hit = key in memo
+    if not hit:
+        cdfg = load_benchmark(benchmark)
+        if spec.scheduler == "force":
+            schedule = force_directed_schedule(cdfg)
+            constraints = schedule.min_resources()
+        else:
+            constraints = bench.constraints
+            schedule = list_schedule(cdfg, constraints)
+        registers, ports = prepare_flow_inputs(schedule)
+        memo[key] = (schedule, constraints, registers, ports)
+    schedule, constraints, registers, ports = memo[key]
+    return schedule, constraints, registers, ports, hit
+
+
+def _execute(job: SweepJob) -> Tuple[SweepCell, FlowResult, Dict[Any, float]]:
+    """Run one job against this process's shared state."""
+    spec: SweepSpec = _WORKER["spec"]
+    table: SATable = _WORKER["sa_table"]
+    schedule, constraints, registers, ports, hit = _elaborate(
+        job.benchmark, spec
+    )
+    config = FlowConfig(
+        width=job.width,
+        k=spec.k,
+        n_vectors=spec.n_vectors,
+        vector_seed=job.vector_seed,
+        alpha=job.config.alpha,
+        sa_table=table,
+        check_function=spec.check_function,
+    )
+    result = run_flow(
+        schedule, constraints, job.config.binder, config, registers, ports
+    )
+    known: set = _WORKER["sa_known"]
+    new_entries = {
+        key: value
+        for key, value in table.snapshot().items()
+        if key not in known
+    }
+    known.update(new_entries)
+    cell = SweepCell(
+        benchmark=job.benchmark,
+        config=job.config.label,
+        binder=job.config.binder,
+        alpha=job.config.alpha,
+        width=job.width,
+        vector_seed=job.vector_seed,
+        metrics=result.metrics(),
+        runtime_s=result.runtime_s,
+        schedule_cache_hit=hit,
+        sa_new_entries=len(new_entries),
+    )
+    return cell, result, new_entries
+
+
+def _execute_remote(job: SweepJob) -> Tuple[SweepCell, Dict[Any, float]]:
+    """Pool entry point: drop the heavyweight FlowResult before pickling."""
+    cell, _, new_entries = _execute(job)
+    return cell, new_entries
+
+
+# ---------------------------------------------------------------------------
+# Result store.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SweepResult:
+    """Structured store of one sweep's per-cell records and stats."""
+
+    spec: SweepSpec
+    cells: List[SweepCell]
+    jobs: int
+    wall_s: float
+    schedule_cache_hits: int
+    schedule_cache_misses: int
+    sa_precalc_entries: int
+    sa_new_entries: int
+    #: Full FlowResults keyed by cell key; only populated when
+    #: ``run_sweep(..., keep_results=True)``.
+    results: Dict[Tuple[str, str, int, int], FlowResult] = field(
+        default_factory=dict, repr=False
+    )
+
+    def cell(
+        self,
+        benchmark: str,
+        config: str,
+        width: Optional[int] = None,
+        vector_seed: Optional[int] = None,
+    ) -> SweepCell:
+        """The unique cell matching the given coordinates."""
+        matches = [
+            c
+            for c in self.cells
+            if c.benchmark == benchmark
+            and c.config == config
+            and (width is None or c.width == width)
+            and (vector_seed is None or c.vector_seed == vector_seed)
+        ]
+        if not matches:
+            raise KeyError((benchmark, config, width, vector_seed))
+        if len(matches) > 1:
+            raise KeyError(
+                f"ambiguous cell {(benchmark, config)}: {len(matches)} "
+                f"matches; pass width/vector_seed"
+            )
+        return matches[0]
+
+    def result_of(
+        self,
+        benchmark: str,
+        config: str,
+        width: Optional[int] = None,
+        vector_seed: Optional[int] = None,
+    ) -> FlowResult:
+        """The retained FlowResult for a cell (needs keep_results)."""
+        cell = self.cell(benchmark, config, width, vector_seed)
+        return self.results[cell.key]
+
+    # -- aggregation -------------------------------------------------------
+
+    def aggregates(self) -> List[Dict[str, Any]]:
+        """Per (benchmark, config, width) stats across vector seeds.
+
+        Each group reports mean/stdev dynamic power and toggle rate
+        (the seed-sensitive metrics), the seed-invariant area/mux/clock
+        numbers, and the percentage change of mean power versus the
+        spec's baseline binder on the same (benchmark, width) —
+        ``None`` when the sweep contains no baseline cells.
+        """
+        from repro.flow.report import percent_change
+        groups: Dict[Tuple[str, str, int], List[SweepCell]] = {}
+        for cell in self.cells:
+            groups.setdefault(
+                (cell.benchmark, cell.config, cell.width), []
+            ).append(cell)
+
+        baseline = self.spec.baseline
+        baseline_power: Dict[Tuple[str, int], float] = {}
+        if baseline and baseline != "none":
+            for (benchmark, config, width), cells in groups.items():
+                if config == baseline or (
+                    cells[0].binder == baseline
+                    and (benchmark, width) not in baseline_power
+                ):
+                    baseline_power[(benchmark, width)] = statistics.fmean(
+                        c.metrics["dynamic_power_mw"] for c in cells
+                    )
+
+        out = []
+        for (benchmark, config, width), cells in groups.items():
+            powers = [c.metrics["dynamic_power_mw"] for c in cells]
+            rates = [c.metrics["toggle_rate_mhz"] for c in cells]
+            base = baseline_power.get((benchmark, width))
+            mean_power = statistics.fmean(powers)
+            record = {
+                "benchmark": benchmark,
+                "config": config,
+                "width": width,
+                "n_seeds": len(cells),
+                "power_mean_mw": mean_power,
+                "power_stdev_mw": (
+                    statistics.stdev(powers) if len(powers) > 1 else 0.0
+                ),
+                "toggle_rate_mean_mhz": statistics.fmean(rates),
+                "toggle_rate_stdev_mhz": (
+                    statistics.stdev(rates) if len(rates) > 1 else 0.0
+                ),
+                "area_luts": cells[0].metrics["area_luts"],
+                "largest_mux": cells[0].metrics["largest_mux"],
+                "clock_period_ns": cells[0].metrics["clock_period_ns"],
+                "runtime_s": sum(c.runtime_s for c in cells),
+                "d_power_vs_baseline_pct": (
+                    percent_change(base, mean_power)
+                    if base is not None
+                    else None
+                ),
+            }
+            out.append(record)
+        return out
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "jobs": self.jobs,
+            "wall_s": self.wall_s,
+            "schedule_cache_hits": self.schedule_cache_hits,
+            "schedule_cache_misses": self.schedule_cache_misses,
+            "sa_precalc_entries": self.sa_precalc_entries,
+            "sa_new_entries": self.sa_new_entries,
+            "cells": [asdict(cell) for cell in self.cells],
+            "aggregates": self.aggregates(),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepResult":
+        return cls(
+            spec=SweepSpec.from_dict(data["spec"]),
+            cells=[SweepCell(**cell) for cell in data["cells"]],
+            jobs=data["jobs"],
+            wall_s=data["wall_s"],
+            schedule_cache_hits=data["schedule_cache_hits"],
+            schedule_cache_misses=data["schedule_cache_misses"],
+            sa_precalc_entries=data["sa_precalc_entries"],
+            sa_new_entries=data["sa_new_entries"],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResult":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "SweepResult":
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+
+# ---------------------------------------------------------------------------
+# Driver.
+# ---------------------------------------------------------------------------
+
+
+def run_sweep(
+    spec: SweepSpec,
+    jobs: int = 1,
+    sa_table: Optional[SATable] = None,
+    precalc_max_mux: int = 0,
+    keep_results: bool = False,
+    progress: Optional[Callable[[SweepCell], None]] = None,
+) -> SweepResult:
+    """Expand ``spec`` and run every cell, ``jobs`` at a time.
+
+    ``jobs=1`` runs everything in-process (no pickling, deterministic,
+    what the tests and bench fixtures use); ``jobs>1`` fans out over a
+    process pool. Per-cell ``metrics`` are identical either way.
+
+    ``sa_table`` is the shared Section 5.2.2 table; pass a file-backed
+    one to persist across sweeps (the caller saves it — typically via
+    ``save_if_dirty()`` — exactly once, after the sweep). With
+    ``precalc_max_mux > 0`` the table is bulk-filled up to that mux
+    size before any job runs, so workers start fully warm.
+
+    ``keep_results`` retains the full :class:`FlowResult` objects in
+    :attr:`SweepResult.results`; it requires ``jobs=1`` (the objects
+    are deliberately not shipped across process boundaries).
+    """
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    if keep_results and jobs > 1:
+        raise ConfigError("keep_results requires jobs=1 (in-process mode)")
+    started = time.perf_counter()
+    job_list = expand_grid(spec)
+    table = sa_table if sa_table is not None else SATable()
+    precalc_entries = (
+        table.precalculate(precalc_max_mux) if precalc_max_mux > 0 else 0
+    )
+
+    payload = _WorkerPayload(spec=spec, sa_table=table)
+    cells: List[SweepCell] = []
+    results: Dict[Tuple[str, str, int, int], FlowResult] = {}
+    sa_new_total = 0
+
+    if jobs == 1 or len(job_list) == 1:
+        _init_worker(payload)
+        for job in job_list:
+            cell, result, new_entries = _execute(job)
+            sa_new_total += len(new_entries)
+            cells.append(cell)
+            if keep_results:
+                results[cell.key] = result
+            if progress is not None:
+                progress(cell)
+    else:
+        # Chunks keep same-benchmark jobs on one worker (memo locality)
+        # while still splitting every benchmark across workers.
+        chunksize = max(1, len(job_list) // (jobs * 4))
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_worker,
+            initargs=(payload,),
+        ) as pool:
+            for cell, new_entries in pool.map(
+                _execute_remote, job_list, chunksize=chunksize
+            ):
+                sa_new_total += table.merge(new_entries)
+                cells.append(cell)
+                if progress is not None:
+                    progress(cell)
+
+    hits = sum(1 for cell in cells if cell.schedule_cache_hit)
+    return SweepResult(
+        spec=spec,
+        cells=cells,
+        jobs=jobs,
+        wall_s=time.perf_counter() - started,
+        schedule_cache_hits=hits,
+        schedule_cache_misses=len(cells) - hits,
+        sa_precalc_entries=precalc_entries,
+        sa_new_entries=sa_new_total,
+        results=results,
+    )

@@ -7,7 +7,10 @@ changes the paper reports.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.flow.batch import SweepResult
 
 
 def percent_change(before: float, after: float) -> float:
@@ -48,3 +51,52 @@ def format_table(
     for row in cells:
         lines.append(render_row(row))
     return "\n".join(lines)
+
+
+def format_sweep_summary(sweep: "SweepResult") -> str:
+    """Aggregate table + execution stats for one sweep.
+
+    One row per (benchmark, config, width) group: seed-averaged power
+    (with stdev when several seeds ran), toggle rate, the
+    seed-invariant area/clock numbers, and the power change versus the
+    sweep's baseline binder.
+    """
+    rows = []
+    multi_width = len(sweep.spec.widths) > 1
+    for agg in sweep.aggregates():
+        power = f"{agg['power_mean_mw']:.2f}"
+        if agg["n_seeds"] > 1:
+            power += f"±{agg['power_stdev_mw']:.2f}"
+        row = [agg["benchmark"], agg["config"]]
+        if multi_width:
+            row.append(agg["width"])
+        delta = agg["d_power_vs_baseline_pct"]
+        row += [
+            power,
+            f"{agg['toggle_rate_mean_mhz']:.2f}",
+            f"{agg['clock_period_ns']:.1f}",
+            agg["area_luts"],
+            agg["largest_mux"],
+            format_change(delta) if delta is not None else "n/a",
+        ]
+        rows.append(row)
+    headers = ["bench", "config"]
+    if multi_width:
+        headers.append("width")
+    headers += ["power mW", "tog MHz", "clk ns", "LUTs", "lrg mux", "dPow"]
+    n_seeds = len(sweep.spec.vector_seeds)
+    title = (
+        f"Sweep: {len(sweep.cells)} cells "
+        f"({len(sweep.spec.benchmarks)} benchmarks x "
+        f"{len(sweep.spec.binder_configs())} configs x "
+        f"{len(sweep.spec.widths)} widths x {n_seeds} seeds), "
+        f"jobs={sweep.jobs}, wall {sweep.wall_s:.1f}s"
+    )
+    table = format_table(headers, rows, title=title)
+    stats = (
+        f"elaboration cache: {sweep.schedule_cache_hits} hits / "
+        f"{sweep.schedule_cache_misses} misses; SA table: "
+        f"{sweep.sa_precalc_entries} precalculated, "
+        f"{sweep.sa_new_entries} new entries"
+    )
+    return table + "\n" + stats

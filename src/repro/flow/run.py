@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional, Union
+from typing import Callable, Dict, Mapping, Optional, Tuple, Union
 
 from repro.errors import SimulationError
 from repro.binding import (
@@ -94,8 +94,49 @@ class FlowResult:
         """The Equation-(3) estimate for the whole mapped design."""
         return self.mapping.total_sa
 
+    def metrics(self) -> Dict[str, float]:
+        """Flat, JSON-serializable summary of everything measured.
+
+        This is the per-cell record of the sweep engine and is fully
+        deterministic for a given flow input — wall-clock
+        (:attr:`runtime_s`) is deliberately excluded so records from
+        parallel and serial runs compare byte-identically.
+        """
+        return {
+            "dynamic_power_mw": self.power.dynamic_power_mw,
+            "comb_power_mw": self.power.comb_power_mw,
+            "register_power_mw": self.power.register_power_mw,
+            "io_power_mw": self.power.io_power_mw,
+            "toggle_rate_mhz": self.power.toggle_rate_mhz,
+            "total_toggles": self.power.total_toggles,
+            "clock_period_ns": self.timing.clock_period_ns,
+            "depth_levels": self.timing.depth_levels,
+            "area_luts": self.area_luts,
+            "datapath_luts": self.mapping.area,
+            "controller_luts": self.controller_luts,
+            "largest_mux": self.muxes.largest_mux,
+            "mux_length": self.muxes.mux_length,
+            "mux_diff_mean": self.muxes.mux_diff_mean,
+            "n_registers": self.solution.registers.n_registers,
+            "estimated_sa": self.mapping.total_sa,
+            "glitch_fraction": self.mapping.glitch_fraction,
+        }
+
 
 Binder = Union[str, Callable[..., BindingSolution]]
+
+
+def prepare_flow_inputs(
+    schedule: Schedule,
+) -> Tuple[RegisterBinding, PortAssignment]:
+    """Register binding and port assignment shared across binders.
+
+    Both are functions of the schedule alone — the paper's methodology
+    compares binders on *identical* registers and ports — so the sweep
+    engine computes them once per (benchmark, scheduler) cell and every
+    binder/alpha/seed job reuses them.
+    """
+    return bind_registers(schedule), assign_ports(schedule.cdfg)
 
 
 def run_flow(
@@ -207,8 +248,7 @@ def compare_binders(
     Default comparison is the paper's: ``lopass`` vs ``hlpower``.
     """
     cfg = config or FlowConfig()
-    registers = bind_registers(schedule)
-    ports = assign_ports(schedule.cdfg)
+    registers, ports = prepare_flow_inputs(schedule)
     table = cfg.sa_table if cfg.sa_table is not None else SATable()
     if cfg.sa_table is None:
         cfg = FlowConfig(**{**cfg.__dict__, "sa_table": table})

@@ -1,0 +1,143 @@
+"""Seeded property-style tests for the activity stack.
+
+Random truth tables and random netlists, checked against the model's
+structural invariants rather than point values:
+
+* switching activities are probabilities of output transitions, so
+  ``0 <= sa <= activity_bound(P(y))`` (Equation 2 can never exceed the
+  feasible bound for the output's signal probability);
+* Najm's transition density (Equation 1) ignores first-order input
+  correlation cancellation, so it upper-bounds the exact pairwise
+  computation — with equality for single-input gates, where there is
+  nothing to cancel;
+* the glitch decomposition always satisfies ``total = functional +
+  glitch`` with ``glitch_fraction`` in ``[0, 1]``.
+"""
+
+import random
+
+import pytest
+
+from repro.activity import estimate_switching_activity
+from repro.activity.probability import (
+    gate_output_probability,
+    propagate_probabilities,
+)
+from repro.activity.transition import (
+    activity_bound,
+    clamp_activity,
+    najm_density,
+    switching_activity,
+)
+from repro.netlist.gates import Netlist, TruthTable
+
+EPS = 1e-9
+
+
+def random_table(rng: random.Random, n_inputs: int) -> TruthTable:
+    return TruthTable(n_inputs, rng.getrandbits(1 << n_inputs))
+
+
+def random_stimulus(rng: random.Random, n_inputs: int):
+    """Random (probability, feasible activity) per input."""
+    probs = [rng.random() for _ in range(n_inputs)]
+    activities = [
+        clamp_activity(p, rng.random() * activity_bound(p)) for p in probs
+    ]
+    return probs, activities
+
+
+def random_netlist(
+    rng: random.Random, n_inputs: int = 4, n_gates: int = 14
+) -> Netlist:
+    """A random combinational DAG over random truth tables."""
+    netlist = Netlist("random")
+    nets = [netlist.add_input() for _ in range(n_inputs)]
+    for _ in range(n_gates):
+        arity = rng.randint(1, min(3, len(nets)))
+        inputs = rng.sample(nets, arity)
+        nets.append(netlist.add_gate(random_table(rng, arity), inputs))
+    for net in nets[-3:]:
+        netlist.set_output(net)
+    return netlist
+
+
+@pytest.mark.parametrize("seed", range(5))
+class TestGateInvariants:
+    def test_sa_within_feasible_bound(self, seed):
+        rng = random.Random(seed)
+        for _ in range(60):
+            n = rng.randint(1, 4)
+            table = random_table(rng, n)
+            probs, activities = random_stimulus(rng, n)
+            sa = switching_activity(table, probs, activities)
+            out_prob = gate_output_probability(table, probs)
+            assert 0.0 - EPS <= sa <= activity_bound(out_prob) + EPS
+            # Clamping such a value is the identity.
+            assert clamp_activity(out_prob, sa) == pytest.approx(
+                min(max(sa, 0.0), activity_bound(out_prob))
+            )
+
+    def test_najm_density_bounds_exact_activity(self, seed):
+        rng = random.Random(100 + seed)
+        for _ in range(60):
+            n = rng.randint(2, 4)
+            table = random_table(rng, n)
+            probs, activities = random_stimulus(rng, n)
+            exact = switching_activity(table, probs, activities)
+            density = najm_density(table, probs, activities)
+            assert density + EPS >= exact
+            assert density >= -EPS
+
+    def test_najm_density_exact_for_single_input(self, seed):
+        rng = random.Random(200 + seed)
+        for _ in range(40):
+            table = random_table(rng, 1)
+            probs, activities = random_stimulus(rng, 1)
+            exact = switching_activity(table, probs, activities)
+            density = najm_density(table, probs, activities)
+            assert density == pytest.approx(exact, abs=1e-12)
+
+    def test_zero_activity_inputs_cannot_switch_output(self, seed):
+        rng = random.Random(300 + seed)
+        for _ in range(20):
+            n = rng.randint(1, 4)
+            table = random_table(rng, n)
+            probs = [rng.random() for _ in range(n)]
+            assert switching_activity(table, probs, [0.0] * n) == (
+                pytest.approx(0.0, abs=EPS)
+            )
+            assert najm_density(table, probs, [0.0] * n) == (
+                pytest.approx(0.0, abs=EPS)
+            )
+
+
+@pytest.mark.parametrize("seed", range(5))
+class TestNetlistInvariants:
+    def test_per_net_activity_within_bounds(self, seed):
+        rng = random.Random(400 + seed)
+        netlist = random_netlist(rng)
+        report = estimate_switching_activity(netlist, glitch_aware=False)
+        probs = propagate_probabilities(netlist)
+        for net, sa in report.per_net.items():
+            assert sa >= -EPS, net
+            assert sa <= activity_bound(probs[net]) + EPS, net
+
+    def test_glitch_decomposition(self, seed):
+        rng = random.Random(500 + seed)
+        netlist = random_netlist(rng)
+        report = estimate_switching_activity(netlist, glitch_aware=True)
+        assert report.total >= -EPS
+        assert report.functional >= -EPS
+        assert report.glitch >= -EPS
+        assert report.total == pytest.approx(
+            report.functional + report.glitch
+        )
+        assert 0.0 <= report.glitch_fraction <= 1.0
+
+    def test_glitch_aware_never_below_zero_delay_total(self, seed):
+        """Glitches only add transitions on top of the functional ones."""
+        rng = random.Random(600 + seed)
+        netlist = random_netlist(rng)
+        aware = estimate_switching_activity(netlist, glitch_aware=True)
+        assert aware.total + EPS >= aware.functional

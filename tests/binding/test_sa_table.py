@@ -1,6 +1,8 @@
 """Tests for the precalculated SA table."""
 
+import glob
 import os
+import threading
 
 import pytest
 
@@ -81,6 +83,124 @@ class TestPersistence:
         table.get("add", 1, 1)
         table.save_if_dirty()
         assert os.path.exists(path)
+
+
+def _bulk_entries(n: int):
+    """n synthetic entries per FU class (no estimation, just keys)."""
+    entries = {}
+    for fu_class in ("add", "mult"):
+        count = 0
+        for mux_a in range(1, n + 1):
+            for mux_b in range(mux_a, n + 1):
+                entries[(fu_class, mux_a, mux_b)] = 0.125 * (mux_a + mux_b)
+                count += 1
+    return entries
+
+
+class TestMerge:
+    def test_merge_adds_and_marks_dirty(self, tmp_path):
+        table = SATable(SATableConfig(width=3), str(tmp_path / "t.txt"))
+        added = table.merge({("add", 1, 1): 1.5, ("add", 1, 2): 2.5})
+        assert added == 2
+        assert len(table) == 2
+        table.save_if_dirty()  # dirty after merge -> file appears
+        assert os.path.exists(table.path)
+
+    def test_merge_never_overwrites(self):
+        table = SATable(SATableConfig(width=3))
+        table.merge({("add", 1, 1): 1.5})
+        assert table.merge({("add", 1, 1): 99.0}) == 0
+        assert table.get("add", 1, 1) == 1.5
+
+    def test_snapshot_is_a_copy(self):
+        table = SATable(SATableConfig(width=3))
+        table.merge({("add", 1, 1): 1.5})
+        snapshot = table.snapshot()
+        snapshot[("add", 2, 2)] = 9.0
+        assert len(table) == 1
+
+
+class TestProcessSafeSave:
+    """The sweep-worker scenario: concurrent saves of data/sa_table.txt
+    must never leave a torn or partial file behind."""
+
+    def test_concurrent_saves_never_corrupt(self, tmp_path):
+        path = str(tmp_path / "table.txt")
+        entries = _bulk_entries(18)  # ~340 lines, several write() calls
+        table = SATable(SATableConfig(width=3), path)
+        table.merge(entries)
+        table.save()
+
+        errors = []
+
+        def hammer():
+            local = SATable(SATableConfig(width=3))
+            local.merge(entries)
+            local.path = path
+            try:
+                for _ in range(20):
+                    local.save()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        writers = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in writers:
+            thread.start()
+        # Read continuously while the writers race each other: every
+        # observable file state must parse and be complete.
+        while any(thread.is_alive() for thread in writers):
+            reloaded = SATable(SATableConfig(width=3), path)
+            assert len(reloaded) == len(entries)
+        for thread in writers:
+            thread.join()
+        assert errors == []
+        reloaded = SATable(SATableConfig(width=3), path)
+        assert len(reloaded) == len(entries)
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = str(tmp_path / "table.txt")
+        table = SATable(SATableConfig(width=3), path)
+        table.merge(_bulk_entries(4))
+        table.save()
+        leftovers = [
+            name
+            for name in glob.glob(str(tmp_path / "*"))
+            if os.path.basename(name) != "table.txt"
+        ]
+        assert leftovers == []
+
+    def test_save_preserves_file_permissions(self, tmp_path):
+        path = str(tmp_path / "table.txt")
+        table = SATable(SATableConfig(width=3), path)
+        table.merge({("add", 1, 1): 1.0})
+        table.save()
+        umask = os.umask(0)
+        os.umask(umask)
+        # A fresh file honors the umask, not mkstemp's 0600 default.
+        assert os.stat(path).st_mode & 0o777 == 0o666 & ~umask
+        os.chmod(path, 0o604)
+        table.merge({("add", 1, 2): 2.0})
+        table.save()
+        assert os.stat(path).st_mode & 0o777 == 0o604
+
+    def test_failed_save_cleans_temp_and_keeps_old_file(self, tmp_path):
+        path = str(tmp_path / "table.txt")
+        table = SATable(SATableConfig(width=3), path)
+        table.merge({("add", 1, 1): 1.0})
+        table.save()
+        before = open(path).read()
+
+        # Corrupt the in-memory values so formatting raises mid-write.
+        table.merge({("mult", 1, 1): "not-a-float"})
+        with pytest.raises(Exception):
+            table.save()
+        assert open(path).read() == before  # old content intact
+        leftovers = [
+            name
+            for name in os.listdir(tmp_path)
+            if name != "table.txt"
+        ]
+        assert leftovers == []
 
 
 class TestPrecalculate:

@@ -11,11 +11,12 @@ minimum any binding can achieve) and assert the constraint is always
 met — for single-cycle libraries, exactly Theorem 1's claim.
 """
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.binding import HLPowerConfig, bind_hlpower
 from repro.binding.sa_table import SATable, SATableConfig
 from repro.cdfg.generate import GraphProfile, generate_cdfg
+from repro.errors import CDFGError
 from repro.scheduling import list_schedule
 
 _TABLE = SATable(SATableConfig(width=3))
@@ -34,7 +35,13 @@ def scheduled_cdfg(draw):
         n_inputs = profile.n_operations + n_outputs
     profile = GraphProfile("thm1", n_inputs, n_outputs, n_adds, n_mults)
     seed = draw(st.integers(0, 500))
-    cdfg = generate_cdfg(profile, seed=seed)
+    try:
+        cdfg = generate_cdfg(profile, seed=seed)
+    except CDFGError:
+        # The random generator gives up on a sliver of profile/seed
+        # combinations; that is a data-generation infeasibility, not a
+        # Theorem 1 counterexample — reject the draw.
+        assume(False)
     adders = draw(st.integers(1, 4))
     mults = draw(st.integers(1, 4))
     return list_schedule(cdfg, {"add": adders, "mult": mults})

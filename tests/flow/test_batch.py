@@ -1,0 +1,280 @@
+"""Sweep engine tests: grid expansion, parallel determinism, caching,
+and (de)serialization of the result store."""
+
+import os
+
+import pytest
+
+from repro.binding import SATable
+from repro.binding.sa_table import SATableConfig
+from repro.errors import ConfigError
+from repro.flow import (
+    BinderConfig,
+    SweepResult,
+    SweepSpec,
+    expand_grid,
+    run_sweep,
+)
+
+
+def small_spec(**overrides):
+    """A pr-only grid small enough for full in-test execution."""
+    kwargs = dict(
+        benchmarks=["pr"],
+        binders=("lopass", "hlpower"),
+        alphas=(0.5,),
+        widths=(4,),
+        vector_seeds=(7, 8),
+        n_vectors=16,
+    )
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def serial_sweep():
+    """The small grid, run in-process with results retained."""
+    return run_sweep(small_spec(), jobs=1, keep_results=True)
+
+
+@pytest.fixture(scope="module")
+def parallel_sweep():
+    """The same grid across two worker processes."""
+    return run_sweep(small_spec(), jobs=2)
+
+
+class TestExpandGrid:
+    def test_cross_product_size_and_order(self):
+        spec = SweepSpec(
+            benchmarks=["pr", "wang"],
+            binders=("lopass", "hlpower"),
+            alphas=(0.0, 1.0),
+            widths=(4, 8),
+            vector_seeds=(7, 8, 9),
+        )
+        jobs = expand_grid(spec)
+        assert len(jobs) == 2 * 2 * 2 * 2 * 3
+        assert [job.index for job in jobs] == list(range(len(jobs)))
+        # Benchmark-major: all pr jobs precede all wang jobs.
+        benchmarks = [job.benchmark for job in jobs]
+        assert benchmarks == sorted(benchmarks, key=["pr", "wang"].index)
+
+    def test_alpha_labels(self):
+        spec = SweepSpec(benchmarks=["pr"], alphas=(0.0, 0.5))
+        labels = {config.label for config in spec.binder_configs()}
+        assert labels == {
+            "lopass_a0", "lopass_a0.5", "hlpower_a0", "hlpower_a0.5"
+        }
+
+    def test_explicit_configs_override_product(self):
+        spec = SweepSpec(
+            benchmarks=["pr"],
+            configs=[
+                BinderConfig("lopass", "lopass", 0.5),
+                BinderConfig("hlpower_a1", "hlpower", 1.0),
+                BinderConfig("hlpower_a05", "hlpower", 0.5),
+            ],
+        )
+        assert len(expand_grid(spec)) == 3
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(Exception):
+            expand_grid(SweepSpec(benchmarks=["nope"]))
+
+    def test_bad_scheduler_rejected(self):
+        with pytest.raises(ConfigError):
+            expand_grid(SweepSpec(benchmarks=["pr"], scheduler="magic"))
+
+    def test_unknown_binder_rejected_before_any_job_runs(self):
+        with pytest.raises(ConfigError):
+            expand_grid(SweepSpec(benchmarks=["pr"], binders=("magic",)))
+
+    def test_duplicate_labels_rejected(self):
+        spec = SweepSpec(
+            benchmarks=["pr"],
+            configs=[
+                BinderConfig("x", "lopass"),
+                BinderConfig("x", "hlpower"),
+            ],
+        )
+        with pytest.raises(ConfigError):
+            expand_grid(spec)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigError):
+            expand_grid(SweepSpec(benchmarks=[]))
+        with pytest.raises(ConfigError):
+            expand_grid(SweepSpec(benchmarks=["pr"], widths=()))
+
+
+class TestParallelDeterminism:
+    def test_jobs1_vs_jobs2_metrics_identical(
+        self, serial_sweep, parallel_sweep
+    ):
+        """Per-cell metrics must not depend on the execution mode."""
+        serial = {cell.key: cell.metrics for cell in serial_sweep.cells}
+        parallel = {cell.key: cell.metrics for cell in parallel_sweep.cells}
+        assert serial == parallel  # exact, not approx
+
+    def test_all_cells_present(self, serial_sweep):
+        keys = {cell.key for cell in serial_sweep.cells}
+        assert len(keys) == 4
+        assert ("pr", "lopass", 4, 7) in keys
+        assert ("pr", "hlpower", 4, 8) in keys
+
+    def test_jobs_recorded(self, serial_sweep, parallel_sweep):
+        assert serial_sweep.jobs == 1
+        assert parallel_sweep.jobs == 2
+        assert serial_sweep.wall_s > 0
+
+
+class TestCacheAccounting:
+    def test_serial_elaboration_cache(self, serial_sweep):
+        # One benchmark, four jobs: first elaborates, the rest hit.
+        assert serial_sweep.schedule_cache_misses == 1
+        assert serial_sweep.schedule_cache_hits == 3
+
+    def test_parallel_elaboration_cache(self, parallel_sweep):
+        # Each worker elaborates at most once per benchmark; with four
+        # jobs on two workers at least one must be a hit.
+        assert (
+            parallel_sweep.schedule_cache_hits
+            + parallel_sweep.schedule_cache_misses
+            == 4
+        )
+        assert parallel_sweep.schedule_cache_hits > 0
+
+    def test_sa_entries_flow_back_from_workers(self, tmp_path):
+        table = SATable(SATableConfig(width=3), str(tmp_path / "sa.txt"))
+        sweep = run_sweep(small_spec(vector_seeds=(7,)), jobs=2,
+                          sa_table=table)
+        # Workers computed entries the parent never saw; they must be
+        # merged into the parent's table and counted.
+        assert sweep.sa_new_entries > 0
+        assert len(table) == sweep.sa_new_entries
+        table.save_if_dirty()
+        assert os.path.exists(table.path)
+
+    def test_precalc_runs_once_up_front(self, tmp_path):
+        table = SATable(SATableConfig(width=3), str(tmp_path / "sa.txt"))
+        spec = small_spec(binders=("lopass",), vector_seeds=(7,))
+        sweep = run_sweep(spec, jobs=1, sa_table=table, precalc_max_mux=2)
+        # add/mult x {(1,1),(1,2),(2,2)} = 6 entries precalculated.
+        assert sweep.sa_precalc_entries == 6
+        assert len(table) >= 6
+
+
+class TestKeepResults:
+    def test_results_retained_in_process(self, serial_sweep):
+        result = serial_sweep.result_of("pr", "lopass", vector_seed=7)
+        assert result.power.dynamic_power_mw > 0
+        assert result.solution.algorithm == "lopass"
+
+    def test_keep_results_needs_jobs1(self):
+        with pytest.raises(ConfigError):
+            run_sweep(small_spec(), jobs=2, keep_results=True)
+
+    def test_jobs_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            run_sweep(small_spec(), jobs=0)
+
+
+class TestSweepResultStore:
+    def test_json_round_trip(self, serial_sweep):
+        restored = SweepResult.from_json(serial_sweep.to_json())
+        assert [vars(c) for c in restored.cells] == [
+            vars(c) for c in serial_sweep.cells
+        ]
+        assert restored.schedule_cache_hits == (
+            serial_sweep.schedule_cache_hits
+        )
+        assert list(restored.spec.benchmarks) == ["pr"]
+        assert restored.spec.n_vectors == 16
+        # Aggregates recompute identically from the restored cells.
+        assert restored.aggregates() == serial_sweep.aggregates()
+
+    def test_save_load(self, serial_sweep, tmp_path):
+        path = str(tmp_path / "sweep.json")
+        serial_sweep.save(path)
+        restored = SweepResult.load(path)
+        assert len(restored.cells) == len(serial_sweep.cells)
+
+    def test_cell_lookup(self, serial_sweep):
+        cell = serial_sweep.cell("pr", "hlpower", vector_seed=7)
+        assert cell.binder == "hlpower"
+        assert cell.metrics["dynamic_power_mw"] > 0
+        with pytest.raises(KeyError):
+            serial_sweep.cell("pr", "nope")
+        with pytest.raises(KeyError):
+            serial_sweep.cell("pr", "hlpower")  # ambiguous: two seeds
+
+    def test_aggregates(self, serial_sweep):
+        aggs = {
+            (a["benchmark"], a["config"]): a
+            for a in serial_sweep.aggregates()
+        }
+        assert set(aggs) == {("pr", "lopass"), ("pr", "hlpower")}
+        lo = aggs[("pr", "lopass")]
+        assert lo["n_seeds"] == 2
+        assert lo["power_mean_mw"] > 0
+        assert lo["power_stdev_mw"] >= 0
+        assert lo["d_power_vs_baseline_pct"] == pytest.approx(0.0)
+        hl = aggs[("pr", "hlpower")]
+        expected = (
+            (hl["power_mean_mw"] - lo["power_mean_mw"])
+            / lo["power_mean_mw"] * 100.0
+        )
+        assert hl["d_power_vs_baseline_pct"] == pytest.approx(expected)
+
+    def test_metrics_exclude_wall_clock(self, serial_sweep):
+        for cell in serial_sweep.cells:
+            assert "runtime_s" not in cell.metrics
+            assert cell.runtime_s > 0
+
+    def test_aggregates_without_baseline_report_none(self):
+        """baseline='none' -> None deltas, not a misleading +0.00%."""
+        sweep = run_sweep(
+            small_spec(
+                binders=("hlpower",), vector_seeds=(7,), baseline="none"
+            ),
+            jobs=1,
+        )
+        (agg,) = sweep.aggregates()
+        assert agg["d_power_vs_baseline_pct"] is None
+        from repro.flow import format_sweep_summary
+
+        assert "n/a" in format_sweep_summary(sweep)
+
+    def test_missing_baseline_rejected_up_front(self):
+        """A typo'd or absent baseline fails before any job runs."""
+        with pytest.raises(ConfigError):
+            expand_grid(small_spec(binders=("hlpower",)))  # lopass absent
+        with pytest.raises(ConfigError):
+            expand_grid(small_spec(baseline="lopas"))  # typo
+
+    def test_ambiguous_baseline_rejected(self):
+        """'hlpower' across several alphas must be named by label."""
+        with pytest.raises(ConfigError):
+            expand_grid(
+                small_spec(alphas=(0.0, 0.5), baseline="hlpower")
+            )
+        # LOPASS ignores alpha, so its columns are interchangeable.
+        jobs = expand_grid(small_spec(alphas=(0.0, 0.5)))
+        assert jobs  # baseline="lopass" stays valid
+
+
+class TestForceScheduler:
+    def test_force_schedule_binds_its_own_lower_bound(self):
+        """Table 2 constraints can be infeasible for a latency-balanced
+        schedule ('dir' needs 3 mult units); the sweep must bind
+        against the schedule's min_resources, like repro.hls does."""
+        spec = SweepSpec(
+            benchmarks=["dir"],
+            binders=("lopass",),
+            widths=(4,),
+            vector_seeds=(7,),
+            n_vectors=8,
+            scheduler="force",
+        )
+        sweep = run_sweep(spec, jobs=1)
+        assert sweep.cell("dir", "lopass").metrics["area_luts"] > 0

@@ -1,0 +1,81 @@
+"""Differential test: direct flow vs the sweep engine.
+
+``compare_binders`` (the paper-methodology entry point) and a 1x1
+sweep must be the same computation — same schedules, same shared
+registers/ports, same SA values — so their PowerReport/MuxReport
+numbers must be *identical*, not merely close.
+"""
+
+import pytest
+
+from repro import benchmark_spec, list_schedule, load_benchmark, run_sweep
+from repro.binding import SATable
+from repro.binding.sa_table import SATableConfig
+from repro.flow import BinderConfig, FlowConfig, SweepSpec, compare_binders
+
+WIDTH = 4
+VECTORS = 32
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def direct_results():
+    spec = benchmark_spec("pr")
+    schedule = list_schedule(load_benchmark("pr"), spec.constraints)
+    config = FlowConfig(
+        width=WIDTH,
+        n_vectors=VECTORS,
+        vector_seed=SEED,
+        alpha=0.5,
+        sa_table=SATable(SATableConfig(width=3)),
+    )
+    return compare_binders(schedule, spec.constraints, config)
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    spec = SweepSpec(
+        benchmarks=["pr"],
+        configs=[
+            BinderConfig("lopass", "lopass", 0.5),
+            BinderConfig("hlpower", "hlpower", 0.5),
+        ],
+        widths=(WIDTH,),
+        vector_seeds=(SEED,),
+        n_vectors=VECTORS,
+    )
+    return run_sweep(
+        spec,
+        jobs=1,
+        sa_table=SATable(SATableConfig(width=3)),
+        keep_results=True,
+    )
+
+
+@pytest.mark.parametrize("binder", ["lopass", "hlpower"])
+class TestDirectVsSweep:
+    def test_power_report_identical(self, direct_results, sweep_results,
+                                    binder):
+        direct = direct_results[binder].power
+        via_sweep = sweep_results.result_of("pr", binder).power
+        assert direct == via_sweep  # dataclass equality, every field
+
+    def test_mux_report_identical(self, direct_results, sweep_results,
+                                  binder):
+        direct = direct_results[binder].muxes
+        via_sweep = sweep_results.result_of("pr", binder).muxes
+        assert direct == via_sweep
+
+    def test_timing_and_area_identical(self, direct_results, sweep_results,
+                                       binder):
+        direct = direct_results[binder]
+        via_sweep = sweep_results.result_of("pr", binder)
+        assert direct.timing == via_sweep.timing
+        assert direct.area_luts == via_sweep.area_luts
+        assert direct.controller_luts == via_sweep.controller_luts
+
+    def test_cell_metrics_match_flow_result(self, sweep_results, binder):
+        """The serialized record is the FlowResult, flattened."""
+        cell = sweep_results.cell("pr", binder)
+        result = sweep_results.result_of("pr", binder)
+        assert cell.metrics == result.metrics()
