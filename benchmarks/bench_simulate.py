@@ -1,0 +1,118 @@
+"""Simulator kernel benchmark — the first point on the perf trajectory.
+
+Times :func:`repro.fpga.simulate_design` on the largest paper benchmark
+("chem": 171 adds / 176 mults, Table 1) with both kernels, checks they
+agree byte-for-byte, and writes the numbers to ``BENCH_sim.json`` at
+the repo root so later PRs can track the trend.
+
+This is a standalone script (not collected by pytest — the reference
+kernel alone costs tens of seconds):
+
+    PYTHONPATH=src python benchmarks/bench_simulate.py
+
+Knobs (environment variables): ``REPRO_SIM_BENCH`` (default ``chem``),
+``REPRO_SIM_WIDTH`` (default 8), ``REPRO_SIM_VECTORS`` (default 256),
+``REPRO_SIM_REPEATS`` (default 3; best-of timing, reference runs once).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro import benchmark_spec, list_schedule, load_benchmark
+from repro.binding import assign_ports, bind_lopass, bind_registers
+from repro.fpga import (
+    ElaboratedDesign,
+    elaborate_datapath,
+    random_vectors,
+    simulate_design,
+)
+from repro.rtl import build_datapath
+from repro.techmap import map_netlist
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_OUT_PATH = os.path.join(_REPO_ROOT, "BENCH_sim.json")
+
+BENCH = os.environ.get("REPRO_SIM_BENCH", "chem")
+WIDTH = int(os.environ.get("REPRO_SIM_WIDTH", "8"))
+VECTORS = int(os.environ.get("REPRO_SIM_VECTORS", "256"))
+REPEATS = int(os.environ.get("REPRO_SIM_REPEATS", "3"))
+
+
+def build_design():
+    """Elaborate + map the benchmark once (not part of the timing)."""
+    spec = benchmark_spec(BENCH)
+    schedule = list_schedule(load_benchmark(BENCH), spec.constraints)
+    registers = bind_registers(schedule)
+    ports = assign_ports(schedule.cdfg)
+    solution = bind_lopass(schedule, spec.constraints, registers, ports)
+    datapath = build_datapath(solution, WIDTH)
+    design = elaborate_datapath(datapath)
+    mapping = map_netlist(design.netlist, k=4)
+    mapped = ElaboratedDesign(
+        datapath,
+        mapping.netlist,
+        design.pad_nets,
+        design.register_nets,
+        design.fu_nets,
+        design.control_nets,
+        design.output_nets,
+    )
+    vectors = random_vectors(
+        len(schedule.cdfg.primary_inputs), WIDTH, VECTORS, seed=7
+    )
+    return mapped, vectors
+
+
+def time_kernel(design, vectors, kernel: str, repeats: int):
+    """Best-of-``repeats`` wall time plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        result = simulate_design(design, vectors, kernel=kernel)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def main() -> int:
+    print(f"building {BENCH} (width={WIDTH}, vectors={VECTORS}) ...")
+    design, vectors = build_design()
+    netlist = design.netlist
+    print(f"  mapped netlist: {netlist.num_gates()} LUTs, "
+          f"{netlist.num_latches()} FFs")
+
+    # Warm the compile cache so the event timing is the steady-state
+    # per-call cost (the compiled netlist is reused across calls).
+    simulate_design(design, vectors)
+    event_s, event = time_kernel(design, vectors, "event", REPEATS)
+    print(f"  event kernel:     {event_s:8.3f} s")
+    reference_s, reference = time_kernel(design, vectors, "reference", 1)
+    print(f"  reference kernel: {reference_s:8.3f} s")
+    if event != reference:
+        raise SystemExit("kernels disagree — refusing to record timings")
+
+    payload = {
+        "benchmark": BENCH,
+        "width": WIDTH,
+        "n_vectors": VECTORS,
+        "luts": netlist.num_gates(),
+        "flipflops": netlist.num_latches(),
+        "total_toggles": event.total_toggles,
+        "event_s": round(event_s, 4),
+        "reference_s": round(reference_s, 4),
+        "speedup": round(reference_s / event_s, 2),
+        "byte_identical": True,
+        "recorded": time.strftime("%Y-%m-%d"),
+    }
+    with open(_OUT_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"  speedup: {payload['speedup']}x  -> {_OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,8 @@ power/area/balance trade-off curve.
 
 import statistics
 
+import pytest
+
 from repro import FlowConfig, benchmark_spec, list_schedule, load_benchmark
 from repro.binding import assign_ports, bind_registers
 from repro.flow import format_table, percent_change, run_flow
@@ -47,6 +49,7 @@ def sweep_alpha(sa_table):
     return names, baselines, sweeps
 
 
+@pytest.mark.slow
 def test_ablation_alpha(benchmark, sa_table):
     names, baselines, sweeps = benchmark.pedantic(
         sweep_alpha, args=(sa_table,), rounds=1, iterations=1

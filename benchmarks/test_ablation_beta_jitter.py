@@ -12,6 +12,8 @@ Two smaller design-choice studies DESIGN.md calls out:
   only grow.
 """
 
+import pytest
+
 from repro import FlowConfig, benchmark_spec, list_schedule, load_benchmark
 from repro.binding import HLPowerConfig, bind_hlpower
 from repro.flow import format_table, run_flow
@@ -84,6 +86,7 @@ def compare_jitter(sa_table):
     return name, rows, toggles
 
 
+@pytest.mark.slow
 def test_ablation_delay_jitter(benchmark, sa_table):
     name, rows, toggles = benchmark.pedantic(
         compare_jitter, args=(sa_table,), rounds=1, iterations=1

@@ -9,6 +9,8 @@ future-work controller could save — and verifies function is
 unaffected.
 """
 
+import pytest
+
 from repro import FlowConfig, benchmark_spec, list_schedule, load_benchmark
 from repro.flow import format_table, percent_change, run_flow
 
@@ -49,6 +51,7 @@ def compare_policies(sa_table):
     return rows, savings
 
 
+@pytest.mark.slow
 def test_ablation_idle_policy(benchmark, sa_table):
     rows, savings = benchmark.pedantic(
         compare_policies, args=(sa_table,), rounds=1, iterations=1

@@ -9,6 +9,8 @@ speedup for the (warm) table.
 
 import time
 
+import pytest
+
 from repro import benchmark_spec, list_schedule, load_benchmark
 from repro.binding import (
     HLPowerConfig,
@@ -72,6 +74,7 @@ def compare_modes(sa_table):
     return rows, all_identical, speedups
 
 
+@pytest.mark.slow
 def test_ablation_sa_table(benchmark, sa_table):
     # Warm the table first so the cached run measures lookups only.
     for name in bench_names():

@@ -117,7 +117,7 @@ def _zero_delay_waveforms(
     for net in netlist.topological_order():
         gate = netlist.gates[net]
         if not gate.inputs:
-            waves[net] = GlitchWaveform(probs[net], {})
+            waves[net] = GlitchWaveform(probs[net], {}, 0)
             continue
         fanin_probs = [waves[name].probability for name in gate.inputs]
         fanin_acts = [waves[name].total() for name in gate.inputs]
@@ -130,5 +130,7 @@ def _zero_delay_waveforms(
             activity = switching_activity(gate.table, fanin_probs, fanin_acts)
         activity = clamp_activity(probs[net], activity)
         steps = {1: activity} if activity > 0.0 else {}
-        waves[net] = GlitchWaveform(probs[net], steps)
+        # Zero-delay model: the single (functional) transition is at
+        # step 1 for every gate, whatever its structural depth.
+        waves[net] = GlitchWaveform(probs[net], steps, 1)
     return waves

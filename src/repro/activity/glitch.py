@@ -52,11 +52,19 @@ class GlitchWaveform:
 
     probability: float
     steps: Dict[int, float] = field(default_factory=dict)
+    #: Structural arrival time of the functional transition — the
+    #: unit-delay depth ``1 + max(fanin depths)`` (0 for sources).
+    #: Stored explicitly because the functional step may be *absent*
+    #: from ``steps`` (its activity can clamp to zero while earlier
+    #: glitch steps stay positive); inferring it from the recorded
+    #: steps would misattribute the latest glitch as the functional
+    #: transition. Defaults to the latest recorded step for
+    #: hand-constructed waveforms.
+    depth: Optional[int] = None
 
-    @property
-    def depth(self) -> int:
-        """Arrival time of the functional transition (0 for sources)."""
-        return max(self.steps, default=0)
+    def __post_init__(self) -> None:
+        if self.depth is None:
+            self.depth = max(self.steps, default=0)
 
     def total(self) -> float:
         """Effective switching activity: sum over all time steps."""
@@ -64,9 +72,7 @@ class GlitchWaveform:
 
     def functional(self) -> float:
         """Activity of the transition at the node's depth."""
-        if not self.steps:
-            return 0.0
-        return self.steps[self.depth]
+        return self.steps.get(self.depth, 0.0)
 
     def glitch(self) -> float:
         """Activity of all transitions before the functional one."""
@@ -88,7 +94,7 @@ def source_waveform(
     """
     activity = clamp_activity(probability, activity)
     steps = {time: activity} if activity > 0.0 else {}
-    return GlitchWaveform(probability, steps)
+    return GlitchWaveform(probability, steps, time)
 
 
 def propagate_waveforms(
@@ -118,9 +124,10 @@ def propagate_waveforms(
         gate = netlist.gates[net]
         out_prob = probs[net]
         if not gate.inputs:
-            waves[net] = GlitchWaveform(out_prob, {})
+            waves[net] = GlitchWaveform(out_prob, {}, 0)
             continue
         fanin_waves = [waves[name] for name in gate.inputs]
+        depth = 1 + max(wave.depth for wave in fanin_waves)
         if gate.table.n_inputs > MAX_EXACT_INPUTS:
             waves[net] = _wide_gate_waveform(gate, fanin_waves, out_prob)
             continue
@@ -128,6 +135,8 @@ def propagate_waveforms(
         trigger_times = sorted(
             {t for wave in fanin_waves for t in wave.steps}
         )
+        column = np.array(gate.table.output_column(), dtype=np.float64)
+        differs = column[:, None] != column[None, :]
         for t in trigger_times:
             joints = []
             for wave in fanin_waves:
@@ -138,12 +147,10 @@ def propagate_waveforms(
                 else:
                     joints.append(held_distribution(wave.probability))
             matrix = mixed_joint_matrix(gate.table.n_inputs, joints)
-            column = np.array(gate.table.output_column(), dtype=np.float64)
-            differs = column[:, None] != column[None, :]
             activity = float(matrix[differs].sum())
             if activity > 0.0:
                 steps[t + 1] = clamp_activity(out_prob, activity)
-        waves[net] = GlitchWaveform(out_prob, steps)
+        waves[net] = GlitchWaveform(out_prob, steps, depth)
     return waves
 
 
@@ -159,4 +166,4 @@ def _wide_gate_waveform(
     activity = clamp_activity(out_prob, activity)
     depth = 1 + max(wave.depth for wave in fanin_waves)
     steps = {depth: activity} if activity > 0.0 else {}
-    return GlitchWaveform(out_prob, steps)
+    return GlitchWaveform(out_prob, steps, depth)

@@ -118,6 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="binder label (or name) percent changes compare "
                             "against; 'none' disables the column "
                             "(default lopass)")
+    sweep.add_argument("--sim-kernel", choices=("event", "reference"),
+                       default="event",
+                       help="simulation kernel: the compiled event-driven "
+                            "kernel (default) or the reference waveform "
+                            "loop (slower, byte-identical metrics)")
 
     synth = sub.add_parser("synth", help="integrated HLS on a benchmark")
     synth.add_argument("name", choices=BENCHMARK_NAMES)
@@ -253,6 +258,7 @@ def cmd_sweep(args) -> int:
         n_vectors=args.vectors,
         scheduler=args.scheduler,
         baseline=args.baseline,
+        sim_kernel=args.sim_kernel,
     )
     table = SATable(path=args.sa_table)
     try:

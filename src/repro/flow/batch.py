@@ -85,6 +85,10 @@ class SweepSpec:
     k: int = 4
     scheduler: str = "list"
     check_function: bool = True
+    #: Simulation kernel for every cell: "event" (default) or
+    #: "reference" (the differential-testing oracle; several-fold
+    #: slower, byte-identical metrics).
+    sim_kernel: str = "event"
     #: Binder label (or binder name) used as the reference for
     #: percentage changes; "none" (or empty) disables the comparison.
     baseline: str = "lopass"
@@ -108,6 +112,11 @@ class SweepSpec:
             benchmark_spec(name)  # raises on unknown names
         if self.scheduler not in ("list", "force"):
             raise ConfigError(f"unknown scheduler {self.scheduler!r}")
+        if self.sim_kernel not in ("event", "reference"):
+            raise ConfigError(
+                f"unknown simulation kernel {self.sim_kernel!r}; choose "
+                f"from ('event', 'reference')"
+            )
         configs = self.binder_configs()
         if not configs:
             raise ConfigError("sweep spec has no binder configurations")
@@ -292,6 +301,7 @@ def _execute(job: SweepJob) -> Tuple[SweepCell, FlowResult, Dict[Any, float]]:
         alpha=job.config.alpha,
         sa_table=table,
         check_function=spec.check_function,
+        sim_kernel=spec.sim_kernel,
     )
     result = run_flow(
         schedule, constraints, job.config.binder, config, registers, ports

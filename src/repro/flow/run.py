@@ -71,6 +71,10 @@ class FlowConfig:
     #: delay, the paper's model; >0 models routed-delay spread and is
     #: exercised by an ablation bench).
     delay_jitter: int = 0
+    #: Simulation kernel: "event" (the compiled event-driven kernel)
+    #: or "reference" (the original timed-waveform loop, kept for
+    #: differential testing). Both yield byte-identical results.
+    sim_kernel: str = "event"
 
 
 @dataclass
@@ -189,6 +193,7 @@ def run_flow(
         vectors,
         idle_selects=cfg.idle_selects,
         delay_jitter=cfg.delay_jitter,
+        kernel=cfg.sim_kernel,
     )
     if cfg.check_function:
         expected = golden_outputs(mapped_design, vectors)

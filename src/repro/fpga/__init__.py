@@ -16,8 +16,19 @@ of that measurement harness (see DESIGN.md, substitution table):
 
 from repro.fpga.device import CYCLONE_II_LIKE, DeviceModel
 from repro.fpga.elaborate import ElaboratedDesign, elaborate_datapath
-from repro.fpga.vectors import VectorSet, pack_values, random_vectors, unpack_values
-from repro.fpga.simulate import SimulationResult, simulate_design
+from repro.fpga.vectors import (
+    VectorSet,
+    pack_values,
+    random_vectors,
+    unpack_lane_values,
+    unpack_values,
+)
+from repro.fpga.simulate import (
+    CompiledNetlist,
+    SimulationResult,
+    compile_netlist,
+    simulate_design,
+)
 from repro.fpga.timing import TimingReport, timing_report
 from repro.fpga.power import PowerReport, power_report
 
@@ -29,8 +40,11 @@ __all__ = [
     "VectorSet",
     "pack_values",
     "random_vectors",
+    "unpack_lane_values",
     "unpack_values",
+    "CompiledNetlist",
     "SimulationResult",
+    "compile_netlist",
     "simulate_design",
     "TimingReport",
     "timing_report",

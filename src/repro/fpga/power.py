@@ -57,6 +57,8 @@ def power_report(
     """
     if sim_clock_ns <= 0:
         raise ValueError(f"stimulus clock must be positive: {sim_clock_ns}")
+    if n_nets < 0:
+        raise ValueError(f"n_nets must be >= 0, got {n_nets}")
     per_lane_time_ns = sim.steps * sim_clock_ns
     total_time_s = per_lane_time_ns * 1e-9 * sim.lanes
 
@@ -70,7 +72,7 @@ def power_report(
     control = power_mw(sim.control_toggles, device.c_register_ff)
 
     design_toggles = sim.comb_toggles + sim.register_toggles
-    toggle_rate = design_toggles / total_time_s / 1e6 / max(1, n_nets)
+    toggle_rate = design_toggles / total_time_s / 1e6 / (n_nets or 1)
 
     return PowerReport(
         dynamic_power_mw=comb + regs + pads + control,

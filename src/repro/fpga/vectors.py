@@ -5,16 +5,24 @@ lives in bit ``i % 64`` of word ``i // 64`` of every net's value
 array. This module packs and unpacks that representation and generates
 the seeded random vectors standing in for the paper's Quartus ``.vwf``
 waveform file (1000 random input vectors).
+
+Packing and unpacking are vectorized through ``np.packbits`` /
+``np.unpackbits`` (little bit order): reinterpreting the ``uint64``
+words as bytes matches the lane numbering exactly on little-endian
+hosts, with a portable scalar fallback elsewhere.
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 import numpy as np
 
 from repro.errors import SimulationError
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
 
 
 def n_words(n_lanes: int) -> int:
@@ -25,19 +33,62 @@ def n_words(n_lanes: int) -> int:
 
 def pack_values(bits: Sequence[bool]) -> np.ndarray:
     """Pack per-lane booleans into a uint64 word array."""
-    words = np.zeros(n_words(len(bits)), dtype=np.uint64)
-    for lane, bit in enumerate(bits):
-        if bit:
-            words[lane // 64] |= np.uint64(1) << np.uint64(lane % 64)
-    return words
+    words = n_words(len(bits))
+    if not _LITTLE_ENDIAN:
+        packed = np.zeros(words, dtype=np.uint64)
+        for lane, bit in enumerate(bits):
+            if bit:
+                packed[lane // 64] |= np.uint64(1) << np.uint64(lane % 64)
+        return packed
+    lanes = np.zeros(words * 64, dtype=np.uint8)
+    lanes[: len(bits)] = np.asarray(bits, dtype=np.uint8)
+    return np.packbits(lanes, bitorder="little").view(np.uint64)
 
 
 def unpack_values(words: np.ndarray, lanes: int) -> List[bool]:
     """Inverse of :func:`pack_values`."""
-    return [
-        bool((int(words[lane // 64]) >> (lane % 64)) & 1)
-        for lane in range(lanes)
-    ]
+    if not _LITTLE_ENDIAN:
+        return [
+            bool((int(words[lane // 64]) >> (lane % 64)) & 1)
+            for lane in range(lanes)
+        ]
+    raw = np.ascontiguousarray(words, dtype=np.uint64).view(np.uint8)
+    return np.unpackbits(raw, bitorder="little")[:lanes].astype(bool).tolist()
+
+
+def unpack_lane_values(
+    bit_words: Sequence[np.ndarray], lanes: int
+) -> np.ndarray:
+    """Per-lane integer values of a packed bus.
+
+    ``bit_words[k]`` holds bit ``k`` of every lane (a ``uint64`` word
+    array as produced by :func:`pack_values`); the result is a
+    ``uint64`` array of length ``lanes`` with each lane's bus value.
+    This is the vectorized primary-output extraction of the simulator.
+    """
+    if not bit_words:
+        return np.zeros(lanes, dtype=np.uint64)
+    if len(bit_words) > 64:
+        # The uint64 weights below wrap silently past bit 63.
+        raise SimulationError(
+            f"bus too wide to unpack: {len(bit_words)} bits (max 64)"
+        )
+    if _LITTLE_ENDIAN:
+        stacked = np.stack(
+            [np.ascontiguousarray(w, dtype=np.uint64) for w in bit_words]
+        ).view(np.uint8)
+        bits = np.unpackbits(stacked, axis=1, bitorder="little")[:, :lanes]
+    else:
+        bits = np.zeros((len(bit_words), lanes), dtype=np.uint8)
+        for k, word_array in enumerate(bit_words):
+            for lane in range(lanes):
+                bits[k, lane] = (int(word_array[lane // 64]) >> (lane % 64)) & 1
+    weights = np.left_shift(
+        np.uint64(1), np.arange(len(bit_words), dtype=np.uint64)
+    )
+    return (bits.astype(np.uint64) * weights[:, None]).sum(
+        axis=0, dtype=np.uint64
+    )
 
 
 def broadcast(value: bool, lanes: int) -> np.ndarray:
@@ -79,6 +130,10 @@ class VectorSet:
             if (int(words[lane // 64]) >> (lane % 64)) & 1:
                 value |= 1 << index
         return value
+
+    def lane_values(self, position: int) -> np.ndarray:
+        """Integer value of pad ``position`` in every lane at once."""
+        return unpack_lane_values(self.pads[position], self.lanes)
 
 
 def random_vectors(

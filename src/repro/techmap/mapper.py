@@ -122,7 +122,7 @@ def map_netlist(
             value = gate.table.is_constant()
             if value is None:
                 raise MappingError(f"zero-input non-constant gate {net!r}")
-            waveforms[net] = GlitchWaveform(1.0 if value else 0.0, {})
+            waveforms[net] = GlitchWaveform(1.0 if value else 0.0, {}, 0)
             depths[net] = 0
             sa_flow[net] = 0.0
             area_flow[net] = 0.0
@@ -190,7 +190,7 @@ def _evaluate_cut(
         activity = switching_activity(table, probs, acts)
         activity = clamp_activity(out_prob, activity)
         steps = {depth: activity} if activity > 0.0 else {}
-        return GlitchWaveform(out_prob, steps), depth
+        return GlitchWaveform(out_prob, steps, depth), depth
 
     column = np.array(table.output_column(), dtype=np.float64)
     differs = column[:, None] != column[None, :]
@@ -209,7 +209,7 @@ def _evaluate_cut(
         activity = float(matrix[differs].sum())
         if activity > 0.0:
             steps[t + 1] = clamp_activity(out_prob, activity)
-    return GlitchWaveform(out_prob, steps), depth
+    return GlitchWaveform(out_prob, steps, depth), depth
 
 
 def _root_nets(netlist: Netlist) -> List[str]:

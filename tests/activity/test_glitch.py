@@ -7,7 +7,7 @@ from repro.activity.glitch import (
     propagate_waveforms,
     source_waveform,
 )
-from repro.netlist.gates import GateType, Netlist
+from repro.netlist.gates import GateType, Netlist, TruthTable
 
 
 class TestWaveform:
@@ -103,6 +103,31 @@ class TestPropagation:
         netlist.set_output(current)
         waves = propagate_waveforms(netlist)
         assert waves[current].depth == 4
+
+    def test_zero_activity_functional_transition(self):
+        # Regression: the functional transition must be pinned to the
+        # *structural* depth, even when its activity is zero and the
+        # step is therefore absent from the recorded waveform. Here the
+        # output gate structurally depends on a depth-2 fanin (so its
+        # depth is 3), but its truth table ignores that input: the only
+        # recorded step is the early (glitch) one at time 1, which the
+        # old max-of-steps depth misreported as the functional
+        # transition.
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        n1 = netlist.add_simple(GateType.NOT, (b,))
+        n2 = netlist.add_simple(GateType.NOT, (n1,))
+        table = TruthTable.from_function(2, lambda v: v[0])  # ignores n2
+        netlist.add_gate(table, (a, n2), "y")
+        netlist.set_output("y")
+        waves = propagate_waveforms(netlist)
+        wave = waves["y"]
+        assert wave.depth == 3  # structural, through the inverter chain
+        assert wave.switch_times() == [1]  # only the glitch step
+        assert wave.total() > 0.0
+        assert wave.functional() == 0.0
+        assert wave.glitch() == pytest.approx(wave.total())
 
     def test_latch_outputs_are_sources(self):
         netlist = Netlist()

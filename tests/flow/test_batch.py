@@ -106,6 +106,25 @@ class TestExpandGrid:
         with pytest.raises(ConfigError):
             expand_grid(SweepSpec(benchmarks=["pr"], widths=()))
 
+    def test_unknown_sim_kernel_rejected(self):
+        with pytest.raises(ConfigError):
+            expand_grid(SweepSpec(benchmarks=["pr"], sim_kernel="quantum"))
+
+
+class TestSimKernel:
+    def test_reference_kernel_metrics_identical(self):
+        """The sweep-level kernel flag must not move any metric."""
+        spec = small_spec(binders=("lopass",), vector_seeds=(7,))
+        event = run_sweep(spec, jobs=1)
+        reference = run_sweep(
+            small_spec(
+                binders=("lopass",), vector_seeds=(7,),
+                sim_kernel="reference",
+            ),
+            jobs=1,
+        )
+        assert event.cells[0].metrics == reference.cells[0].metrics
+
 
 class TestParallelDeterminism:
     def test_jobs1_vs_jobs2_metrics_identical(

@@ -1,0 +1,104 @@
+"""Differential test: event-driven kernel vs the reference simulator.
+
+The event kernel (compiled netlist + time-wheel settling) and the seed
+timed-waveform loop implement the same delay model, so for every design
+their :class:`SimulationResult` records must be *byte-identical* — all
+four toggle counters, the per-net toggle map, and the primary-output
+values — not merely close. This is pinned across every built-in
+benchmark, both idle-select conventions, and jittered delays.
+"""
+
+import pytest
+
+from repro import BENCHMARK_NAMES, benchmark_spec, list_schedule, load_benchmark
+from repro.binding import assign_ports, bind_lopass, bind_registers
+from repro.fpga import (
+    ElaboratedDesign,
+    compile_netlist,
+    elaborate_datapath,
+    random_vectors,
+    simulate_design,
+)
+from repro.errors import SimulationError
+from repro.rtl import build_datapath
+from repro.techmap import map_netlist
+
+WIDTH = 4
+#: Not a multiple of 64, so the tail-lane masking is exercised too.
+LANES = 48
+SEED = 11
+
+
+@pytest.fixture(scope="module", params=BENCHMARK_NAMES)
+def mapped_design(request):
+    """LUT-mapped design + stimulus for one built-in benchmark."""
+    name = request.param
+    spec = benchmark_spec(name)
+    schedule = list_schedule(load_benchmark(name), spec.constraints)
+    registers = bind_registers(schedule)
+    ports = assign_ports(schedule.cdfg)
+    solution = bind_lopass(schedule, spec.constraints, registers, ports)
+    datapath = build_datapath(solution, WIDTH)
+    design = elaborate_datapath(datapath)
+    mapping = map_netlist(design.netlist, k=4)
+    mapped = ElaboratedDesign(
+        datapath,
+        mapping.netlist,
+        design.pad_nets,
+        design.register_nets,
+        design.fu_nets,
+        design.control_nets,
+        design.output_nets,
+    )
+    vectors = random_vectors(
+        len(schedule.cdfg.primary_inputs), WIDTH, LANES, seed=SEED
+    )
+    return mapped, vectors
+
+
+@pytest.mark.parametrize("idle_selects", ["zero", "hold"])
+@pytest.mark.parametrize("delay_jitter", [0, 2])
+def test_kernels_byte_identical(mapped_design, idle_selects, delay_jitter):
+    design, vectors = mapped_design
+    event = simulate_design(
+        design, vectors, collect_per_net=True,
+        idle_selects=idle_selects, delay_jitter=delay_jitter,
+    )
+    reference = simulate_design(
+        design, vectors, collect_per_net=True,
+        idle_selects=idle_selects, delay_jitter=delay_jitter,
+        kernel="reference",
+    )
+    # Dataclass equality covers every counter, the per-net map and the
+    # per-lane outputs.
+    assert event == reference
+
+
+def test_unknown_kernel_rejected(mapped_design):
+    design, vectors = mapped_design
+    with pytest.raises(SimulationError):
+        simulate_design(design, vectors, kernel="quantum")
+
+
+def test_compiled_netlist_is_cached(mapped_design):
+    design, _ = mapped_design
+    first = compile_netlist(design.netlist, 0)
+    assert compile_netlist(design.netlist, 0) is first
+    # A different delay spread compiles (and caches) separately.
+    jittered = compile_netlist(design.netlist, 2)
+    assert jittered is not first
+    assert compile_netlist(design.netlist, 2) is jittered
+
+
+def test_compiled_netlist_invalidated_on_mutation(mapped_design):
+    design, _ = mapped_design
+    netlist = design.netlist
+    first = compile_netlist(netlist, 0)
+    pi = netlist.add_input()
+    try:
+        recompiled = compile_netlist(netlist, 0)
+        assert recompiled is not first
+        assert recompiled.n_nets == first.n_nets + 1
+    finally:
+        netlist.inputs.remove(pi)
+        netlist._sim_compiled.clear()
