@@ -1,0 +1,140 @@
+"""Staged-pipeline benchmark — per-stage cost and the cached speedup.
+
+Two measurements on the largest paper benchmark ("chem" by default):
+
+1. **Stage profile** — one cold :func:`repro.flow.run_flow` with
+   per-stage wall clock, showing where the flow spends its time
+   (tech-mapping dominates, which is why caching the bound-and-mapped
+   prefix pays).
+2. **Cached-sweep speedup** — the dominant sweep shape: a grid varying
+   only simulation-stage knobs (vector seed x delay jitter x idle
+   policy) over one fixed (benchmark, binder, alpha). Run once with
+   the per-worker artifact cache and once cold; assert every cell's
+   metrics are byte-identical; report the end-to-end speedup.
+
+Results land in ``BENCH_flow.json`` at the repo root so later PRs can
+track the trend.
+
+This is a standalone script (not collected by pytest — the cold sweep
+alone costs tens of seconds):
+
+    PYTHONPATH=src python benchmarks/bench_flow_stages.py
+
+Knobs (environment variables): ``REPRO_FLOW_BENCH`` (default
+``chem``), ``REPRO_FLOW_WIDTH`` (default 8), ``REPRO_FLOW_VECTORS``
+(default 128), ``REPRO_FLOW_SEEDS`` (default 2), ``REPRO_FLOW_BINDER``
+(default ``lopass``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro import benchmark_spec, run_sweep
+from repro.flow import FlowConfig, SweepSpec, run_flow
+from repro.cdfg import load_benchmark
+from repro.scheduling import list_schedule
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_OUT_PATH = os.path.join(_REPO_ROOT, "BENCH_flow.json")
+
+BENCH = os.environ.get("REPRO_FLOW_BENCH", "chem")
+WIDTH = int(os.environ.get("REPRO_FLOW_WIDTH", "8"))
+VECTORS = int(os.environ.get("REPRO_FLOW_VECTORS", "128"))
+SEEDS = int(os.environ.get("REPRO_FLOW_SEEDS", "2"))
+BINDER = os.environ.get("REPRO_FLOW_BINDER", "lopass")
+
+
+def stage_profile() -> dict:
+    """One cold full flow, timed stage by stage."""
+    spec = benchmark_spec(BENCH)
+    schedule = list_schedule(load_benchmark(BENCH), spec.constraints)
+    config = FlowConfig(width=WIDTH, n_vectors=VECTORS)
+    started = time.perf_counter()
+    result = run_flow(schedule, spec.constraints, BINDER, config)
+    total = time.perf_counter() - started
+    print(f"cold {BENCH} flow ({BINDER}, width {WIDTH}, "
+          f"{VECTORS} vectors): {total:.2f}s")
+    for stage, seconds in result.stage_timings.items():
+        print(f"  {stage:10s} {seconds:7.3f}s  {seconds / total:6.1%}")
+    return {
+        "total_s": round(total, 4),
+        "stages_s": {
+            stage: round(seconds, 4)
+            for stage, seconds in result.stage_timings.items()
+        },
+    }
+
+
+def sweep_spec() -> SweepSpec:
+    return SweepSpec(
+        benchmarks=[BENCH],
+        binders=(BINDER,),
+        widths=(WIDTH,),
+        vector_seeds=tuple(range(7, 7 + SEEDS)),
+        n_vectors=VECTORS,
+        idle_modes=("zero", "hold"),
+        jitters=(0, 1),
+        baseline="none",
+    )
+
+
+def cached_speedup() -> dict:
+    """Simulation-knob sweep, cached vs cold, metrics asserted equal."""
+    spec = sweep_spec()
+    n_cells = SEEDS * 2 * 2
+    print(f"\nsimulation-knob sweep: {n_cells} cells "
+          f"({SEEDS} seeds x 2 idle modes x 2 jitters), fixed "
+          f"({BENCH}, {BINDER})")
+
+    started = time.perf_counter()
+    cached = run_sweep(spec, jobs=1, use_cache=True)
+    cached_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    cold = run_sweep(spec, jobs=1, use_cache=False)
+    cold_s = time.perf_counter() - started
+
+    mismatch = [
+        (a.key, b.key)
+        for a, b in zip(cached.cells, cold.cells)
+        if a.key != b.key or a.metrics != b.metrics
+    ]
+    if mismatch:
+        raise SystemExit(f"cached vs cold metrics diverge: {mismatch}")
+
+    speedup = cold_s / cached_s
+    print(f"  cached: {cached_s:6.2f}s "
+          f"({cached.stage_cache_hits} stage hits / "
+          f"{cached.stage_cache_misses} computed)")
+    print(f"  cold:   {cold_s:6.2f}s")
+    print(f"  speedup: {speedup:.2f}x  (metrics byte-identical)")
+    return {
+        "n_cells": n_cells,
+        "cached_wall_s": round(cached_s, 3),
+        "uncached_wall_s": round(cold_s, 3),
+        "speedup": round(speedup, 3),
+        "stage_cache_hits": cached.stage_cache_hits,
+        "stage_cache_misses": cached.stage_cache_misses,
+    }
+
+
+def main() -> None:
+    record = {
+        "benchmark": BENCH,
+        "binder": BINDER,
+        "width": WIDTH,
+        "n_vectors": VECTORS,
+        "stage_profile": stage_profile(),
+        "cached_sweep": cached_speedup(),
+    }
+    with open(_OUT_PATH, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(f"\nresults written to {_OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -44,13 +44,17 @@ from repro.binding import (
 )
 from repro.rtl import build_datapath, emit_vhdl, mux_report
 from repro.flow import (
+    ArtifactCache,
     BinderConfig,
+    EstimateResult,
     FlowConfig,
     FlowResult,
+    Pipeline,
     SweepResult,
     SweepSpec,
     compare_binders,
     expand_grid,
+    run_estimate,
     run_flow,
     run_sweep,
 )
@@ -80,13 +84,17 @@ __all__ = [
     "build_datapath",
     "emit_vhdl",
     "mux_report",
+    "ArtifactCache",
     "BinderConfig",
+    "EstimateResult",
     "FlowConfig",
     "FlowResult",
+    "Pipeline",
     "SweepResult",
     "SweepSpec",
     "compare_binders",
     "expand_grid",
+    "run_estimate",
     "run_flow",
     "run_sweep",
     "HLSConfig",

@@ -109,11 +109,18 @@ class SATable:
                 k=self.config.k,
                 glitch_aware=self.config.glitch_aware,
             )
-            return result.total_sa
-        report = estimate_switching_activity(
-            netlist, glitch_aware=self.config.glitch_aware
-        )
-        return report.total
+            total = result.total_sa
+        else:
+            report = estimate_switching_activity(
+                netlist, glitch_aware=self.config.glitch_aware
+            )
+            total = report.total
+        # Quantize at the persisted precision (save() writes %.9f), so
+        # a freshly computed value and the same value round-tripped
+        # through the text file are identical — table fill state can
+        # then never perturb a binding, which the flow pipeline's bind
+        # fingerprint relies on (it excludes fill state by design).
+        return round(total, 9)
 
     # -- bulk -----------------------------------------------------------
 

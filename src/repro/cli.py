@@ -9,13 +9,17 @@ Commands:
 * ``suite`` — the full LOPASS-vs-HLPower comparison over all seven
   benchmarks (what `benchmarks/test_table3_power_area.py` runs).
 * ``sweep`` — run a declarative ``benchmark x binder x alpha x width x
-  seed`` grid across worker processes and dump a JSON result store
-  (see docs/sweeps.md).
+  idle x jitter x kernel x seed`` grid across worker processes and
+  dump a JSON result store (see docs/sweeps.md).
+* ``estimate`` — the partial flow: Equation-(3) switching-activity and
+  area estimates after tech-map, with no vectors and no simulation
+  (see docs/architecture.md).
 * ``profiles`` — print Table 1.
 
-``bench``, ``suite`` and ``sweep`` are all thin wrappers over the same
-sweep engine (:mod:`repro.flow.batch`), so they share one execution
-path, one elaboration memo, and one SA-table lifecycle.
+``bench``, ``suite``, ``sweep`` and ``estimate`` are all thin wrappers
+over the same sweep engine (:mod:`repro.flow.batch`), so they share
+one execution path, one elaboration memo, one pipeline artifact cache
+per worker, and one SA-table lifecycle.
 """
 
 from __future__ import annotations
@@ -118,11 +122,63 @@ def build_parser() -> argparse.ArgumentParser:
                        help="binder label (or name) percent changes compare "
                             "against; 'none' disables the column "
                             "(default lopass)")
-    sweep.add_argument("--sim-kernel", choices=("event", "reference"),
-                       default="event",
-                       help="simulation kernel: the compiled event-driven "
-                            "kernel (default) or the reference waveform "
-                            "loop (slower, byte-identical metrics)")
+    sweep.add_argument("--sim-kernel", default="event",
+                       help="comma-separated simulation kernel axis: "
+                            "'event' (the compiled event-driven kernel, "
+                            "default) and/or 'reference' (the waveform "
+                            "loop; slower, byte-identical metrics)")
+    sweep.add_argument("--idle-modes", default="zero",
+                       help="comma-separated idle-step control policies to "
+                            "sweep: 'zero' and/or 'hold' (default zero)")
+    sweep.add_argument("--jitters", default="0",
+                       help="comma-separated per-gate delay-jitter values "
+                            "to sweep (default 0 = pure unit delay)")
+    sweep.add_argument("--flow", choices=("full", "estimate"),
+                       default="full",
+                       help="'full' runs the measurement chain through "
+                            "simulation; 'estimate' stops every cell after "
+                            "tech-map (Equation-(3) numbers, no simulator)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable the per-worker pipeline artifact "
+                            "cache (metrics are identical either way; "
+                            "useful for benchmarking the speedup)")
+    sweep.add_argument("--cache-dir", metavar="DIR",
+                       help="persistent on-disk artifact-cache layer "
+                            "shared across workers and sweeps")
+
+    estimate = sub.add_parser(
+        "estimate",
+        help="estimate-only partial flow (no simulation)",
+        description=(
+            "Run the pipeline prefix bind -> datapath -> elaborate -> "
+            "tech-map -> timing for every benchmark and binder and print "
+            "the Equation-(3) switching-activity estimate, glitch "
+            "fraction, and area — no vectors are drawn and the simulator "
+            "never runs."
+        ),
+    )
+    estimate.add_argument(
+        "--benchmarks", default="all",
+        help="comma-separated names, a count N (= first N benchmarks), "
+             "or 'all' (default)")
+    estimate.add_argument(
+        "--binders", default="lopass,hlpower",
+        help="comma-separated binder names (default lopass,hlpower)")
+    estimate.add_argument(
+        "--alphas", default="0.5",
+        help="comma-separated Equation (4) alpha values (default 0.5)")
+    estimate.add_argument("--width", type=int, default=8,
+                          help="datapath bit-width (default 8)")
+    estimate.add_argument("--jobs", type=int, default=1,
+                          help="worker processes (default 1 = in-process)")
+    estimate.add_argument("--baseline", default="lopass",
+                          help="binder label (or name) the dSA column "
+                               "compares against; 'none' disables the "
+                               "column (default lopass)")
+    estimate.add_argument("--sa-table", default="data/sa_table.txt",
+                          help="persistent SA table path")
+    estimate.add_argument("--out", metavar="FILE",
+                          help="write the JSON result store here")
 
     synth = sub.add_parser("synth", help="integrated HLS on a benchmark")
     synth.add_argument("name", choices=BENCHMARK_NAMES)
@@ -249,6 +305,9 @@ def cmd_suite(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    kernels = _comma_list(args.sim_kernel, str, "--sim-kernel")
+    if not kernels:
+        raise SystemExit("error: --sim-kernel needs at least one value")
     spec = SweepSpec(
         benchmarks=_parse_benchmarks(args.benchmarks),
         binders=_comma_list(args.binders, str, "--binders"),
@@ -258,7 +317,11 @@ def cmd_sweep(args) -> int:
         n_vectors=args.vectors,
         scheduler=args.scheduler,
         baseline=args.baseline,
-        sim_kernel=args.sim_kernel,
+        sim_kernel=kernels[0],
+        sim_kernels=kernels if len(kernels) > 1 else None,
+        idle_modes=_comma_list(args.idle_modes, str, "--idle-modes"),
+        jitters=_comma_list(args.jitters, int, "--jitters"),
+        flow=args.flow,
     )
     table = SATable(path=args.sa_table)
     try:
@@ -267,7 +330,31 @@ def cmd_sweep(args) -> int:
             jobs=args.jobs,
             sa_table=table,
             precalc_max_mux=args.precalc_mux,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
         )
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}")
+    table.save_if_dirty()
+    print(format_sweep_summary(sweep))
+    if args.out:
+        sweep.save(args.out)
+        print(f"result store written to {args.out}")
+    return 0
+
+
+def cmd_estimate(args) -> int:
+    spec = SweepSpec(
+        benchmarks=_parse_benchmarks(args.benchmarks),
+        binders=_comma_list(args.binders, str, "--binders"),
+        alphas=_comma_list(args.alphas, float, "--alphas"),
+        widths=(args.width,),
+        baseline=args.baseline,
+        flow="estimate",
+    )
+    table = SATable(path=args.sa_table)
+    try:
+        sweep = run_sweep(spec, jobs=args.jobs, sa_table=table)
     except ReproError as exc:
         raise SystemExit(f"error: {exc}")
     table.save_if_dirty()
@@ -328,6 +415,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": cmd_bench,
         "suite": cmd_suite,
         "sweep": cmd_sweep,
+        "estimate": cmd_estimate,
         "synth": cmd_synth,
         "profiles": cmd_profiles,
     }

@@ -48,5 +48,10 @@ class SimulationError(ReproError):
     """Gate-level simulation failure (X propagation, missing driver)."""
 
 
-class ConfigError(ReproError):
-    """Invalid configuration value (alpha out of range, K too large...)."""
+class ConfigError(ReproError, ValueError):
+    """Invalid configuration value (alpha out of range, K too large...).
+
+    Also a :class:`ValueError`: eager config validation (e.g.
+    :class:`repro.flow.FlowConfig.__post_init__`) raises it where
+    plain-ValueError semantics are what callers expect.
+    """

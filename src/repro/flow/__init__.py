@@ -1,25 +1,50 @@
 """End-to-end synthesis + measurement flow.
 
-:func:`~repro.flow.run.run_flow` chains the full reproduction
-pipeline: scheduled CDFG -> register binding -> FU binding (HLPower or
-the LOPASS baseline) -> datapath -> gate-level elaboration -> K-LUT
-mapping -> unit-delay simulation -> timing and power reports. This is
-the code path every table/figure bench drives.
+:mod:`repro.flow.pipeline` is the core: the flow is an explicit stage
+graph — bind -> datapath -> elaborate -> techmap -> timing / vectors
+-> simulate -> power — whose typed :class:`~repro.flow.pipeline.Stage`
+objects declare their inputs and the subset of
+:class:`~repro.flow.run.FlowConfig` they read, and store their
+artifacts in a content-addressed
+:class:`~repro.flow.cache.ArtifactCache` (see docs/architecture.md).
 
-:mod:`repro.flow.batch` scales that single call into declarative
-experiment grids: :class:`~repro.flow.batch.SweepSpec` describes a
-``benchmark x binder x alpha x width x seed`` grid and
+:func:`~repro.flow.run.run_flow` chains the full reproduction pipeline
+as a thin driver over those stages: scheduled CDFG -> register binding
+-> FU binding (HLPower or the LOPASS baseline) -> datapath ->
+gate-level elaboration -> K-LUT mapping -> unit-delay simulation ->
+timing and power reports. :func:`~repro.flow.run.run_estimate` is the
+partial-flow entry point: it stops after tech-map and reports the
+Equation-(3) estimates without invoking the simulator.
+
+:mod:`repro.flow.batch` scales those calls into declarative experiment
+grids: :class:`~repro.flow.batch.SweepSpec` describes a ``benchmark x
+binder x alpha x width x idle x jitter x kernel x seed`` grid and
 :func:`~repro.flow.batch.run_sweep` executes it across worker
-processes with shared SA-table state and memoized elaborations,
-collecting per-cell records into a JSON-serializable
-:class:`~repro.flow.batch.SweepResult`.
+processes with shared SA-table state, memoized elaborations and a
+per-worker artifact cache (cells differing only in simulation knobs
+become simulate-only work), collecting per-cell records into a
+JSON-serializable :class:`~repro.flow.batch.SweepResult`.
 """
 
+from repro.flow.cache import ArtifactCache, fingerprint
+from repro.flow.pipeline import (
+    ESTIMATE_STAGES,
+    STAGE_NAMES,
+    STAGES,
+    MappedDesign,
+    Pipeline,
+    Stage,
+    run_binder,
+)
 from repro.flow.run import (
+    EstimateResult,
     FlowConfig,
     FlowResult,
+    build_pipeline,
     compare_binders,
+    execute_flow,
     prepare_flow_inputs,
+    run_estimate,
     run_flow,
 )
 from repro.flow.batch import (
@@ -39,10 +64,23 @@ from repro.flow.report import (
 )
 
 __all__ = [
+    "ArtifactCache",
+    "fingerprint",
+    "ESTIMATE_STAGES",
+    "STAGE_NAMES",
+    "STAGES",
+    "MappedDesign",
+    "Pipeline",
+    "Stage",
+    "run_binder",
+    "EstimateResult",
     "FlowConfig",
     "FlowResult",
+    "build_pipeline",
     "compare_binders",
+    "execute_flow",
     "prepare_flow_inputs",
+    "run_estimate",
     "run_flow",
     "BinderConfig",
     "SweepCell",

@@ -6,8 +6,8 @@ and figure is ``benchmark x binder x alpha x seed`` cells of
 first-class subsystem:
 
 * :class:`SweepSpec` — a declarative grid (benchmarks, binder
-  configurations, alphas, widths, vector seeds) plus the shared flow
-  knobs;
+  configurations, alphas, widths, vector seeds, idle policies, delay
+  jitters, sim kernels) plus the shared flow knobs;
 * :func:`expand_grid` — spec -> concrete :class:`SweepJob` list;
 * :func:`run_sweep` — executes the jobs across a
   :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs=1`` is a
@@ -15,8 +15,16 @@ first-class subsystem:
   fixtures) and collects per-cell records into a JSON-serializable
   :class:`SweepResult`.
 
-Two performance layers keep the grid cheap:
+Three performance layers keep the grid cheap:
 
+* a per-worker **artifact cache** — every cell runs through the staged
+  pipeline (:mod:`repro.flow.pipeline`), whose stage artifacts are
+  content-fingerprinted into an
+  :class:`~repro.flow.cache.ArtifactCache`. Cells that share a prefix
+  (same binder+alpha but a different vector seed / jitter / idle mode
+  / kernel) reuse the bound-and-mapped design and become
+  simulate-only work; per-stage hits and wall clock land in each
+  :class:`SweepCell`;
 * a content-keyed **elaboration memo** — schedule, register binding
   and port assignment depend only on ``(benchmark, scheduler,
   constraints)``, so each worker process computes them once per
@@ -28,10 +36,15 @@ Two performance layers keep the grid cheap:
   to compute back into the master table, which is saved once
   (atomically) at the end instead of once per job.
 
+Partial flows are first-class: ``SweepSpec(flow="estimate")`` stops
+every cell after tech-map and records the Equation-(3) estimates —
+no vectors, no simulation — which is what ``repro estimate`` drives.
+
 Determinism: every per-cell ``metrics`` record is a pure function of
 the cell's inputs — SA-table values are themselves deterministic, so
-cache state cannot influence binding decisions — and ``jobs=N``
-produces byte-identical metrics to ``jobs=1``.
+cache state cannot influence binding decisions; the artifact cache
+only ever substitutes byte-identical recomputations — and ``jobs=N``
+(cached or cold) produces byte-identical metrics to ``jobs=1``.
 """
 
 from __future__ import annotations
@@ -46,8 +59,17 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.binding import SATable
 from repro.cdfg import Schedule, benchmark_spec, load_benchmark
 from repro.errors import ConfigError
-from repro.flow.run import FlowConfig, FlowResult, prepare_flow_inputs, run_flow
+from repro.flow.cache import ArtifactCache
+from repro.flow.run import (
+    FlowConfig,
+    FlowResult,
+    execute_flow,
+    prepare_flow_inputs,
+)
 from repro.scheduling import force_directed_schedule, list_schedule
+
+#: Default in-memory artifact-cache capacity per worker process.
+DEFAULT_CACHE_ENTRIES = 64
 
 
 @dataclass(frozen=True)
@@ -69,10 +91,13 @@ class SweepSpec:
     """Declarative description of one experiment grid.
 
     The grid is the cross product ``benchmarks x binder_configs x
-    widths x vector_seeds``. Binder configurations come either from the
-    ``binders x alphas`` cross product (the default) or from an
-    explicit ``configs`` list when the columns are not a product — e.g.
-    the bench suite's ``lopass / hlpower_a1 / hlpower_a05``.
+    widths x idle_modes x jitters x sim kernels x vector_seeds``.
+    Binder configurations come either from the ``binders x alphas``
+    cross product (the default) or from an explicit ``configs`` list
+    when the columns are not a product — e.g. the bench suite's
+    ``lopass / hlpower_a1 / hlpower_a05``. The simulation-only axes
+    (idle mode, jitter, kernel, seed) vary nothing before the simulate
+    stage, so the pipeline cache turns them into simulate-only work.
     """
 
     benchmarks: Sequence[str]
@@ -87,11 +112,21 @@ class SweepSpec:
     check_function: bool = True
     #: Simulation kernel for every cell: "event" (default) or
     #: "reference" (the differential-testing oracle; several-fold
-    #: slower, byte-identical metrics).
+    #: slower, byte-identical metrics). ``sim_kernels`` overrides this
+    #: scalar with a grid axis.
     sim_kernel: str = "event"
     #: Binder label (or binder name) used as the reference for
     #: percentage changes; "none" (or empty) disables the comparison.
     baseline: str = "lopass"
+    #: Idle-step control policies to sweep ("zero" and/or "hold").
+    idle_modes: Sequence[str] = ("zero",)
+    #: Per-gate delay-jitter values to sweep (0 = pure unit delay).
+    jitters: Sequence[int] = (0,)
+    #: Optional kernel axis; ``None`` means ``(sim_kernel,)``.
+    sim_kernels: Optional[Sequence[str]] = None
+    #: "full" runs the paper's measurement chain; "estimate" stops
+    #: every cell after tech-map (Equation-(3) numbers, no simulator).
+    flow: str = "full"
 
     def binder_configs(self) -> List[BinderConfig]:
         if self.configs is not None:
@@ -105,6 +140,12 @@ class SweepSpec:
                 out.append(BinderConfig(label, binder, alpha))
         return out
 
+    def kernels(self) -> List[str]:
+        """The kernel axis (the scalar ``sim_kernel`` unless overridden)."""
+        if self.sim_kernels is not None:
+            return list(self.sim_kernels)
+        return [self.sim_kernel]
+
     def validate(self) -> None:
         if not self.benchmarks:
             raise ConfigError("sweep spec has no benchmarks")
@@ -112,11 +153,30 @@ class SweepSpec:
             benchmark_spec(name)  # raises on unknown names
         if self.scheduler not in ("list", "force"):
             raise ConfigError(f"unknown scheduler {self.scheduler!r}")
-        if self.sim_kernel not in ("event", "reference"):
+        for kernel in [self.sim_kernel] + self.kernels():
+            if kernel not in ("event", "reference"):
+                raise ConfigError(
+                    f"unknown simulation kernel {kernel!r}; choose "
+                    f"from ('event', 'reference')"
+                )
+        if self.flow not in ("full", "estimate"):
             raise ConfigError(
-                f"unknown simulation kernel {self.sim_kernel!r}; choose "
-                f"from ('event', 'reference')"
+                f"unknown flow mode {self.flow!r}; choose from "
+                f"('full', 'estimate')"
             )
+        if not self.idle_modes:
+            raise ConfigError("sweep spec needs >= 1 idle mode")
+        for idle in self.idle_modes:
+            if idle not in ("zero", "hold"):
+                raise ConfigError(
+                    f"unknown idle policy {idle!r}; choose from "
+                    f"('zero', 'hold')"
+                )
+        if not self.jitters:
+            raise ConfigError("sweep spec needs >= 1 jitter value")
+        for jitter in self.jitters:
+            if jitter < 0:
+                raise ConfigError(f"delay jitter must be >= 0, got {jitter}")
         configs = self.binder_configs()
         if not configs:
             raise ConfigError("sweep spec has no binder configurations")
@@ -162,6 +222,10 @@ class SweepSpec:
         data["alphas"] = list(self.alphas)
         data["widths"] = list(self.widths)
         data["vector_seeds"] = list(self.vector_seeds)
+        data["idle_modes"] = list(self.idle_modes)
+        data["jitters"] = list(self.jitters)
+        if self.sim_kernels is not None:
+            data["sim_kernels"] = list(self.sim_kernels)
         if self.configs is not None:
             data["configs"] = [asdict(config) for config in self.configs]
         return data
@@ -185,6 +249,9 @@ class SweepJob:
     config: BinderConfig
     width: int
     vector_seed: int
+    idle_selects: str = "zero"
+    delay_jitter: int = 0
+    sim_kernel: str = "event"
 
 
 @dataclass
@@ -197,32 +264,60 @@ class SweepCell:
     alpha: float
     width: int
     vector_seed: int
-    #: Deterministic measurements (see :meth:`FlowResult.metrics`).
+    #: Deterministic measurements (see :meth:`FlowResult.metrics` /
+    #: :meth:`EstimateResult.metrics` depending on the spec's flow).
     metrics: Dict[str, float]
     runtime_s: float
     schedule_cache_hit: bool
     sa_new_entries: int
+    idle_selects: str = "zero"
+    delay_jitter: int = 0
+    sim_kernel: str = "event"
+    #: Per-pipeline-stage wall clock of this cell's flow run.
+    stage_timings: Dict[str, float] = field(default_factory=dict)
+    #: Pipeline stages served from the worker's artifact cache.
+    cache_hits: List[str] = field(default_factory=list)
 
     @property
-    def key(self) -> Tuple[str, str, int, int]:
-        return (self.benchmark, self.config, self.width, self.vector_seed)
+    def key(self) -> Tuple[str, str, int, int, str, int, str]:
+        return (
+            self.benchmark, self.config, self.width, self.vector_seed,
+            self.idle_selects, self.delay_jitter, self.sim_kernel,
+        )
 
 
 def expand_grid(spec: SweepSpec) -> List[SweepJob]:
     """Expand the spec into jobs, benchmark-major.
 
     Benchmark-major order keeps jobs that share an elaboration-memo key
-    adjacent, so pool chunking hands workers runs of cache hits.
+    adjacent, and simulation-only axes (idle/jitter/kernel/seed)
+    innermost so consecutive jobs share the longest cached pipeline
+    prefix. In estimate mode the simulation-only axes are collapsed to
+    their first value — they cannot move any estimate metric, so
+    multiplying cells over them would only duplicate records.
     """
     spec.validate()
+    idle_modes: Sequence[str] = spec.idle_modes
+    jitters: Sequence[int] = spec.jitters
+    kernels: Sequence[str] = spec.kernels()
+    seeds: Sequence[int] = spec.vector_seeds
+    if spec.flow == "estimate":
+        idle_modes = idle_modes[:1]
+        jitters = jitters[:1]
+        kernels = kernels[:1]
+        seeds = seeds[:1]
     jobs: List[SweepJob] = []
     for benchmark in spec.benchmarks:
         for config in spec.binder_configs():
             for width in spec.widths:
-                for seed in spec.vector_seeds:
-                    jobs.append(
-                        SweepJob(len(jobs), benchmark, config, width, seed)
-                    )
+                for idle in idle_modes:
+                    for jitter in jitters:
+                        for kernel in kernels:
+                            for seed in seeds:
+                                jobs.append(SweepJob(
+                                    len(jobs), benchmark, config, width,
+                                    seed, idle, jitter, kernel,
+                                ))
     return jobs
 
 
@@ -238,6 +333,9 @@ class _WorkerPayload:
 
     spec: SweepSpec
     sa_table: SATable  # preloaded values travel inside
+    use_cache: bool = True
+    cache_entries: int = DEFAULT_CACHE_ENTRIES
+    cache_dir: Optional[str] = None
 
 
 _WORKER: Dict[str, Any] = {}
@@ -248,6 +346,11 @@ def _init_worker(payload: _WorkerPayload) -> None:
     _WORKER["sa_table"] = payload.sa_table
     _WORKER["sa_known"] = set(payload.sa_table.snapshot())
     _WORKER["memo"] = {}
+    _WORKER["cache"] = (
+        ArtifactCache(payload.cache_entries, payload.cache_dir)
+        if payload.use_cache
+        else None
+    )
 
 
 def _elaborate(benchmark: str, spec: SweepSpec) -> Tuple[Schedule, Dict[str, int], Any, Any, bool]:
@@ -286,7 +389,7 @@ def _elaborate(benchmark: str, spec: SweepSpec) -> Tuple[Schedule, Dict[str, int
     return schedule, constraints, registers, ports, hit
 
 
-def _execute(job: SweepJob) -> Tuple[SweepCell, FlowResult, Dict[Any, float]]:
+def _execute(job: SweepJob) -> Tuple[SweepCell, Any, Dict[Any, float]]:
     """Run one job against this process's shared state."""
     spec: SweepSpec = _WORKER["spec"]
     table: SATable = _WORKER["sa_table"]
@@ -301,10 +404,14 @@ def _execute(job: SweepJob) -> Tuple[SweepCell, FlowResult, Dict[Any, float]]:
         alpha=job.config.alpha,
         sa_table=table,
         check_function=spec.check_function,
-        sim_kernel=spec.sim_kernel,
+        idle_selects=job.idle_selects,
+        delay_jitter=job.delay_jitter,
+        sim_kernel=job.sim_kernel,
+        flow=spec.flow,
     )
-    result = run_flow(
-        schedule, constraints, job.config.binder, config, registers, ports
+    result = execute_flow(
+        schedule, constraints, job.config.binder, config, registers, ports,
+        cache=_WORKER["cache"],
     )
     known: set = _WORKER["sa_known"]
     new_entries = {
@@ -324,6 +431,11 @@ def _execute(job: SweepJob) -> Tuple[SweepCell, FlowResult, Dict[Any, float]]:
         runtime_s=result.runtime_s,
         schedule_cache_hit=hit,
         sa_new_entries=len(new_entries),
+        idle_selects=job.idle_selects,
+        delay_jitter=job.delay_jitter,
+        sim_kernel=job.sim_kernel,
+        stage_timings=dict(result.stage_timings),
+        cache_hits=list(result.cache_hits),
     )
     return cell, result, new_entries
 
@@ -351,11 +463,12 @@ class SweepResult:
     schedule_cache_misses: int
     sa_precalc_entries: int
     sa_new_entries: int
+    #: Pipeline-stage cache traffic summed over all cells.
+    stage_cache_hits: int = 0
+    stage_cache_misses: int = 0
     #: Full FlowResults keyed by cell key; only populated when
     #: ``run_sweep(..., keep_results=True)``.
-    results: Dict[Tuple[str, str, int, int], FlowResult] = field(
-        default_factory=dict, repr=False
-    )
+    results: Dict[Tuple, Any] = field(default_factory=dict, repr=False)
 
     def cell(
         self,
@@ -363,6 +476,9 @@ class SweepResult:
         config: str,
         width: Optional[int] = None,
         vector_seed: Optional[int] = None,
+        idle_selects: Optional[str] = None,
+        delay_jitter: Optional[int] = None,
+        sim_kernel: Optional[str] = None,
     ) -> SweepCell:
         """The unique cell matching the given coordinates."""
         matches = [
@@ -372,13 +488,20 @@ class SweepResult:
             and c.config == config
             and (width is None or c.width == width)
             and (vector_seed is None or c.vector_seed == vector_seed)
+            and (idle_selects is None or c.idle_selects == idle_selects)
+            and (delay_jitter is None or c.delay_jitter == delay_jitter)
+            and (sim_kernel is None or c.sim_kernel == sim_kernel)
         ]
         if not matches:
-            raise KeyError((benchmark, config, width, vector_seed))
+            raise KeyError(
+                (benchmark, config, width, vector_seed, idle_selects,
+                 delay_jitter, sim_kernel)
+            )
         if len(matches) > 1:
             raise KeyError(
                 f"ambiguous cell {(benchmark, config)}: {len(matches)} "
-                f"matches; pass width/vector_seed"
+                f"matches; pass width/vector_seed/idle_selects/"
+                f"delay_jitter/sim_kernel"
             )
         return matches[0]
 
@@ -388,72 +511,114 @@ class SweepResult:
         config: str,
         width: Optional[int] = None,
         vector_seed: Optional[int] = None,
+        idle_selects: Optional[str] = None,
+        delay_jitter: Optional[int] = None,
+        sim_kernel: Optional[str] = None,
     ) -> FlowResult:
         """The retained FlowResult for a cell (needs keep_results)."""
-        cell = self.cell(benchmark, config, width, vector_seed)
+        cell = self.cell(
+            benchmark, config, width, vector_seed, idle_selects,
+            delay_jitter, sim_kernel,
+        )
         return self.results[cell.key]
 
     # -- aggregation -------------------------------------------------------
 
     def aggregates(self) -> List[Dict[str, Any]]:
-        """Per (benchmark, config, width) stats across vector seeds.
+        """Per-group stats across vector seeds.
 
-        Each group reports mean/stdev dynamic power and toggle rate
-        (the seed-sensitive metrics), the seed-invariant area/mux/clock
-        numbers, and the percentage change of mean power versus the
-        spec's baseline binder on the same (benchmark, width) —
-        ``None`` when the sweep contains no baseline cells.
+        Groups are ``(benchmark, config, width, idle, jitter, kernel)``
+        — everything but the seed axis. Full-flow groups report
+        mean/stdev dynamic power and toggle rate (the seed-sensitive
+        metrics); estimate-flow groups report the Equation-(3)
+        switching-activity estimate and glitch fraction instead (keys
+        ``sa_mean`` / ``sa_stdev`` / ``glitch_fraction``). Both carry
+        the seed-invariant area/mux/clock numbers and the percentage
+        change of the primary metric versus the spec's baseline binder
+        on the same group coordinates — ``None`` when the sweep
+        contains no baseline cells.
         """
         from repro.flow.report import percent_change
-        groups: Dict[Tuple[str, str, int], List[SweepCell]] = {}
+        estimate = self.spec.flow == "estimate"
+        primary_key = "estimated_sa" if estimate else "dynamic_power_mw"
+        groups: Dict[Tuple, List[SweepCell]] = {}
         for cell in self.cells:
-            groups.setdefault(
-                (cell.benchmark, cell.config, cell.width), []
-            ).append(cell)
+            group = (
+                cell.benchmark, cell.config, cell.width,
+                cell.idle_selects, cell.delay_jitter, cell.sim_kernel,
+            )
+            groups.setdefault(group, []).append(cell)
 
         baseline = self.spec.baseline
-        baseline_power: Dict[Tuple[str, int], float] = {}
+        baseline_primary: Dict[Tuple, float] = {}
         if baseline and baseline != "none":
-            for (benchmark, config, width), cells in groups.items():
-                if config == baseline or (
+            for group, cells in groups.items():
+                coords = (group[0],) + group[2:]  # all but the config
+                if group[1] == baseline or (
                     cells[0].binder == baseline
-                    and (benchmark, width) not in baseline_power
+                    and coords not in baseline_primary
                 ):
-                    baseline_power[(benchmark, width)] = statistics.fmean(
-                        c.metrics["dynamic_power_mw"] for c in cells
+                    baseline_primary[coords] = statistics.fmean(
+                        c.metrics[primary_key] for c in cells
                     )
 
         out = []
-        for (benchmark, config, width), cells in groups.items():
-            powers = [c.metrics["dynamic_power_mw"] for c in cells]
-            rates = [c.metrics["toggle_rate_mhz"] for c in cells]
-            base = baseline_power.get((benchmark, width))
-            mean_power = statistics.fmean(powers)
+        for group, cells in groups.items():
+            benchmark, config, width, idle, jitter, kernel = group
+            primary = [c.metrics[primary_key] for c in cells]
+            base = baseline_primary.get((benchmark,) + group[2:])
+            mean_primary = statistics.fmean(primary)
             record = {
                 "benchmark": benchmark,
                 "config": config,
                 "width": width,
+                "idle_selects": idle,
+                "delay_jitter": jitter,
+                "sim_kernel": kernel,
                 "n_seeds": len(cells),
-                "power_mean_mw": mean_power,
-                "power_stdev_mw": (
-                    statistics.stdev(powers) if len(powers) > 1 else 0.0
-                ),
-                "toggle_rate_mean_mhz": statistics.fmean(rates),
-                "toggle_rate_stdev_mhz": (
-                    statistics.stdev(rates) if len(rates) > 1 else 0.0
-                ),
                 "area_luts": cells[0].metrics["area_luts"],
                 "largest_mux": cells[0].metrics["largest_mux"],
                 "clock_period_ns": cells[0].metrics["clock_period_ns"],
                 "runtime_s": sum(c.runtime_s for c in cells),
-                "d_power_vs_baseline_pct": (
-                    percent_change(base, mean_power)
+            }
+            if estimate:
+                record["sa_mean"] = mean_primary
+                record["sa_stdev"] = (
+                    statistics.stdev(primary) if len(primary) > 1 else 0.0
+                )
+                record["glitch_fraction"] = statistics.fmean(
+                    c.metrics["glitch_fraction"] for c in cells
+                )
+                record["d_sa_vs_baseline_pct"] = (
+                    percent_change(base, mean_primary)
                     if base is not None
                     else None
-                ),
-            }
+                )
+            else:
+                rates = [c.metrics["toggle_rate_mhz"] for c in cells]
+                record["power_mean_mw"] = mean_primary
+                record["power_stdev_mw"] = (
+                    statistics.stdev(primary) if len(primary) > 1 else 0.0
+                )
+                record["toggle_rate_mean_mhz"] = statistics.fmean(rates)
+                record["toggle_rate_stdev_mhz"] = (
+                    statistics.stdev(rates) if len(rates) > 1 else 0.0
+                )
+                record["d_power_vs_baseline_pct"] = (
+                    percent_change(base, mean_primary)
+                    if base is not None
+                    else None
+                )
             out.append(record)
         return out
+
+    def stage_time_totals(self) -> Dict[str, float]:
+        """Wall clock per pipeline stage summed over all cells."""
+        totals: Dict[str, float] = {}
+        for cell in self.cells:
+            for stage, seconds in cell.stage_timings.items():
+                totals[stage] = totals.get(stage, 0.0) + seconds
+        return totals
 
     # -- (de)serialization -------------------------------------------------
 
@@ -466,6 +631,9 @@ class SweepResult:
             "schedule_cache_misses": self.schedule_cache_misses,
             "sa_precalc_entries": self.sa_precalc_entries,
             "sa_new_entries": self.sa_new_entries,
+            "stage_cache_hits": self.stage_cache_hits,
+            "stage_cache_misses": self.stage_cache_misses,
+            "stage_time_totals": self.stage_time_totals(),
             "cells": [asdict(cell) for cell in self.cells],
             "aggregates": self.aggregates(),
         }
@@ -484,6 +652,8 @@ class SweepResult:
             schedule_cache_misses=data["schedule_cache_misses"],
             sa_precalc_entries=data["sa_precalc_entries"],
             sa_new_entries=data["sa_new_entries"],
+            stage_cache_hits=data.get("stage_cache_hits", 0),
+            stage_cache_misses=data.get("stage_cache_misses", 0),
         )
 
     @classmethod
@@ -512,6 +682,9 @@ def run_sweep(
     precalc_max_mux: int = 0,
     keep_results: bool = False,
     progress: Optional[Callable[[SweepCell], None]] = None,
+    use_cache: bool = True,
+    cache_entries: int = DEFAULT_CACHE_ENTRIES,
+    cache_dir: Optional[str] = None,
 ) -> SweepResult:
     """Expand ``spec`` and run every cell, ``jobs`` at a time.
 
@@ -525,6 +698,12 @@ def run_sweep(
     ``precalc_max_mux > 0`` the table is bulk-filled up to that mux
     size before any job runs, so workers start fully warm.
 
+    ``use_cache`` controls the per-worker pipeline artifact cache
+    (``cache_entries`` bounds it; ``cache_dir`` adds a persistent
+    on-disk layer shared across worker processes and sweeps). Metrics
+    are byte-identical with the cache on or off — ``use_cache=False``
+    exists for differential tests and benchmarking the speedup.
+
     ``keep_results`` retains the full :class:`FlowResult` objects in
     :attr:`SweepResult.results`; it requires ``jobs=1`` (the objects
     are deliberately not shipped across process boundaries).
@@ -533,6 +712,11 @@ def run_sweep(
         raise ConfigError(f"jobs must be >= 1, got {jobs}")
     if keep_results and jobs > 1:
         raise ConfigError("keep_results requires jobs=1 (in-process mode)")
+    if cache_dir is not None and not use_cache:
+        raise ConfigError(
+            "cache_dir requires use_cache=True (the disk layer lives "
+            "inside the artifact cache)"
+        )
     started = time.perf_counter()
     job_list = expand_grid(spec)
     table = sa_table if sa_table is not None else SATable()
@@ -540,9 +724,15 @@ def run_sweep(
         table.precalculate(precalc_max_mux) if precalc_max_mux > 0 else 0
     )
 
-    payload = _WorkerPayload(spec=spec, sa_table=table)
+    payload = _WorkerPayload(
+        spec=spec,
+        sa_table=table,
+        use_cache=use_cache,
+        cache_entries=cache_entries,
+        cache_dir=cache_dir,
+    )
     cells: List[SweepCell] = []
-    results: Dict[Tuple[str, str, int, int], FlowResult] = {}
+    results: Dict[Tuple, Any] = {}
     sa_new_total = 0
 
     if jobs == 1 or len(job_list) == 1:
@@ -573,6 +763,8 @@ def run_sweep(
                     progress(cell)
 
     hits = sum(1 for cell in cells if cell.schedule_cache_hit)
+    stage_hits = sum(len(cell.cache_hits) for cell in cells)
+    stage_total = sum(len(cell.stage_timings) for cell in cells)
     return SweepResult(
         spec=spec,
         cells=cells,
@@ -582,5 +774,7 @@ def run_sweep(
         schedule_cache_misses=len(cells) - hits,
         sa_precalc_entries=precalc_entries,
         sa_new_entries=sa_new_total,
+        stage_cache_hits=stage_hits,
+        stage_cache_misses=stage_total - stage_hits,
         results=results,
     )

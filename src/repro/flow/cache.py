@@ -1,0 +1,236 @@
+"""Content-addressed artifact store for the staged flow pipeline.
+
+Every pipeline stage (see :mod:`repro.flow.pipeline`) produces one
+artifact — a binding solution, an elaborated netlist, a simulation
+trace — whose identity is fully determined by its inputs: the upstream
+artifacts' fingerprints plus the subset of
+:class:`~repro.flow.run.FlowConfig` fields the stage actually reads.
+:func:`fingerprint` reduces that identity to a SHA-256 digest;
+:class:`ArtifactCache` maps digests to artifacts so two flow runs that
+share a prefix of the stage graph share the expensive prefix work.
+
+The cache is in-memory with LRU eviction (artifacts can be large —
+a mapped ``chem`` netlist is tens of thousands of gates) and an
+optional on-disk pickle layer for cross-process sweeps: worker
+processes that miss in memory probe the shared directory before
+recomputing, and publish what they had to compute. Disk I/O is
+strictly best-effort — a corrupt, unreadable or unpicklable entry
+degrades to a cache miss, never to an error.
+
+Determinism contract: the cache only ever substitutes an artifact for
+a byte-identical recomputation, so cached and cold pipeline runs
+produce identical :meth:`~repro.flow.run.FlowResult.metrics`. The
+differential suite in ``tests/flow/test_pipeline.py`` enforces this
+across binders, idle policies, delay jitter and both sim kernels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+_MISSING = object()
+
+
+def _update(hasher: "hashlib._Hash", value: Any) -> None:
+    """Feed one value into the hash with an unambiguous type tag."""
+    if value is None:
+        hasher.update(b"N;")
+    elif isinstance(value, bool):  # before int: bool is an int subclass
+        hasher.update(b"b%d;" % value)
+    elif isinstance(value, int):
+        hasher.update(b"i" + str(value).encode() + b";")
+    elif isinstance(value, float):
+        # repr() round-trips doubles exactly in Python 3.
+        hasher.update(b"f" + repr(value).encode() + b";")
+    elif isinstance(value, str):
+        raw = value.encode()
+        hasher.update(b"s%d:" % len(raw) + raw + b";")
+    elif isinstance(value, bytes):
+        hasher.update(b"y%d:" % len(value) + value + b";")
+    elif isinstance(value, (tuple, list)):
+        hasher.update(b"(")
+        for item in value:
+            _update(hasher, item)
+        hasher.update(b")")
+    elif isinstance(value, (set, frozenset)):
+        hasher.update(b"{")
+        for item in sorted(value, key=repr):
+            _update(hasher, item)
+        hasher.update(b"}")
+    elif isinstance(value, dict):
+        hasher.update(b"[")
+        for key in sorted(value, key=repr):
+            _update(hasher, key)
+            _update(hasher, value[key])
+        hasher.update(b"]")
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        hasher.update(b"d" + type(value).__name__.encode() + b":")
+        for field in dataclasses.fields(value):
+            _update(hasher, field.name)
+            _update(hasher, getattr(value, field.name))
+        hasher.update(b";")
+    else:
+        raise TypeError(
+            f"cannot fingerprint {type(value).__name__!r} values; pass a "
+            f"primitive, container, or dataclass token instead"
+        )
+
+
+def fingerprint(*parts: Any) -> str:
+    """Stable SHA-256 digest of a tree of primitive/container tokens.
+
+    Stability matters more than speed here: the same logical inputs
+    must hash identically across processes and sessions (the on-disk
+    layer persists digests), so only deterministic-repr types are
+    accepted and dict/set iteration order never leaks into the digest.
+    """
+    hasher = hashlib.sha256()
+    _update(hasher, parts)
+    return hasher.hexdigest()
+
+
+class ArtifactCache:
+    """Content-addressed artifact store with LRU eviction.
+
+    ``max_entries`` bounds the in-memory layer (``None`` = unbounded);
+    ``disk_dir`` enables the persistent layer shared across processes,
+    bounded to ``disk_max_entries`` pickles (oldest-by-mtime pruned on
+    write, so a long-lived shared directory cannot grow without
+    bound).
+    """
+
+    def __init__(
+        self,
+        max_entries: Optional[int] = None,
+        disk_dir: Optional[str] = None,
+        disk_max_entries: int = 512,
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if disk_max_entries < 1:
+            raise ValueError(
+                f"disk_max_entries must be >= 1, got {disk_max_entries}"
+            )
+        self.max_entries = max_entries
+        self.disk_dir = disk_dir
+        self.disk_max_entries = disk_max_entries
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.disk_hits = 0
+        if disk_dir is not None:
+            os.makedirs(disk_dir, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    # -- lookup / store ----------------------------------------------------
+
+    def lookup(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, value)`` for ``key``; value is ``None`` on a miss."""
+        value = self._entries.get(key, _MISSING)
+        if value is not _MISSING:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True, value
+        if self.disk_dir is not None:
+            value = self._disk_read(key)
+            if value is not _MISSING:
+                self._insert(key, value)
+                self.hits += 1
+                self.disk_hits += 1
+                return True, value
+        self.misses += 1
+        return False, None
+
+    def store(self, key: str, value: Any, persist: bool = True) -> None:
+        """Insert an artifact (and publish it to disk when enabled).
+
+        ``persist=False`` keeps the artifact memory-only even when the
+        disk layer is active — used for per-run-unique artifacts (a
+        simulation trace is keyed by its exact seed/jitter/idle/kernel
+        combination) that would otherwise fill the directory with
+        write-only pickles.
+        """
+        self._insert(key, value)
+        if persist and self.disk_dir is not None:
+            self._disk_write(key, value)
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (disk entries survive)."""
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+        }
+
+    # -- internals ---------------------------------------------------------
+
+    def _insert(self, key: str, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def _disk_path(self, key: str) -> str:
+        return os.path.join(self.disk_dir, key + ".pkl")
+
+    def _disk_read(self, key: str) -> Any:
+        try:
+            with open(self._disk_path(key), "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return _MISSING
+
+    def _disk_write(self, key: str, value: Any) -> None:
+        # Atomic publish (temp + rename) so concurrent workers never
+        # observe a half-written artifact; failures degrade to a miss
+        # for future readers, never to an error for this writer.
+        try:
+            fd, tmp = tempfile.mkstemp(
+                dir=self.disk_dir, prefix=key[:16], suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._disk_path(key))
+            except BaseException:
+                os.unlink(tmp)
+                raise
+            self._disk_prune()
+        except (OSError, pickle.PicklingError, TypeError, AttributeError):
+            pass
+
+    def _disk_prune(self) -> None:
+        """Drop oldest pickles once the directory exceeds its bound."""
+        entries = [
+            item
+            for item in os.scandir(self.disk_dir)
+            if item.name.endswith(".pkl")
+        ]
+        if len(entries) <= self.disk_max_entries:
+            return
+        entries.sort(key=lambda item: item.stat().st_mtime)
+        for item in entries[: len(entries) - self.disk_max_entries]:
+            try:
+                os.unlink(item.path)
+            except OSError:
+                pass

@@ -56,24 +56,45 @@ def format_table(
 def format_sweep_summary(sweep: "SweepResult") -> str:
     """Aggregate table + execution stats for one sweep.
 
-    One row per (benchmark, config, width) group: seed-averaged power
-    (with stdev when several seeds ran), toggle rate, the
-    seed-invariant area/clock numbers, and the power change versus the
-    sweep's baseline binder.
+    One row per (benchmark, config, width, idle, jitter, kernel)
+    group. Full-flow sweeps show seed-averaged power (with stdev when
+    several seeds ran), toggle rate, the seed-invariant area/clock
+    numbers, and the power change versus the sweep's baseline binder;
+    estimate-only sweeps show the Equation-(3) switching-activity
+    estimate and glitch fraction instead. Grid axes held at a single
+    value are omitted from the columns.
     """
+    spec = sweep.spec
+    estimate = spec.flow == "estimate"
     rows = []
-    multi_width = len(sweep.spec.widths) > 1
+    multi_width = len(spec.widths) > 1
+    extra_axes = []
+    if not estimate:
+        if len(spec.idle_modes) > 1:
+            extra_axes.append(("idle", "idle_selects"))
+        if len(spec.jitters) > 1:
+            extra_axes.append(("jit", "delay_jitter"))
+        if len(spec.kernels()) > 1:
+            extra_axes.append(("kernel", "sim_kernel"))
     for agg in sweep.aggregates():
-        power = f"{agg['power_mean_mw']:.2f}"
-        if agg["n_seeds"] > 1:
-            power += f"±{agg['power_stdev_mw']:.2f}"
         row = [agg["benchmark"], agg["config"]]
         if multi_width:
             row.append(agg["width"])
-        delta = agg["d_power_vs_baseline_pct"]
+        for _, key in extra_axes:
+            row.append(agg[key])
+        if estimate:
+            delta = agg["d_sa_vs_baseline_pct"]
+            row += [
+                f"{agg['sa_mean']:.1f}",
+                f"{agg['glitch_fraction'] * 100:.1f}%",
+            ]
+        else:
+            delta = agg["d_power_vs_baseline_pct"]
+            power = f"{agg['power_mean_mw']:.2f}"
+            if agg["n_seeds"] > 1:
+                power += f"±{agg['power_stdev_mw']:.2f}"
+            row += [power, f"{agg['toggle_rate_mean_mhz']:.2f}"]
         row += [
-            power,
-            f"{agg['toggle_rate_mean_mhz']:.2f}",
             f"{agg['clock_period_ns']:.1f}",
             agg["area_luts"],
             agg["largest_mux"],
@@ -83,19 +104,41 @@ def format_sweep_summary(sweep: "SweepResult") -> str:
     headers = ["bench", "config"]
     if multi_width:
         headers.append("width")
-    headers += ["power mW", "tog MHz", "clk ns", "LUTs", "lrg mux", "dPow"]
-    n_seeds = len(sweep.spec.vector_seeds)
+    headers += [label for label, _ in extra_axes]
+    if estimate:
+        headers += ["est SA", "glitch", "clk ns", "LUTs", "lrg mux", "dSA"]
+    else:
+        headers += ["power mW", "tog MHz", "clk ns", "LUTs", "lrg mux",
+                    "dPow"]
+    axes = [
+        (len(spec.benchmarks), "benchmarks"),
+        (len(spec.binder_configs()), "configs"),
+        (len(spec.widths), "widths"),
+    ]
+    if not estimate:
+        # Estimate sweeps collapse the simulation-only axes, so only
+        # full sweeps multiply over them.
+        axes += [
+            (len(spec.idle_modes), "idle"),
+            (len(spec.jitters), "jitters"),
+            (len(spec.kernels()), "kernels"),
+            (len(spec.vector_seeds), "seeds"),
+        ]
+    grid = " x ".join(
+        f"{count} {label}" for count, label in axes
+        if count > 1 or label in ("benchmarks", "configs")
+    )
+    flow_tag = "estimate-only, " if estimate else ""
     title = (
-        f"Sweep: {len(sweep.cells)} cells "
-        f"({len(sweep.spec.benchmarks)} benchmarks x "
-        f"{len(sweep.spec.binder_configs())} configs x "
-        f"{len(sweep.spec.widths)} widths x {n_seeds} seeds), "
+        f"Sweep: {len(sweep.cells)} cells ({flow_tag}{grid}), "
         f"jobs={sweep.jobs}, wall {sweep.wall_s:.1f}s"
     )
     table = format_table(headers, rows, title=title)
     stats = (
         f"elaboration cache: {sweep.schedule_cache_hits} hits / "
-        f"{sweep.schedule_cache_misses} misses; SA table: "
+        f"{sweep.schedule_cache_misses} misses; pipeline stages: "
+        f"{sweep.stage_cache_hits} cached / "
+        f"{sweep.stage_cache_misses} computed; SA table: "
         f"{sweep.sa_precalc_entries} precalculated, "
         f"{sweep.sa_new_entries} new entries"
     )

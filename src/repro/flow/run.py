@@ -6,47 +6,60 @@ period, LUT count, multiplexer statistics, and the average toggle
 rate. :func:`compare_binders` runs LOPASS and HLPower on *identical*
 schedules, register bindings and port assignments — the paper's
 methodology — and returns both results.
+
+Both are thin drivers over the staged pipeline
+(:mod:`repro.flow.pipeline`): the chain bind → datapath → elaborate →
+techmap → timing → vectors → simulate → power runs stage by stage,
+each stage content-fingerprinted into an
+:class:`~repro.flow.cache.ArtifactCache` so repeated runs that share a
+prefix (same binder and mapping, different simulation knobs) reuse the
+expensive bound-and-mapped artifacts. :func:`run_estimate` is the
+partial-flow entry point: it stops after tech-map/timing and reports
+the Equation-(3) switching-activity estimate without ever invoking the
+simulator.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional, Tuple, Union
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
-from repro.errors import SimulationError
+from repro.errors import ConfigError
 from repro.binding import (
     BindingSolution,
-    HLPowerConfig,
     PortAssignment,
     RegisterBinding,
     SATable,
     assign_ports,
-    bind_hlpower,
-    bind_lopass,
     bind_registers,
 )
-from repro.cdfg.graph import CDFG
 from repro.cdfg.schedule import Schedule
+from repro.flow.cache import ArtifactCache
+from repro.flow.pipeline import ESTIMATE_STAGES, Binder, Pipeline
 from repro.fpga.device import CYCLONE_II_LIKE, DeviceModel
-from repro.fpga.elaborate import ElaboratedDesign, elaborate_datapath
-from repro.fpga.power import PowerReport, power_report
-from repro.fpga.simulate import (
-    SimulationResult,
-    golden_outputs,
-    simulate_design,
-)
-from repro.fpga.timing import TimingReport, timing_report
-from repro.fpga.vectors import random_vectors
+from repro.fpga.elaborate import ElaboratedDesign
+from repro.fpga.power import PowerReport
+from repro.fpga.simulate import SimulationResult
+from repro.fpga.timing import TimingReport
 from repro.rtl.controller import build_controller
-from repro.rtl.datapath import Datapath, build_datapath
+from repro.rtl.datapath import Datapath
 from repro.rtl.metrics import MuxReport, mux_report
-from repro.techmap import MapResult, map_netlist
+from repro.techmap import MapResult
+
+#: Valid values of :attr:`FlowConfig.flow`.
+FLOW_MODES = ("full", "estimate")
 
 
 @dataclass
 class FlowConfig:
-    """Knobs of the measurement flow (defaults match the benches)."""
+    """Knobs of the measurement flow (defaults match the benches).
+
+    Validated eagerly on construction: unknown ``sim_kernel`` /
+    ``idle_selects`` / ``flow`` values and non-positive ``width`` /
+    ``k`` / ``n_vectors`` raise :class:`~repro.errors.ConfigError` (a
+    ``ValueError``) here instead of failing deep inside the flow.
+    """
 
     width: int = 8
     k: int = 4
@@ -75,6 +88,40 @@ class FlowConfig:
     #: or "reference" (the original timed-waveform loop, kept for
     #: differential testing). Both yield byte-identical results.
     sim_kernel: str = "event"
+    #: Which flow the drivers execute: "full" (the paper's measurement
+    #: chain, through simulation and power) or "estimate" (stop after
+    #: tech-map/timing and report the Equation-(3) estimates only).
+    flow: str = "full"
+
+    def __post_init__(self) -> None:
+        for name in ("width", "k", "n_vectors"):
+            value = getattr(self, name)
+            # bool is an int subclass; reject it explicitly.
+            if (not isinstance(value, int) or isinstance(value, bool)
+                    or value < 1):
+                raise ConfigError(
+                    f"FlowConfig.{name} must be a positive integer, "
+                    f"got {value!r}"
+                )
+        if self.sim_kernel not in ("event", "reference"):
+            raise ConfigError(
+                f"unknown simulation kernel {self.sim_kernel!r}; choose "
+                f"from ('event', 'reference')"
+            )
+        if self.idle_selects not in ("zero", "hold"):
+            raise ConfigError(
+                f"unknown idle policy {self.idle_selects!r}; choose from "
+                f"('zero', 'hold')"
+            )
+        if self.flow not in FLOW_MODES:
+            raise ConfigError(
+                f"unknown flow mode {self.flow!r}; choose from {FLOW_MODES}"
+            )
+        if self.delay_jitter < 0:
+            raise ConfigError(
+                f"FlowConfig.delay_jitter must be >= 0, "
+                f"got {self.delay_jitter}"
+            )
 
 
 @dataclass
@@ -92,6 +139,11 @@ class FlowResult:
     area_luts: int
     controller_luts: int
     runtime_s: float
+    #: Per-stage wall clock of this run (cache hits included, at the
+    #: cost of the lookup). Excluded from :meth:`metrics`.
+    stage_timings: Dict[str, float] = field(default_factory=dict)
+    #: Pipeline stages served from the artifact cache.
+    cache_hits: List[str] = field(default_factory=list)
 
     @property
     def estimated_sa(self) -> float:
@@ -103,8 +155,9 @@ class FlowResult:
 
         This is the per-cell record of the sweep engine and is fully
         deterministic for a given flow input — wall-clock
-        (:attr:`runtime_s`) is deliberately excluded so records from
-        parallel and serial runs compare byte-identically.
+        (:attr:`runtime_s`, :attr:`stage_timings`) is deliberately
+        excluded so records from parallel, serial, cached and cold
+        runs compare byte-identically.
         """
         return {
             "dynamic_power_mw": self.power.dynamic_power_mw,
@@ -127,7 +180,50 @@ class FlowResult:
         }
 
 
-Binder = Union[str, Callable[..., BindingSolution]]
+@dataclass
+class EstimateResult:
+    """The estimate-only (no simulation) flow's product.
+
+    Everything here comes from the bind → map → timing prefix of the
+    pipeline: the Equation-(3) switching-activity estimate, the mapped
+    area, and the structural mux/register statistics. No vectors are
+    drawn and the simulator never runs.
+    """
+
+    solution: BindingSolution
+    datapath: Datapath
+    design: ElaboratedDesign
+    mapping: MapResult
+    muxes: MuxReport
+    timing: TimingReport
+    area_luts: int
+    controller_luts: int
+    runtime_s: float
+    stage_timings: Dict[str, float] = field(default_factory=dict)
+    cache_hits: List[str] = field(default_factory=list)
+
+    @property
+    def estimated_sa(self) -> float:
+        """The Equation-(3) estimate for the whole mapped design."""
+        return self.mapping.total_sa
+
+    def metrics(self) -> Dict[str, float]:
+        """Deterministic flat record (the estimate-sweep cell)."""
+        return {
+            "estimated_sa": self.mapping.total_sa,
+            "functional_sa": self.mapping.functional_sa,
+            "glitch_sa": self.mapping.glitch_sa,
+            "glitch_fraction": self.mapping.glitch_fraction,
+            "clock_period_ns": self.timing.clock_period_ns,
+            "depth_levels": self.timing.depth_levels,
+            "area_luts": self.area_luts,
+            "datapath_luts": self.mapping.area,
+            "controller_luts": self.controller_luts,
+            "largest_mux": self.muxes.largest_mux,
+            "mux_length": self.muxes.mux_length,
+            "mux_diff_mean": self.muxes.mux_diff_mean,
+            "n_registers": self.solution.registers.n_registers,
+        }
 
 
 def prepare_flow_inputs(
@@ -143,6 +239,31 @@ def prepare_flow_inputs(
     return bind_registers(schedule), assign_ports(schedule.cdfg)
 
 
+def build_pipeline(
+    schedule: Schedule,
+    constraints: Mapping[str, int],
+    binder: Binder = "hlpower",
+    config: Optional[FlowConfig] = None,
+    registers: Optional[RegisterBinding] = None,
+    ports: Optional[PortAssignment] = None,
+    cache: Optional[ArtifactCache] = None,
+) -> Pipeline:
+    """Assemble a :class:`Pipeline` with the drivers' input defaults."""
+    cfg = config or FlowConfig()
+    if registers is None:
+        registers = bind_registers(schedule)
+    if ports is None:
+        ports = assign_ports(schedule.cdfg)
+    return Pipeline(schedule, constraints, binder, cfg, registers, ports,
+                    cache)
+
+
+def _controller_luts(pipe: Pipeline) -> int:
+    return build_controller(pipe.artifact("datapath")).estimated_luts(
+        pipe.cfg.k
+    )
+
+
 def run_flow(
     schedule: Schedule,
     constraints: Mapping[str, int],
@@ -150,116 +271,126 @@ def run_flow(
     config: Optional[FlowConfig] = None,
     registers: Optional[RegisterBinding] = None,
     ports: Optional[PortAssignment] = None,
+    cache: Optional[ArtifactCache] = None,
 ) -> FlowResult:
-    """Bind, build, map, simulate, and measure one design."""
+    """Bind, build, map, simulate, and measure one design.
+
+    Pass a shared ``cache`` to reuse stage artifacts across calls;
+    results are byte-identical with and without one.
+    """
     started = time.perf_counter()
     cfg = config or FlowConfig()
-    cdfg = schedule.cdfg
-    if registers is None:
-        registers = bind_registers(schedule)
-    if ports is None:
-        ports = assign_ports(cdfg)
-
-    solution = _run_binder(binder, schedule, constraints, registers, ports, cfg)
-    datapath = build_datapath(solution, cfg.width)
-    design = elaborate_datapath(datapath)
-
-    input_activities = {
-        net: cfg.control_activity
-        for nets in design.control_nets.values()
-        for net in nets
-    }
-    mapping = map_netlist(
-        design.netlist,
-        k=cfg.k,
-        input_activities=input_activities,
+    if cfg.flow == "estimate":
+        raise ConfigError(
+            "run_flow executes the full flow; use run_estimate for "
+            "FlowConfig(flow='estimate')"
+        )
+    pipe = build_pipeline(
+        schedule, constraints, binder, cfg, registers, ports, cache
     )
-    mapped_design = ElaboratedDesign(
-        datapath=datapath,
-        netlist=mapping.netlist,
-        pad_nets=design.pad_nets,
-        register_nets=design.register_nets,
-        fu_nets=design.fu_nets,
-        control_nets=design.control_nets,
-        output_nets=design.output_nets,
-    )
-
-    timing = timing_report(mapping.netlist, cfg.device)
-    vectors = random_vectors(
-        len(cdfg.primary_inputs), cfg.width, cfg.n_vectors, cfg.vector_seed
-    )
-    simulation = simulate_design(
-        mapped_design,
-        vectors,
-        idle_selects=cfg.idle_selects,
-        delay_jitter=cfg.delay_jitter,
-        kernel=cfg.sim_kernel,
-    )
-    if cfg.check_function:
-        expected = golden_outputs(mapped_design, vectors)
-        if expected != simulation.outputs:
-            raise SimulationError(
-                f"simulated outputs disagree with CDFG semantics for "
-                f"{cdfg.name!r} ({solution.algorithm})"
-            )
-
-    controller_luts = build_controller(datapath).estimated_luts(cfg.k)
-    n_design_nets = mapping.area + len(mapping.netlist.latches)
-    power = power_report(
-        simulation, cfg.sim_clock_ns, cfg.device, n_nets=n_design_nets
-    )
+    solution = pipe.artifact("bind")
+    mapped = pipe.artifact("techmap")
+    timing = pipe.artifact("timing")
+    simulation = pipe.artifact("simulate").result
+    power = pipe.artifact("power")
+    controller_luts = _controller_luts(pipe)
 
     return FlowResult(
         solution=solution,
-        datapath=datapath,
-        design=mapped_design,
-        mapping=mapping,
+        datapath=pipe.artifact("datapath"),
+        design=mapped.design,
+        mapping=mapped.mapping,
         muxes=mux_report(solution),
         timing=timing,
         simulation=simulation,
         power=power,
-        area_luts=mapping.area + controller_luts,
+        area_luts=mapped.mapping.area + controller_luts,
         controller_luts=controller_luts,
         runtime_s=time.perf_counter() - started,
+        stage_timings=dict(pipe.timings),
+        cache_hits=pipe.hit_stages,
     )
 
 
-def _run_binder(
-    binder: Binder,
+def run_estimate(
     schedule: Schedule,
     constraints: Mapping[str, int],
-    registers: RegisterBinding,
-    ports: PortAssignment,
-    cfg: FlowConfig,
-) -> BindingSolution:
-    if callable(binder):
-        return binder(schedule, constraints, registers, ports)
-    if binder == "hlpower":
-        hl_cfg = HLPowerConfig(alpha=cfg.alpha, sa_table=cfg.sa_table)
-        return bind_hlpower(schedule, constraints, registers, ports, hl_cfg)
-    if binder == "lopass":
-        return bind_lopass(schedule, constraints, registers, ports)
-    raise ValueError(f"unknown binder {binder!r}")
+    binder: Binder = "hlpower",
+    config: Optional[FlowConfig] = None,
+    registers: Optional[RegisterBinding] = None,
+    ports: Optional[PortAssignment] = None,
+    cache: Optional[ArtifactCache] = None,
+) -> EstimateResult:
+    """The estimate-only partial flow: stop after tech-map/timing.
+
+    Reports the Equation-(3) switching-activity and area numbers
+    without drawing vectors or invoking the simulator — the cheap
+    screening entry point for wide sweeps (``repro estimate``,
+    ``repro sweep --flow estimate``).
+    """
+    started = time.perf_counter()
+    pipe = build_pipeline(
+        schedule, constraints, binder, config, registers, ports, cache
+    )
+    pipe.run_stages(ESTIMATE_STAGES)
+    solution = pipe.artifact("bind")
+    mapped = pipe.artifact("techmap")
+    controller_luts = _controller_luts(pipe)
+
+    return EstimateResult(
+        solution=solution,
+        datapath=pipe.artifact("datapath"),
+        design=mapped.design,
+        mapping=mapped.mapping,
+        muxes=mux_report(solution),
+        timing=pipe.artifact("timing"),
+        area_luts=mapped.mapping.area + controller_luts,
+        controller_luts=controller_luts,
+        runtime_s=time.perf_counter() - started,
+        stage_timings=dict(pipe.timings),
+        cache_hits=pipe.hit_stages,
+    )
+
+
+def execute_flow(
+    schedule: Schedule,
+    constraints: Mapping[str, int],
+    binder: Binder = "hlpower",
+    config: Optional[FlowConfig] = None,
+    registers: Optional[RegisterBinding] = None,
+    ports: Optional[PortAssignment] = None,
+    cache: Optional[ArtifactCache] = None,
+) -> Union[FlowResult, EstimateResult]:
+    """Dispatch on ``config.flow``: the full or the estimate-only flow."""
+    cfg = config or FlowConfig()
+    runner = run_estimate if cfg.flow == "estimate" else run_flow
+    return runner(schedule, constraints, binder, cfg, registers, ports,
+                  cache)
 
 
 def compare_binders(
     schedule: Schedule,
     constraints: Mapping[str, int],
     config: Optional[FlowConfig] = None,
-    binders: Mapping[str, Binder] = None,
+    binders: Optional[Mapping[str, Binder]] = None,
+    cache: Optional[ArtifactCache] = None,
 ) -> Dict[str, FlowResult]:
     """Run several binders on identical schedule/registers/ports.
 
-    Default comparison is the paper's: ``lopass`` vs ``hlpower``.
+    Default comparison is the paper's: ``lopass`` vs ``hlpower``. The
+    caller's ``config`` is never mutated; when it carries no SA table
+    a fresh one is shared across the compared binders via
+    :func:`dataclasses.replace`.
     """
     cfg = config or FlowConfig()
     registers, ports = prepare_flow_inputs(schedule)
-    table = cfg.sa_table if cfg.sa_table is not None else SATable()
     if cfg.sa_table is None:
-        cfg = FlowConfig(**{**cfg.__dict__, "sa_table": table})
+        cfg = replace(cfg, sa_table=SATable())
     if binders is None:
         binders = {"lopass": "lopass", "hlpower": "hlpower"}
+    shared_cache = cache if cache is not None else ArtifactCache()
     return {
-        name: run_flow(schedule, constraints, binder, cfg, registers, ports)
+        name: run_flow(schedule, constraints, binder, cfg, registers, ports,
+                       shared_cache)
         for name, binder in binders.items()
     }

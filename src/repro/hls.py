@@ -15,15 +15,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
 from repro.errors import ConfigError
-from repro.binding import (
-    HLPowerConfig,
-    SATable,
-    assign_ports,
-    bind_hlpower,
-    bind_lopass,
-    bind_registers,
-)
+from repro.binding import SATable, assign_ports, bind_registers
 from repro.binding.base import BindingSolution
+from repro.flow.pipeline import run_binder
 from repro.binding.portopt import optimize_ports
 from repro.cdfg.graph import CDFG
 from repro.cdfg.schedule import Schedule
@@ -94,18 +88,12 @@ def synthesize(
 
     registers = bind_registers(schedule)
     ports = assign_ports(cdfg)
-    if cfg.binder == "hlpower":
-        solution = bind_hlpower(
-            schedule,
-            constraints,
-            registers,
-            ports,
-            HLPowerConfig(alpha=cfg.alpha, sa_table=cfg.sa_table),
-        )
-    elif cfg.binder == "lopass":
-        solution = bind_lopass(schedule, constraints, registers, ports)
-    else:
-        raise ConfigError(f"unknown binder {cfg.binder!r}")
+    # Same dispatch the flow pipeline's bind stage uses, so the
+    # integrated flow and the measurement flow cannot drift apart.
+    solution = run_binder(
+        cfg.binder, schedule, constraints, registers, ports,
+        alpha=cfg.alpha, sa_table=cfg.sa_table,
+    )
 
     flips = 0
     if cfg.optimize_port_assignment:

@@ -138,8 +138,9 @@ class TestParallelDeterminism:
     def test_all_cells_present(self, serial_sweep):
         keys = {cell.key for cell in serial_sweep.cells}
         assert len(keys) == 4
-        assert ("pr", "lopass", 4, 7) in keys
-        assert ("pr", "hlpower", 4, 8) in keys
+        # Cell keys carry every grid axis, sim-only axes included.
+        assert ("pr", "lopass", 4, 7, "zero", 0, "event") in keys
+        assert ("pr", "hlpower", 4, 8, "zero", 0, "event") in keys
 
     def test_jobs_recorded(self, serial_sweep, parallel_sweep):
         assert serial_sweep.jobs == 1
@@ -196,6 +197,11 @@ class TestKeepResults:
     def test_jobs_below_one_rejected(self):
         with pytest.raises(ConfigError):
             run_sweep(small_spec(), jobs=0)
+
+    def test_cache_dir_without_cache_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            run_sweep(small_spec(), jobs=1, use_cache=False,
+                      cache_dir=str(tmp_path))
 
 
 class TestSweepResultStore:
@@ -280,6 +286,131 @@ class TestSweepResultStore:
         # LOPASS ignores alpha, so its columns are interchangeable.
         jobs = expand_grid(small_spec(alphas=(0.0, 0.5)))
         assert jobs  # baseline="lopass" stays valid
+
+
+class TestSimOnlyAxes:
+    """Grid axes that vary nothing before the simulate stage."""
+
+    def test_grid_size_includes_new_axes(self):
+        spec = small_spec(
+            binders=("lopass",), vector_seeds=(7,),
+            idle_modes=("zero", "hold"), jitters=(0, 1),
+            sim_kernels=("event", "reference"),
+        )
+        jobs = expand_grid(spec)
+        assert len(jobs) == 2 * 2 * 2
+        kernels = {job.sim_kernel for job in jobs}
+        assert kernels == {"event", "reference"}
+
+    def test_invalid_axis_values_rejected(self):
+        with pytest.raises(ConfigError):
+            expand_grid(small_spec(idle_modes=("float",)))
+        with pytest.raises(ConfigError):
+            expand_grid(small_spec(jitters=(-1,)))
+        with pytest.raises(ConfigError):
+            expand_grid(small_spec(sim_kernels=("quantum",)))
+        with pytest.raises(ConfigError):
+            expand_grid(small_spec(flow="partial"))
+
+    @pytest.mark.slow
+    def test_cached_sweep_metrics_identical_to_cold(self):
+        """The acceptance property: a sweep varying only simulation
+        knobs reuses cached bind/map artifacts while every metric stays
+        byte-identical to the uncached path."""
+        spec = small_spec(
+            binders=("lopass",), vector_seeds=(7, 8),
+            idle_modes=("zero", "hold"), jitters=(0, 1),
+        )
+        cached = run_sweep(spec, jobs=1, use_cache=True)
+        cold = run_sweep(spec, jobs=1, use_cache=False)
+        assert [c.key for c in cached.cells] == [c.key for c in cold.cells]
+        assert [c.metrics for c in cached.cells] == [
+            c.metrics for c in cold.cells
+        ]
+        # Eight cells share one (benchmark, binder, alpha, width)
+        # prefix: everything after the first cell is simulate-only.
+        assert cached.stage_cache_hits > 0
+        assert cold.stage_cache_hits == 0
+        prefix = {"bind", "datapath", "elaborate", "techmap", "timing"}
+        for cell in cached.cells[1:]:
+            assert prefix <= set(cell.cache_hits)
+
+    def test_cell_lookup_by_axis(self):
+        spec = small_spec(
+            binders=("lopass",), vector_seeds=(7,),
+            idle_modes=("zero", "hold"),
+        )
+        sweep = run_sweep(spec, jobs=1)
+        cell = sweep.cell("pr", "lopass", idle_selects="hold")
+        assert cell.idle_selects == "hold"
+        with pytest.raises(KeyError):
+            sweep.cell("pr", "lopass")  # ambiguous across idle modes
+
+    def test_stage_timings_surfaced_in_cells(self):
+        sweep = run_sweep(
+            small_spec(binders=("lopass",), vector_seeds=(7,)), jobs=1
+        )
+        (cell,) = sweep.cells
+        assert set(cell.stage_timings) >= {"bind", "techmap", "simulate"}
+        assert sweep.stage_time_totals()["simulate"] > 0
+
+    def test_disk_cache_layer_shared_across_sweeps(self, tmp_path):
+        spec = small_spec(binders=("lopass",), vector_seeds=(7,))
+        first = run_sweep(spec, jobs=1, cache_dir=str(tmp_path))
+        second = run_sweep(spec, jobs=1, cache_dir=str(tmp_path))
+        assert first.stage_cache_hits == 0
+        # A fresh in-process worker state: every hit came from disk.
+        # Simulate/power (unique per cell) and bind (SA-table side
+        # effect) are deliberately memory-only.
+        assert set(second.cells[0].cache_hits) == {
+            "datapath", "elaborate", "techmap", "timing", "vectors"
+        }
+        assert second.cells[0].metrics == first.cells[0].metrics
+
+    def test_disk_cache_never_skips_sa_table_population(self, tmp_path):
+        """A warm disk cache must not leave a fresh SA table empty."""
+        spec = small_spec(binders=("hlpower",), vector_seeds=(7,),
+                          baseline="none")
+        cache_dir = str(tmp_path / "artifacts")
+        run_sweep(spec, jobs=1, sa_table=SATable(SATableConfig(width=3)),
+                  cache_dir=cache_dir)
+        table = SATable(SATableConfig(width=3), str(tmp_path / "sa.txt"))
+        sweep = run_sweep(spec, jobs=1, sa_table=table, cache_dir=cache_dir)
+        assert sweep.sa_new_entries > 0
+        assert len(table) > 0
+
+
+class TestEstimateFlow:
+    def test_estimate_cells_carry_equation3_metrics(self):
+        sweep = run_sweep(small_spec(flow="estimate"), jobs=1)
+        for cell in sweep.cells:
+            assert cell.metrics["estimated_sa"] > 0
+            assert "dynamic_power_mw" not in cell.metrics
+
+    def test_sim_axes_collapse_in_estimate_mode(self):
+        spec = small_spec(
+            flow="estimate", vector_seeds=(7, 8, 9),
+            idle_modes=("zero", "hold"), jitters=(0, 1, 2),
+        )
+        # 1 benchmark x 2 binders; sim-only axes cannot move any
+        # estimate metric, so they do not multiply cells.
+        assert len(expand_grid(spec)) == 2
+
+    def test_estimate_aggregates_and_summary(self):
+        from repro.flow import format_sweep_summary
+
+        sweep = run_sweep(small_spec(flow="estimate"), jobs=1)
+        aggs = {a["config"]: a for a in sweep.aggregates()}
+        assert aggs["lopass"]["sa_mean"] > 0
+        assert aggs["lopass"]["d_sa_vs_baseline_pct"] == pytest.approx(0.0)
+        assert aggs["hlpower"]["d_sa_vs_baseline_pct"] is not None
+        assert "est SA" in format_sweep_summary(sweep)
+
+    def test_estimate_round_trip(self):
+        sweep = run_sweep(small_spec(flow="estimate"), jobs=1)
+        restored = SweepResult.from_json(sweep.to_json())
+        assert restored.spec.flow == "estimate"
+        assert restored.aggregates() == sweep.aggregates()
 
 
 class TestForceScheduler:

@@ -1,0 +1,139 @@
+"""Unit tests for the content-addressed artifact cache layer."""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.flow.cache import ArtifactCache, fingerprint
+
+
+@dataclasses.dataclass(frozen=True)
+class _Token:
+    name: str
+    value: float
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        assert fingerprint("a", 1, 2.5) == fingerprint("a", 1, 2.5)
+
+    def test_order_sensitive(self):
+        assert fingerprint("a", "b") != fingerprint("b", "a")
+
+    def test_type_tags_distinguish_lookalikes(self):
+        # "1", 1, 1.0 and True must not collide.
+        digests = {
+            fingerprint("1"),
+            fingerprint(1),
+            fingerprint(1.0),
+            fingerprint(True),
+        }
+        assert len(digests) == 4
+
+    def test_dict_iteration_order_irrelevant(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_nested_containers_and_none(self):
+        a = fingerprint((1, [2, 3], {"k": None}, frozenset({4, 5})))
+        b = fingerprint((1, [2, 3], {"k": None}, frozenset({5, 4})))
+        assert a == b
+
+    def test_dataclass_tokens(self):
+        assert fingerprint(_Token("x", 1.0)) == fingerprint(_Token("x", 1.0))
+        assert fingerprint(_Token("x", 1.0)) != fingerprint(_Token("x", 2.0))
+
+    def test_unfingerprintable_value_rejected(self):
+        with pytest.raises(TypeError):
+            fingerprint(object())
+
+
+class TestArtifactCache:
+    def test_miss_then_hit(self):
+        cache = ArtifactCache()
+        hit, value = cache.lookup("k1")
+        assert not hit and value is None
+        cache.store("k1", "artifact")
+        hit, value = cache.lookup("k1")
+        assert hit and value == "artifact"
+        assert cache.stats() == {
+            "entries": 1, "hits": 1, "misses": 1, "evictions": 0,
+            "disk_hits": 0,
+        }
+
+    def test_lru_eviction(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.store("a", 1)
+        cache.store("b", 2)
+        cache.lookup("a")  # refresh "a": "b" becomes least-recent
+        cache.store("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(max_entries=0)
+
+    def test_clear_drops_memory(self):
+        cache = ArtifactCache()
+        cache.store("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+        hit, _ = cache.lookup("a")
+        assert not hit
+
+
+class TestDiskLayer:
+    def test_disk_round_trip_across_instances(self, tmp_path):
+        writer = ArtifactCache(disk_dir=str(tmp_path))
+        writer.store("k1", {"payload": [1, 2, 3]})
+        reader = ArtifactCache(disk_dir=str(tmp_path))  # cold memory
+        hit, value = reader.lookup("k1")
+        assert hit and value == {"payload": [1, 2, 3]}
+        assert reader.disk_hits == 1
+        # Promoted to memory: the next lookup is served without disk.
+        hit, _ = reader.lookup("k1")
+        assert hit and reader.disk_hits == 1
+
+    def test_corrupt_disk_entry_degrades_to_miss(self, tmp_path):
+        cache = ArtifactCache(disk_dir=str(tmp_path))
+        with open(os.path.join(str(tmp_path), "bad.pkl"), "wb") as handle:
+            handle.write(b"not a pickle")
+        hit, value = cache.lookup("bad")
+        assert not hit and value is None
+
+    def test_unpicklable_artifact_stays_in_memory(self, tmp_path):
+        cache = ArtifactCache(disk_dir=str(tmp_path))
+        cache.store("fn", lambda: None)  # pickling fails, silently
+        hit, value = cache.lookup("fn")
+        assert hit and callable(value)
+        fresh = ArtifactCache(disk_dir=str(tmp_path))
+        hit, _ = fresh.lookup("fn")
+        assert not hit
+
+    def test_persist_false_stays_memory_only(self, tmp_path):
+        cache = ArtifactCache(disk_dir=str(tmp_path))
+        cache.store("mem", "value", persist=False)
+        hit, _ = cache.lookup("mem")
+        assert hit
+        fresh = ArtifactCache(disk_dir=str(tmp_path))
+        hit, _ = fresh.lookup("mem")
+        assert not hit
+
+    def test_disk_prune_bounds_directory(self, tmp_path):
+        cache = ArtifactCache(disk_dir=str(tmp_path), disk_max_entries=2)
+        for index in range(5):
+            cache.store(f"k{index}", index)
+        pickles = [
+            name for name in os.listdir(str(tmp_path))
+            if name.endswith(".pkl")
+        ]
+        assert len(pickles) == 2
+
+    def test_memory_eviction_keeps_disk_copy(self, tmp_path):
+        cache = ArtifactCache(max_entries=1, disk_dir=str(tmp_path))
+        cache.store("a", 1)
+        cache.store("b", 2)  # evicts "a" from memory
+        hit, value = cache.lookup("a")  # ... but disk still has it
+        assert hit and value == 1
+        assert cache.disk_hits == 1

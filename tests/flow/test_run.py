@@ -63,6 +63,44 @@ class TestRunFlow:
         assert result.power.dynamic_power_mw > 0
 
 
+class TestFlowConfigValidation:
+    """FlowConfig rejects bad knobs eagerly, not deep inside the flow."""
+
+    @pytest.mark.parametrize("field,value", [
+        ("width", 0), ("width", -3), ("k", 0), ("n_vectors", 0),
+        ("n_vectors", -1),
+    ])
+    def test_non_positive_sizes_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            FlowConfig(**{field: value})
+
+    @pytest.mark.parametrize("field,value", [
+        ("sim_kernel", "quantum"),
+        ("idle_selects", "float"),
+        ("flow", "partial"),
+    ])
+    def test_unknown_enum_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            FlowConfig(**{field: value})
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            FlowConfig(delay_jitter=-1)
+
+    def test_bool_sizes_rejected(self):
+        # bool is an int subclass; a typo'd True must not become width=1.
+        with pytest.raises(ValueError):
+            FlowConfig(width=True)
+
+    def test_config_error_is_a_value_error(self):
+        from repro.errors import ConfigError
+
+        assert issubclass(ConfigError, ValueError)
+
+    def test_defaults_valid(self):
+        assert FlowConfig().flow == "full"
+
+
 class TestCompareBinders:
     def test_shared_registers_and_ports(self, figure1_schedule, flow_config):
         results = compare_binders(
@@ -90,6 +128,14 @@ class TestCompareBinders:
             binders={"only": "lopass"},
         )
         assert set(results) == {"only"}
+
+    def test_caller_config_never_mutated(self, figure1_schedule):
+        """A table-less config stays table-less after the comparison."""
+        cfg = FlowConfig(width=4, n_vectors=16)
+        before = dict(cfg.__dict__)
+        compare_binders(figure1_schedule, {"add": 2, "mult": 1}, cfg)
+        assert cfg.__dict__ == before
+        assert cfg.sa_table is None
 
 
 class TestReportHelpers:
