@@ -39,6 +39,7 @@ from repro import (
 )
 from repro.binding import SATable
 from repro.errors import ReproError
+from repro.techmap import MAP_EFFORTS
 from repro.flow import (
     BinderConfig,
     SweepSpec,
@@ -59,6 +60,11 @@ def _add_flow_args(parser: argparse.ArgumentParser) -> None:
                         help="persistent SA table path")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes (default 1 = in-process)")
+    parser.add_argument("--map-effort", default="fast",
+                        choices=MAP_EFFORTS,
+                        help="technology-mapper effort (default fast; "
+                             "'reference' is the seed mapper, "
+                             "byte-identical and slower)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -127,6 +133,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "'event' (the compiled event-driven kernel, "
                             "default) and/or 'reference' (the waveform "
                             "loop; slower, byte-identical metrics)")
+    sweep.add_argument("--map-effort", default="fast",
+                       help="comma-separated technology-mapper effort "
+                            "axis: 'fast' (compiled mapper, default), "
+                            "'exhaustive' (evaluate every surviving "
+                            "cut), and/or 'reference' (the seed "
+                            "mapper; byte-identical to fast)")
     sweep.add_argument("--idle-modes", default="zero",
                        help="comma-separated idle-step control policies to "
                             "sweep: 'zero' and/or 'hold' (default zero)")
@@ -175,6 +187,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="binder label (or name) the dSA column "
                                "compares against; 'none' disables the "
                                "column (default lopass)")
+    estimate.add_argument("--map-effort", default="fast",
+                          choices=MAP_EFFORTS,
+                          help="technology-mapper effort (default fast)")
     estimate.add_argument("--sa-table", default="data/sa_table.txt",
                           help="persistent SA table path")
     estimate.add_argument("--out", metavar="FILE",
@@ -247,6 +262,7 @@ def _bench_rows(names: Sequence[str], args, table: SATable) -> List[List[str]]:
         ],
         widths=(args.width,),
         n_vectors=args.vectors,
+        map_effort=args.map_effort,
     )
     sweep = run_sweep(spec, jobs=args.jobs, sa_table=table)
     rows = []
@@ -308,6 +324,9 @@ def cmd_sweep(args) -> int:
     kernels = _comma_list(args.sim_kernel, str, "--sim-kernel")
     if not kernels:
         raise SystemExit("error: --sim-kernel needs at least one value")
+    efforts = _comma_list(args.map_effort, str, "--map-effort")
+    if not efforts:
+        raise SystemExit("error: --map-effort needs at least one value")
     spec = SweepSpec(
         benchmarks=_parse_benchmarks(args.benchmarks),
         binders=_comma_list(args.binders, str, "--binders"),
@@ -319,6 +338,8 @@ def cmd_sweep(args) -> int:
         baseline=args.baseline,
         sim_kernel=kernels[0],
         sim_kernels=kernels if len(kernels) > 1 else None,
+        map_effort=efforts[0],
+        map_efforts=efforts if len(efforts) > 1 else None,
         idle_modes=_comma_list(args.idle_modes, str, "--idle-modes"),
         jitters=_comma_list(args.jitters, int, "--jitters"),
         flow=args.flow,
@@ -350,6 +371,7 @@ def cmd_estimate(args) -> int:
         alphas=_comma_list(args.alphas, float, "--alphas"),
         widths=(args.width,),
         baseline=args.baseline,
+        map_effort=args.map_effort,
         flow="estimate",
     )
     table = SATable(path=args.sa_table)

@@ -67,6 +67,7 @@ from repro.flow.run import (
     prepare_flow_inputs,
 )
 from repro.scheduling import force_directed_schedule, list_schedule
+from repro.techmap import MAP_EFFORTS
 
 #: Default in-memory artifact-cache capacity per worker process.
 DEFAULT_CACHE_ENTRIES = 64
@@ -91,7 +92,8 @@ class SweepSpec:
     """Declarative description of one experiment grid.
 
     The grid is the cross product ``benchmarks x binder_configs x
-    widths x idle_modes x jitters x sim kernels x vector_seeds``.
+    widths x map efforts x idle_modes x jitters x sim kernels x
+    vector_seeds``.
     Binder configurations come either from the ``binders x alphas``
     cross product (the default) or from an explicit ``configs`` list
     when the columns are not a product — e.g. the bench suite's
@@ -115,6 +117,11 @@ class SweepSpec:
     #: slower, byte-identical metrics). ``sim_kernels`` overrides this
     #: scalar with a grid axis.
     sim_kernel: str = "event"
+    #: Technology-mapper effort for every cell: "fast" (default,
+    #: byte-identical to the seed mapper), "exhaustive", or
+    #: "reference" (the seed mapper; the differential oracle).
+    #: ``map_efforts`` overrides this scalar with a grid axis.
+    map_effort: str = "fast"
     #: Binder label (or binder name) used as the reference for
     #: percentage changes; "none" (or empty) disables the comparison.
     baseline: str = "lopass"
@@ -124,6 +131,8 @@ class SweepSpec:
     jitters: Sequence[int] = (0,)
     #: Optional kernel axis; ``None`` means ``(sim_kernel,)``.
     sim_kernels: Optional[Sequence[str]] = None
+    #: Optional mapper-effort axis; ``None`` means ``(map_effort,)``.
+    map_efforts: Optional[Sequence[str]] = None
     #: "full" runs the paper's measurement chain; "estimate" stops
     #: every cell after tech-map (Equation-(3) numbers, no simulator).
     flow: str = "full"
@@ -146,6 +155,12 @@ class SweepSpec:
             return list(self.sim_kernels)
         return [self.sim_kernel]
 
+    def efforts(self) -> List[str]:
+        """The mapper-effort axis (scalar unless overridden)."""
+        if self.map_efforts is not None:
+            return list(self.map_efforts)
+        return [self.map_effort]
+
     def validate(self) -> None:
         if not self.benchmarks:
             raise ConfigError("sweep spec has no benchmarks")
@@ -158,6 +173,12 @@ class SweepSpec:
                 raise ConfigError(
                     f"unknown simulation kernel {kernel!r}; choose "
                     f"from ('event', 'reference')"
+                )
+        for effort in [self.map_effort] + self.efforts():
+            if effort not in MAP_EFFORTS:
+                raise ConfigError(
+                    f"unknown mapper effort {effort!r}; choose from "
+                    f"{MAP_EFFORTS}"
                 )
         if self.flow not in ("full", "estimate"):
             raise ConfigError(
@@ -226,6 +247,8 @@ class SweepSpec:
         data["jitters"] = list(self.jitters)
         if self.sim_kernels is not None:
             data["sim_kernels"] = list(self.sim_kernels)
+        if self.map_efforts is not None:
+            data["map_efforts"] = list(self.map_efforts)
         if self.configs is not None:
             data["configs"] = [asdict(config) for config in self.configs]
         return data
@@ -252,6 +275,7 @@ class SweepJob:
     idle_selects: str = "zero"
     delay_jitter: int = 0
     sim_kernel: str = "event"
+    map_effort: str = "fast"
 
 
 @dataclass
@@ -273,16 +297,18 @@ class SweepCell:
     idle_selects: str = "zero"
     delay_jitter: int = 0
     sim_kernel: str = "event"
+    map_effort: str = "fast"
     #: Per-pipeline-stage wall clock of this cell's flow run.
     stage_timings: Dict[str, float] = field(default_factory=dict)
     #: Pipeline stages served from the worker's artifact cache.
     cache_hits: List[str] = field(default_factory=list)
 
     @property
-    def key(self) -> Tuple[str, str, int, int, str, int, str]:
+    def key(self) -> Tuple[str, str, int, int, str, int, str, str]:
         return (
             self.benchmark, self.config, self.width, self.vector_seed,
             self.idle_selects, self.delay_jitter, self.sim_kernel,
+            self.map_effort,
         )
 
 
@@ -310,14 +336,19 @@ def expand_grid(spec: SweepSpec) -> List[SweepJob]:
     for benchmark in spec.benchmarks:
         for config in spec.binder_configs():
             for width in spec.widths:
-                for idle in idle_modes:
-                    for jitter in jitters:
-                        for kernel in kernels:
-                            for seed in seeds:
-                                jobs.append(SweepJob(
-                                    len(jobs), benchmark, config, width,
-                                    seed, idle, jitter, kernel,
-                                ))
+                # The mapper-effort axis sits outside the
+                # simulation-only axes: cells that share (benchmark,
+                # binder, width, effort) still share the mapped prefix.
+                for effort in spec.efforts():
+                    for idle in idle_modes:
+                        for jitter in jitters:
+                            for kernel in kernels:
+                                for seed in seeds:
+                                    jobs.append(SweepJob(
+                                        len(jobs), benchmark, config,
+                                        width, seed, idle, jitter,
+                                        kernel, effort,
+                                    ))
     return jobs
 
 
@@ -407,6 +438,7 @@ def _execute(job: SweepJob) -> Tuple[SweepCell, Any, Dict[Any, float]]:
         idle_selects=job.idle_selects,
         delay_jitter=job.delay_jitter,
         sim_kernel=job.sim_kernel,
+        map_effort=job.map_effort,
         flow=spec.flow,
     )
     result = execute_flow(
@@ -434,6 +466,7 @@ def _execute(job: SweepJob) -> Tuple[SweepCell, Any, Dict[Any, float]]:
         idle_selects=job.idle_selects,
         delay_jitter=job.delay_jitter,
         sim_kernel=job.sim_kernel,
+        map_effort=job.map_effort,
         stage_timings=dict(result.stage_timings),
         cache_hits=list(result.cache_hits),
     )
@@ -479,6 +512,7 @@ class SweepResult:
         idle_selects: Optional[str] = None,
         delay_jitter: Optional[int] = None,
         sim_kernel: Optional[str] = None,
+        map_effort: Optional[str] = None,
     ) -> SweepCell:
         """The unique cell matching the given coordinates."""
         matches = [
@@ -491,17 +525,18 @@ class SweepResult:
             and (idle_selects is None or c.idle_selects == idle_selects)
             and (delay_jitter is None or c.delay_jitter == delay_jitter)
             and (sim_kernel is None or c.sim_kernel == sim_kernel)
+            and (map_effort is None or c.map_effort == map_effort)
         ]
         if not matches:
             raise KeyError(
                 (benchmark, config, width, vector_seed, idle_selects,
-                 delay_jitter, sim_kernel)
+                 delay_jitter, sim_kernel, map_effort)
             )
         if len(matches) > 1:
             raise KeyError(
                 f"ambiguous cell {(benchmark, config)}: {len(matches)} "
                 f"matches; pass width/vector_seed/idle_selects/"
-                f"delay_jitter/sim_kernel"
+                f"delay_jitter/sim_kernel/map_effort"
             )
         return matches[0]
 
@@ -514,11 +549,12 @@ class SweepResult:
         idle_selects: Optional[str] = None,
         delay_jitter: Optional[int] = None,
         sim_kernel: Optional[str] = None,
+        map_effort: Optional[str] = None,
     ) -> FlowResult:
         """The retained FlowResult for a cell (needs keep_results)."""
         cell = self.cell(
             benchmark, config, width, vector_seed, idle_selects,
-            delay_jitter, sim_kernel,
+            delay_jitter, sim_kernel, map_effort,
         )
         return self.results[cell.key]
 
@@ -527,8 +563,8 @@ class SweepResult:
     def aggregates(self) -> List[Dict[str, Any]]:
         """Per-group stats across vector seeds.
 
-        Groups are ``(benchmark, config, width, idle, jitter, kernel)``
-        — everything but the seed axis. Full-flow groups report
+        Groups are ``(benchmark, config, width, idle, jitter, kernel,
+        map effort)`` — everything but the seed axis. Full-flow groups report
         mean/stdev dynamic power and toggle rate (the seed-sensitive
         metrics); estimate-flow groups report the Equation-(3)
         switching-activity estimate and glitch fraction instead (keys
@@ -546,6 +582,7 @@ class SweepResult:
             group = (
                 cell.benchmark, cell.config, cell.width,
                 cell.idle_selects, cell.delay_jitter, cell.sim_kernel,
+                cell.map_effort,
             )
             groups.setdefault(group, []).append(cell)
 
@@ -564,7 +601,8 @@ class SweepResult:
 
         out = []
         for group, cells in groups.items():
-            benchmark, config, width, idle, jitter, kernel = group
+            (benchmark, config, width, idle, jitter, kernel,
+             map_effort) = group
             primary = [c.metrics[primary_key] for c in cells]
             base = baseline_primary.get((benchmark,) + group[2:])
             mean_primary = statistics.fmean(primary)
@@ -575,6 +613,7 @@ class SweepResult:
                 "idle_selects": idle,
                 "delay_jitter": jitter,
                 "sim_kernel": kernel,
+                "map_effort": map_effort,
                 "n_seeds": len(cells),
                 "area_luts": cells[0].metrics["area_luts"],
                 "largest_mux": cells[0].metrics["largest_mux"],

@@ -10,7 +10,8 @@ stage                 inputs                       config fields read
                       registers/ports/binder       settings, hlpower only)
 ``datapath``          ``bind``                     ``width``
 ``elaborate``         ``datapath``                 —
-``techmap``           ``elaborate``                ``k, control_activity``
+``techmap``           ``elaborate``                ``k, control_activity,
+                                                   map_effort``
 ``timing``            ``techmap``                  ``device``
 ``vectors``           #primary inputs              ``width, n_vectors,
                                                    vector_seed``
@@ -76,7 +77,7 @@ from repro.fpga.simulate import (
 from repro.fpga.timing import TimingReport, timing_report
 from repro.fpga.vectors import VectorSet, random_vectors
 from repro.rtl.datapath import Datapath, build_datapath
-from repro.techmap import MapResult, map_netlist
+from repro.techmap import ConeMemo, MapResult, map_netlist
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.flow.run import FlowConfig
@@ -241,6 +242,30 @@ def _run_elaborate(p: "Pipeline") -> ElaboratedDesign:
     return elaborate_datapath(p.artifact("datapath"))
 
 
+def _cone_memo(p: "Pipeline") -> Optional[ConeMemo]:
+    """The per-netlist cone-evaluation memo, shared via the cache.
+
+    Keyed by the elaborate stage's fingerprint alone: memo entries are
+    exact-match evaluations, so they stay valid across every ``k`` /
+    ``map_effort`` / ``control_activity`` cell mapping the same
+    netlist — which is precisely the sweep shape that re-runs the
+    techmap stage. Memory-only (like bind/simulate): the memo mutates
+    in place as cells add entries, which an on-disk pickle would
+    snapshot pointlessly.
+    """
+    if p.cfg.map_effort == "reference":
+        return None  # the seed mapper takes no memo
+    elaborate_fp = p.stage_fingerprint("elaborate")
+    if elaborate_fp is None:
+        return None  # uncacheable run (custom binder)
+    key = fingerprint(CACHE_SALT, "cone-memo", elaborate_fp)
+    hit, memo = p.cache.lookup(key)
+    if not hit:
+        memo = ConeMemo()
+        p.cache.store(key, memo, persist=False)
+    return memo
+
+
 def _run_techmap(p: "Pipeline") -> MappedDesign:
     design = p.artifact("elaborate")
     input_activities = {
@@ -249,7 +274,8 @@ def _run_techmap(p: "Pipeline") -> MappedDesign:
         for net in nets
     }
     mapping = map_netlist(
-        design.netlist, k=p.cfg.k, input_activities=input_activities
+        design.netlist, k=p.cfg.k, input_activities=input_activities,
+        effort=p.cfg.map_effort, cone_memo=_cone_memo(p),
     )
     mapped = ElaboratedDesign(
         datapath=design.datapath,
@@ -334,7 +360,8 @@ STAGES: Dict[str, Stage] = {
         Stage("elaborate", deps=("datapath",), config_fields=(),
               run=_run_elaborate),
         Stage("techmap", deps=("elaborate",),
-              config_fields=("k", "control_activity"), run=_run_techmap),
+              config_fields=("k", "control_activity", "map_effort"),
+              run=_run_techmap),
         Stage("timing", deps=("techmap",), config_fields=("device",),
               run=_run_timing),
         Stage(

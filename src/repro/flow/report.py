@@ -69,6 +69,8 @@ def format_sweep_summary(sweep: "SweepResult") -> str:
     rows = []
     multi_width = len(spec.widths) > 1
     extra_axes = []
+    if len(spec.efforts()) > 1:
+        extra_axes.append(("effort", "map_effort"))
     if not estimate:
         if len(spec.idle_modes) > 1:
             extra_axes.append(("idle", "idle_selects"))
@@ -114,6 +116,7 @@ def format_sweep_summary(sweep: "SweepResult") -> str:
         (len(spec.benchmarks), "benchmarks"),
         (len(spec.binder_configs()), "configs"),
         (len(spec.widths), "widths"),
+        (len(spec.efforts()), "efforts"),
     ]
     if not estimate:
         # Estimate sweeps collapse the simulation-only axes, so only

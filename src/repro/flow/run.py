@@ -45,7 +45,7 @@ from repro.fpga.timing import TimingReport
 from repro.rtl.controller import build_controller
 from repro.rtl.datapath import Datapath
 from repro.rtl.metrics import MuxReport, mux_report
-from repro.techmap import MapResult
+from repro.techmap import MAP_EFFORTS, MapResult
 
 #: Valid values of :attr:`FlowConfig.flow`.
 FLOW_MODES = ("full", "estimate")
@@ -88,6 +88,11 @@ class FlowConfig:
     #: or "reference" (the original timed-waveform loop, kept for
     #: differential testing). Both yield byte-identical results.
     sim_kernel: str = "event"
+    #: Technology-mapper effort: "fast" (the compiled memoized mapper,
+    #: byte-identical to the seed mapper), "exhaustive" (evaluate every
+    #: surviving cut per node — better covers, slower), or "reference"
+    #: (the seed mapper verbatim, the differential-testing oracle).
+    map_effort: str = "fast"
     #: Which flow the drivers execute: "full" (the paper's measurement
     #: chain, through simulation and power) or "estimate" (stop after
     #: tech-map/timing and report the Equation-(3) estimates only).
@@ -107,6 +112,11 @@ class FlowConfig:
             raise ConfigError(
                 f"unknown simulation kernel {self.sim_kernel!r}; choose "
                 f"from ('event', 'reference')"
+            )
+        if self.map_effort not in MAP_EFFORTS:
+            raise ConfigError(
+                f"unknown mapper effort {self.map_effort!r}; choose from "
+                f"{MAP_EFFORTS}"
             )
         if self.idle_selects not in ("zero", "hold"):
             raise ConfigError(

@@ -19,6 +19,20 @@ in Section 4 of the paper:
 4. cover the netlist from the outputs with the selected cuts; the sum
    of the selected cuts' activities is the netlist ``SA`` of
    Equation (3).
+
+Three effort levels share this algorithm (see :data:`MAP_EFFORTS` and
+docs/techmap.md):
+
+* ``"fast"`` (default) — the compiled mapper
+  (:mod:`repro.techmap.compile`): interned net ids, bitmask cut
+  enumeration, NPN-keyed memoization of cone evaluations, and batched
+  numpy SA evaluation. Bit-identical results to ``"reference"``,
+  several times faster.
+* ``"exhaustive"`` — the compiled mapper with the per-node SA
+  evaluation budget lifted: every surviving cut is evaluated instead
+  of the first :data:`DEFAULT_SA_EVAL_LIMIT`.
+* ``"reference"`` — the original mapper, kept verbatim as the
+  differential-testing oracle.
 """
 
 from __future__ import annotations
@@ -45,7 +59,15 @@ from repro.activity.transition import (
     pair_distribution,
     switching_activity,
 )
-from repro.netlist.gates import GateType, Netlist, TruthTable
+from repro.netlist.gates import Gate, GateType, Netlist, TruthTable
+from repro.techmap.compile import (
+    ConeMemo,
+    HashedKey,
+    compile_map_netlist,
+    batch_evaluate,
+    enumerate_cuts_ids,
+    npn_key,
+)
 from repro.techmap.cuts import (
     DEFAULT_CUT_CAP,
     Cut,
@@ -55,6 +77,9 @@ from repro.techmap.cuts import (
 
 #: How many candidate cuts get a full SA evaluation per node.
 DEFAULT_SA_EVAL_LIMIT = 5
+
+#: Valid mapper effort levels.
+MAP_EFFORTS = ("fast", "exhaustive", "reference")
 
 
 @dataclass
@@ -89,6 +114,8 @@ def map_netlist(
     input_activities: Optional[Mapping[str, float]] = None,
     default_probability: float = DEFAULT_INPUT_PROBABILITY,
     default_activity: float = DEFAULT_INPUT_ACTIVITY,
+    effort: str = "fast",
+    cone_memo: Optional[ConeMemo] = None,
 ) -> MapResult:
     """Map ``netlist`` to K-input LUTs minimizing glitch-aware SA.
 
@@ -96,7 +123,49 @@ def map_netlist(
     switching activity instead — the conventional low-power mapping the
     paper improves on; the resulting LUT network shape is comparable,
     which makes the pair a clean ablation.
+
+    ``effort`` selects the implementation (see module docstring):
+    ``"fast"`` and ``"reference"`` produce bit-identical results;
+    ``"exhaustive"`` evaluates every surviving cut per node.
+    ``cone_memo`` optionally carries memoized cone evaluations across
+    calls (the flow's techmap stage shares one per elaborated netlist
+    via the artifact cache); it is only consulted for exact matches,
+    so results never depend on its state.
     """
+    if effort not in MAP_EFFORTS:
+        raise MappingError(
+            f"unknown mapper effort {effort!r}; choose from {MAP_EFFORTS}"
+        )
+    if effort == "reference":
+        return _map_reference(
+            netlist, k, cut_cap, sa_eval_limit, glitch_aware, input_probs,
+            input_activities, default_probability, default_activity,
+        )
+    return _map_fast(
+        netlist, k, cut_cap, sa_eval_limit, glitch_aware, input_probs,
+        input_activities, default_probability, default_activity,
+        exhaustive=(effort == "exhaustive"),
+        memo=cone_memo if cone_memo is not None else ConeMemo(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The reference mapper — the seed implementation, kept verbatim as the
+# differential-testing oracle for the compiled fast path.
+# ---------------------------------------------------------------------------
+
+
+def _map_reference(
+    netlist: Netlist,
+    k: int = 4,
+    cut_cap: int = DEFAULT_CUT_CAP,
+    sa_eval_limit: int = DEFAULT_SA_EVAL_LIMIT,
+    glitch_aware: bool = True,
+    input_probs: Optional[Mapping[str, float]] = None,
+    input_activities: Optional[Mapping[str, float]] = None,
+    default_probability: float = DEFAULT_INPUT_PROBABILITY,
+    default_activity: float = DEFAULT_INPUT_ACTIVITY,
+) -> MapResult:
     cuts = enumerate_cuts(netlist, k, cut_cap)
     fanouts = {
         net: max(1, len(readers))
@@ -130,7 +199,7 @@ def map_netlist(
             continue
         candidates = [c for c in cuts[net] if c != frozenset((net,))]
         if not candidates:
-            raise MappingError(f"no implementable cut for node {net!r}")
+            raise MappingError(_no_cut_message(net, k, cut_cap))
         best = None
         for cut in candidates[: max(1, sa_eval_limit)]:
             leaves = tuple(sorted(cut))
@@ -153,26 +222,7 @@ def map_netlist(
         area_flow[net] = af
         chosen[net] = (leaves, table)
 
-    mapped, lut_sa = _cover(netlist, chosen, waveforms)
-    total = sum(lut_sa.values())
-    functional = sum(
-        waveforms[net].functional() for net in lut_sa
-    )
-    depth = max(
-        (depths.get(net, 0) for net in _root_nets(netlist)), default=0
-    )
-    return MapResult(
-        netlist=mapped,
-        k=k,
-        area=mapped.num_gates(),
-        depth=depth,
-        total_sa=total,
-        functional_sa=functional,
-        glitch_sa=total - functional,
-        lut_sa=lut_sa,
-        waveforms=waveforms,
-        selected_cuts={net: leaves for net, (leaves, _) in chosen.items()},
-    )
+    return _finish(netlist, k, chosen, waveforms, depths)
 
 
 def _evaluate_cut(
@@ -212,6 +262,335 @@ def _evaluate_cut(
     return GlitchWaveform(out_prob, steps, depth), depth
 
 
+# ---------------------------------------------------------------------------
+# The compiled fast path.
+# ---------------------------------------------------------------------------
+
+
+class _Candidate:
+    """One prepared (node, cut) evaluation."""
+
+    __slots__ = (
+        "leaf_ids", "table", "depth", "shift", "stats",
+        "exact_key", "value",
+    )
+
+    def __init__(self, leaf_ids, table, depth, shift, stats,
+                 exact_key, value):
+        self.leaf_ids = leaf_ids
+        self.table = table
+        self.depth = depth
+        self.shift = shift
+        self.stats = stats
+        self.exact_key = exact_key
+        self.value = value
+
+
+def _map_fast(
+    netlist: Netlist,
+    k: int,
+    cut_cap: int,
+    sa_eval_limit: int,
+    glitch_aware: bool,
+    input_probs: Optional[Mapping[str, float]],
+    input_activities: Optional[Mapping[str, float]],
+    default_probability: float,
+    default_activity: float,
+    exhaustive: bool,
+    memo: ConeMemo,
+) -> MapResult:
+    cm = compile_map_netlist(netlist)
+    candidates_by_id = enumerate_cuts_ids(cm, k, cut_cap)
+    n_nets = len(cm.names)
+
+    waveforms: Dict[str, GlitchWaveform] = {}
+    depths: Dict[str, int] = {}
+    wave_of: List[Optional[GlitchWaveform]] = [None] * n_nets
+    depth_of: List[int] = [0] * n_nets
+    sa_flow: List[float] = [0.0] * n_nets
+    area_flow: List[float] = [0.0] * n_nets
+    #: Per-net normalization-ready signature of its waveform:
+    #: (probability, ascending (time, s) tuple, earliest step time,
+    #: interned (probability, steps) pair reused by shift-0 stats).
+    sig_of: List[Optional[Tuple[float, Tuple, int, Tuple]]] = (
+        [None] * n_nets
+    )
+
+    def _settle(net_id: int, wave: GlitchWaveform) -> None:
+        # Steps dicts are constructed in ascending-time order by every
+        # producer below (sources, constants, winner reconstruction),
+        # so no sort is needed.
+        wave_of[net_id] = wave
+        items = tuple(wave.steps.items())
+        sig_of[net_id] = (
+            wave.probability, items, items[0][0] if items else 0,
+            (wave.probability, items),
+        )
+
+    for net_id in range(cm.n_sources):
+        name = cm.names[net_id]
+        prob = (input_probs or {}).get(name, default_probability)
+        act = (input_activities or {}).get(name, default_activity)
+        wave = source_waveform(prob, act)
+        _settle(net_id, wave)
+        waveforms[name] = wave
+        depths[name] = 0
+
+    # Nodes grouped by structural level: every candidate cut's leaves
+    # sit at strictly lower levels, so one level's nodes can be
+    # prepared, deduplicated and batch-evaluated together — this is
+    # what turns thousands of per-node numpy calls into a handful of
+    # large per-level batches.
+    nodes_by_level: Dict[int, List[int]] = {}
+    for net_id in cm.order:
+        nodes_by_level.setdefault(cm.levels[net_id], []).append(net_id)
+
+    chosen: Dict[str, Tuple[Tuple[str, ...], TruthTable]] = {}
+    fanouts = cm.fanout
+    limit = None if exhaustive else max(1, sa_eval_limit)
+    #: (leaf id, shift) -> that leaf's time-shifted signature; shifted
+    #: tuples repeat across the candidates of bit-sliced structures.
+    shifted_sigs: Dict[Tuple[int, int], Tuple] = {}
+    for level in sorted(nodes_by_level):
+        level_nodes: List[Tuple[int, List[_Candidate]]] = []
+        #: exact key -> candidates awaiting the same evaluation (the
+        #: cross-node bit-slice duplicates within this level).
+        pending: Dict[Tuple, List[_Candidate]] = {}
+        jobs_by_arity: Dict[int, List[_Candidate]] = {}
+
+        for net_id in nodes_by_level[level]:
+            name = cm.names[net_id]
+            if not cm.gate_inputs[net_id]:
+                table = cm.tables[net_id]
+                value = table.is_constant()
+                if value is None:
+                    raise MappingError(
+                        f"zero-input non-constant gate {name!r}"
+                    )
+                wave = GlitchWaveform(1.0 if value else 0.0, {}, 0)
+                _settle(net_id, wave)
+                waveforms[name] = wave
+                depths[name] = 0
+                chosen[name] = ((), table)
+                continue
+            candidates = candidates_by_id[net_id]
+            if not candidates:
+                raise MappingError(_no_cut_message(name, k, cut_cap))
+            if limit is not None:
+                candidates = candidates[:limit]
+
+            prepared: List[_Candidate] = []
+            for mask, leaf_ids in candidates:
+                table = cm.cone_table(net_id, leaf_ids, mask)
+                depth = 1 + max(depth_of[l] for l in leaf_ids)
+                sigs = [sig_of[l] for l in leaf_ids]
+                if glitch_aware:
+                    shift = 0
+                    seen_steps = False
+                    for s in sigs:
+                        if s[1] and (not seen_steps or s[2] < shift):
+                            shift = s[2]
+                            seen_steps = True
+                    if shift == 0:
+                        stats = tuple(s[3] for s in sigs)
+                    else:
+                        stats = tuple(
+                            _shifted_sig(shifted_sigs, l, s, shift)
+                            for s, l in zip(sigs, leaf_ids)
+                        )
+                else:
+                    shift = 0
+                    stats = tuple(
+                        (s[0], wave_of[l].total())
+                        for s, l in zip(sigs, leaf_ids)
+                    )
+                exact_key = HashedKey(
+                    (table.bits, len(leaf_ids), glitch_aware, stats)
+                )
+                # The NPN class key is only needed when storing a new
+                # entry; hits skip its computation entirely.
+                entry = _Candidate(
+                    leaf_ids, table, depth, shift, stats,
+                    exact_key, memo.lookup(exact_key),
+                )
+                prepared.append(entry)
+                if entry.value is None:
+                    waiting = pending.get(exact_key)
+                    if waiting is None:
+                        pending[exact_key] = [entry]
+                        jobs_by_arity.setdefault(
+                            len(leaf_ids), []
+                        ).append(entry)
+                    else:
+                        waiting.append(entry)
+            level_nodes.append((net_id, prepared))
+
+        # Evaluate this level's distinct misses, one batch per arity.
+        for arity, job_entries in jobs_by_arity.items():
+            if glitch_aware:
+                batched = batch_evaluate(
+                    [(e.table, e.stats) for e in job_entries]
+                )
+            else:
+                batched = [None] * len(job_entries)
+            for slot, entry in enumerate(job_entries):
+                table = entry.table
+                probs = tuple(p for p, _ in entry.stats)
+                out_prob = _memo_probability(memo, table, probs)
+                if glitch_aware:
+                    # Inlined clamp_activity (raw > 0, so the max(.., 0)
+                    # arm is the identity; the conditional is min()).
+                    out_bound = 2.0 * min(out_prob, 1.0 - out_prob)
+                    steps_norm = tuple(
+                        (t, raw if raw < out_bound else out_bound)
+                        for t, raw in batched[slot]
+                        if raw > 0.0
+                    )
+                    # The total is shift-invariant and summed in the
+                    # reference's ascending-step order.
+                    value = (
+                        out_prob, steps_norm,
+                        float(sum(act for _, act in steps_norm)),
+                    )
+                else:
+                    acts = [
+                        clamp_activity(p, total)
+                        for p, total in entry.stats
+                    ]
+                    activity = switching_activity(
+                        table, list(probs), acts
+                    )
+                    activity = clamp_activity(out_prob, activity)
+                    value = (out_prob, activity, None)
+                memo.store(npn_key(table), entry.exact_key, value)
+                for waiting in pending[entry.exact_key]:
+                    waiting.value = value
+
+        # Select per node, in the reference's candidate order with the
+        # reference's exact cost arithmetic. The waveform itself is
+        # only materialized for the winning cut — its total is the
+        # same left-to-right float sum either way (memo payloads keep
+        # the reference's ascending step order).
+        for net_id, prepared in level_nodes:
+            best = None
+            for entry in prepared:
+                value = entry.value
+                depth = entry.depth
+                if glitch_aware:
+                    total = value[2]
+                else:
+                    payload = value[1]
+                    total = payload if payload > 0.0 else 0.0
+                # sum() seeds at 0 and adds sequentially; this loop
+                # reproduces that association exactly while computing
+                # both flows in one pass.
+                flow_leaves = 0.0
+                af_leaves = 0.0
+                for l in entry.leaf_ids:
+                    fanout = fanouts[l]
+                    flow_leaves = flow_leaves + sa_flow[l] / fanout
+                    af_leaves = af_leaves + area_flow[l] / fanout
+                flow = total + flow_leaves
+                af = 1.0 + af_leaves
+                cost = (flow, depth, af)
+                if best is None or cost < best[0]:
+                    best = (cost, entry)
+            (flow, depth, af), entry = best
+            out_prob, payload = entry.value[0], entry.value[1]
+            if glitch_aware:
+                shift = entry.shift
+                steps = {t + shift: act for t, act in payload}
+            else:
+                steps = {entry.depth: payload} if payload > 0.0 else {}
+            wave = GlitchWaveform(out_prob, steps, entry.depth)
+            name = cm.names[net_id]
+            _settle(net_id, wave)
+            depth_of[net_id] = entry.depth
+            sa_flow[net_id] = flow
+            area_flow[net_id] = af
+            waveforms[name] = wave
+            depths[name] = entry.depth
+            chosen[name] = (
+                tuple(cm.names[l] for l in entry.leaf_ids),
+                entry.table,
+            )
+
+    return _finish(netlist, k, chosen, waveforms, depths)
+
+
+def _no_cut_message(net: str, k: int, cut_cap: int) -> str:
+    """Diagnose an empty candidate list (audited edge case)."""
+    message = f"no implementable cut for node {net!r} with k={k}"
+    if cut_cap == 1:
+        message += (
+            f": cut_cap={cut_cap} keeps only the trivial cut; "
+            f"cut_cap >= 2 is required to map"
+        )
+    return message
+
+
+def _shifted_sig(
+    cache: Dict[Tuple[int, int], Tuple],
+    leaf_id: int,
+    sig: Tuple[float, Tuple, int],
+    shift: int,
+) -> Tuple[float, Tuple]:
+    key = (leaf_id, shift)
+    shifted = cache.get(key)
+    if shifted is None:
+        shifted = (
+            sig[0], tuple((t - shift, v) for t, v in sig[1])
+        )
+        cache[key] = shifted
+    return shifted
+
+
+def _memo_probability(
+    memo: ConeMemo, table: TruthTable, probs: Tuple[float, ...]
+) -> float:
+    key = (table.bits, table.n_inputs, probs)
+    cached = memo.prob_cache.get(key)
+    if cached is None:
+        cached = gate_output_probability(table, list(probs))
+        memo.prob_cache[key] = cached
+    return cached
+
+
+# ---------------------------------------------------------------------------
+# Shared cover construction.
+# ---------------------------------------------------------------------------
+
+
+def _finish(
+    netlist: Netlist,
+    k: int,
+    chosen: Dict[str, Tuple[Tuple[str, ...], TruthTable]],
+    waveforms: Dict[str, GlitchWaveform],
+    depths: Dict[str, int],
+) -> MapResult:
+    """Cover the netlist and assemble the result (both mapper paths)."""
+    mapped, lut_sa = _cover(netlist, chosen, waveforms)
+    total = sum(lut_sa.values())
+    functional = sum(
+        waveforms[net].functional() for net in lut_sa
+    )
+    depth = max(
+        (depths.get(net, 0) for net in _root_nets(netlist)), default=0
+    )
+    return MapResult(
+        netlist=mapped,
+        k=k,
+        area=mapped.num_gates(),
+        depth=depth,
+        total_sa=total,
+        functional_sa=functional,
+        glitch_sa=total - functional,
+        lut_sa=lut_sa,
+        waveforms=waveforms,
+        selected_cuts={net: leaves for net, (leaves, _) in chosen.items()},
+    )
+
+
 def _root_nets(netlist: Netlist) -> List[str]:
     """Nets that must be available in the mapped netlist."""
     roots: List[str] = []
@@ -244,17 +623,22 @@ def _cover(
             required.append(root)
 
     lut_sa: Dict[str, float] = {}
+    sources = set(netlist.inputs)
+    sources.update(netlist.latches)
     index = 0
     while index < len(required):
         net = required[index]
         index += 1
-        if netlist.is_source(net):
+        if net in sources:
             continue
         if net not in chosen:
             raise MappingError(f"required net {net!r} was never mapped")
         leaves, table = chosen[net]
         gate_type = GateType.LUT if leaves else table.classify()
-        mapped.add_gate(table, leaves, net, gate_type)
+        # Direct insert: equivalent to add_gate, minus the duplicate-
+        # driver scan — `required` is deduplicated and every chosen net
+        # was a uniquely-driven gate output of the source netlist.
+        mapped.gates[net] = Gate(net, tuple(leaves), table, gate_type)
         lut_sa[net] = waveforms[net].total()
         for leaf in leaves:
             if leaf not in seen:

@@ -1,0 +1,184 @@
+"""Differential pinning: the fast mapper vs the seed mapper.
+
+``effort="fast"`` must be a pure speedup — byte-identical covers, SA
+accounting and downstream flow measurements versus the seed mapper
+kept behind ``effort="reference"``. The full benchmark x K x cut-cap
+cross-product is slow-marked; a small smoke subset stays in tier-1 so
+every push checks the contract.
+"""
+
+import pytest
+
+from repro import benchmark_spec, BENCHMARK_NAMES
+from repro.cdfg import load_benchmark
+from repro.flow.run import FlowConfig, build_pipeline, run_flow
+from repro.scheduling import list_schedule
+from repro.techmap import map_netlist
+from repro.techmap.compile import ConeMemo
+
+_DESIGNS = {}
+
+
+def elaborated(benchmark: str, width: int):
+    """Memoized (netlist, control activities) for one benchmark."""
+    key = (benchmark, width)
+    if key not in _DESIGNS:
+        spec = benchmark_spec(benchmark)
+        schedule = list_schedule(load_benchmark(benchmark), spec.constraints)
+        pipe = build_pipeline(
+            schedule, spec.constraints, "lopass", FlowConfig(width=width)
+        )
+        design = pipe.artifact("elaborate")
+        activities = {
+            net: 0.1
+            for nets in design.control_nets.values()
+            for net in nets
+        }
+        _DESIGNS[key] = (design.netlist, activities)
+    return _DESIGNS[key]
+
+
+def assert_identical(reference, fast):
+    """Every observable of the two MapResults must match exactly."""
+    assert reference.selected_cuts == fast.selected_cuts
+    assert reference.lut_sa == fast.lut_sa
+    assert reference.total_sa == fast.total_sa
+    assert reference.functional_sa == fast.functional_sa
+    assert reference.glitch_sa == fast.glitch_sa
+    assert reference.area == fast.area
+    assert reference.depth == fast.depth
+    assert set(reference.waveforms) == set(fast.waveforms)
+    for net, wave in reference.waveforms.items():
+        other = fast.waveforms[net]
+        assert wave.probability == other.probability, net
+        assert wave.steps == other.steps, net
+        assert wave.depth == other.depth, net
+    assert sorted(reference.netlist.gates) == sorted(fast.netlist.gates)
+    for net, gate in reference.netlist.gates.items():
+        other = fast.netlist.gates[net]
+        assert gate.inputs == other.inputs, net
+        assert gate.table == other.table, net
+
+
+def run_pair(benchmark: str, width: int, k: int, cut_cap: int):
+    netlist, activities = elaborated(benchmark, width)
+    reference = map_netlist(
+        netlist, k=k, cut_cap=cut_cap, input_activities=activities,
+        effort="reference",
+    )
+    fast = map_netlist(
+        netlist, k=k, cut_cap=cut_cap, input_activities=activities,
+        effort="fast",
+    )
+    assert_identical(reference, fast)
+
+
+SMOKE = [("wang", 4), ("pr", 4)]
+
+
+class TestSmoke:
+    """Tier-1 subset: every push checks the bit-identity contract."""
+
+    @pytest.mark.parametrize("bench_name,width", SMOKE)
+    def test_default_knobs(self, bench_name, width):
+        run_pair(bench_name, width, k=4, cut_cap=8)
+
+    def test_k6_and_small_cap(self):
+        run_pair("wang", 4, k=6, cut_cap=8)
+        run_pair("wang", 4, k=4, cut_cap=4)
+
+    def test_warm_memo_is_equivalent(self):
+        """A pre-warmed cone memo must not change a single bit."""
+        netlist, activities = elaborated("pr", 4)
+        memo = ConeMemo()
+        first = map_netlist(
+            netlist, input_activities=activities, effort="fast",
+            cone_memo=memo,
+        )
+        assert memo.stats()["entries"] > 0
+        warm = map_netlist(
+            netlist, input_activities=activities, effort="fast",
+            cone_memo=memo,
+        )
+        assert_identical(first, warm)
+        reference = map_netlist(
+            netlist, input_activities=activities, effort="reference",
+        )
+        assert_identical(reference, warm)
+
+    def test_wide_cone_refusal_matches_reference(self):
+        """Beyond MAX_EXACT_INPUTS the reference path refuses the
+        exact pair computation; the batched path must refuse too
+        instead of silently computing what the seed mapper cannot."""
+        from repro.errors import EstimationError
+        from repro.netlist.gates import GateType, Netlist
+
+        netlist = Netlist()
+        inputs = [netlist.add_input(f"i{n}") for n in range(7)]
+        y = netlist.add_simple(GateType.AND, inputs, "y")
+        netlist.set_output(y)
+        with pytest.raises(EstimationError):
+            map_netlist(netlist, k=7, effort="reference")
+        with pytest.raises(EstimationError):
+            map_netlist(netlist, k=7, effort="fast")
+
+    def test_glitch_blind_identical(self):
+        netlist, activities = elaborated("pr", 4)
+        reference = map_netlist(
+            netlist, input_activities=activities, glitch_aware=False,
+            effort="reference",
+        )
+        fast = map_netlist(
+            netlist, input_activities=activities, glitch_aware=False,
+            effort="fast",
+        )
+        assert_identical(reference, fast)
+
+    def test_flow_results_byte_identical(self):
+        """Downstream FlowResults agree metric for metric."""
+        spec = benchmark_spec("wang")
+        schedule = list_schedule(load_benchmark("wang"), spec.constraints)
+        results = {}
+        for effort in ("fast", "reference"):
+            config = FlowConfig(width=4, n_vectors=64, map_effort=effort)
+            results[effort] = run_flow(
+                schedule, spec.constraints, "lopass", config
+            )
+        fast, reference = results["fast"], results["reference"]
+        assert fast.metrics() == reference.metrics()
+        assert fast.simulation.outputs == reference.simulation.outputs
+        assert fast.mapping.lut_sa == reference.mapping.lut_sa
+
+
+@pytest.mark.slow
+class TestFullCrossProduct:
+    """All 7 benchmarks x K in {4, 6} x cut caps in {4, 8}."""
+
+    @pytest.mark.parametrize("bench_name", BENCHMARK_NAMES)
+    @pytest.mark.parametrize("k", (4, 6))
+    @pytest.mark.parametrize("cut_cap", (4, 8))
+    def test_cover_identical(self, bench_name, k, cut_cap):
+        run_pair(bench_name, 8, k=k, cut_cap=cut_cap)
+
+
+@pytest.mark.slow
+class TestFullFlowDifferential:
+    """End-to-end flow agreement on every benchmark."""
+
+    @pytest.mark.parametrize("bench_name", BENCHMARK_NAMES)
+    def test_flow_metrics_identical(self, bench_name):
+        spec = benchmark_spec(bench_name)
+        schedule = list_schedule(
+            load_benchmark(bench_name), spec.constraints
+        )
+        results = {}
+        for effort in ("fast", "reference"):
+            config = FlowConfig(width=4, n_vectors=64, map_effort=effort)
+            results[effort] = run_flow(
+                schedule, spec.constraints, "lopass", config
+            )
+        assert results["fast"].metrics() == results["reference"].metrics()
+        assert (
+            results["fast"].simulation.outputs
+            == results["reference"].simulation.outputs
+        )
