@@ -21,8 +21,11 @@ Typical use::
 from repro.cdfg import (
     BENCHMARK_NAMES,
     CDFG,
+    CORPUS_FAMILIES,
+    CORPUS_NAMES,
     Schedule,
     benchmark_spec,
+    corpus_instances,
     figure1_example,
     generate_cdfg,
     load_benchmark,
@@ -65,8 +68,11 @@ __version__ = "1.0.0"
 __all__ = [
     "BENCHMARK_NAMES",
     "CDFG",
+    "CORPUS_FAMILIES",
+    "CORPUS_NAMES",
     "Schedule",
     "benchmark_spec",
+    "corpus_instances",
     "figure1_example",
     "generate_cdfg",
     "load_benchmark",

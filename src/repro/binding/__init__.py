@@ -13,6 +13,8 @@
 * :mod:`~repro.binding.hlpower` — Algorithm 1, the HLPower binder.
 * :mod:`~repro.binding.lopass` — the network-flow baseline binder
   standing in for LOPASS [3,4] (see DESIGN.md substitutions).
+* :mod:`~repro.binding.compile` — vectorized engines for both binders
+  (``bind_engine="fast"``), decision-identical to the seed binders.
 """
 
 from repro.binding.base import (
@@ -32,8 +34,18 @@ from repro.binding.portopt import optimize_ports
 from repro.binding.lopass import bind_lopass
 from repro.binding.leftedge import bind_registers_left_edge
 from repro.binding.optimal import bind_optimal
+from repro.binding.compile import (
+    BIND_ENGINES,
+    BindMemo,
+    bind_hlpower_fast,
+    bind_lopass_fast,
+)
 
 __all__ = [
+    "BIND_ENGINES",
+    "BindMemo",
+    "bind_hlpower_fast",
+    "bind_lopass_fast",
     "BindingSolution",
     "FunctionalUnit",
     "FUBinding",

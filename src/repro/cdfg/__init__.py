@@ -5,8 +5,9 @@ constraint, and a resource library" (Section 3). This subpackage holds
 the CDFG itself (:mod:`~repro.cdfg.graph`), schedules
 (:mod:`~repro.cdfg.schedule`), variable lifetime analysis
 (:mod:`~repro.cdfg.lifetimes`), a seeded random generator
-(:mod:`~repro.cdfg.generate`) and the seven paper benchmarks
-(:mod:`~repro.cdfg.benchmarks`).
+(:mod:`~repro.cdfg.generate`), the seven paper benchmarks
+(:mod:`~repro.cdfg.benchmarks`), and the parameterized synthetic
+benchmark corpus (:mod:`~repro.cdfg.corpus`).
 """
 
 from repro.cdfg.graph import CDFG, Operation, Variable
@@ -20,8 +21,24 @@ from repro.cdfg.benchmarks import (
     figure1_example,
     load_benchmark,
 )
+from repro.cdfg.corpus import (
+    CORPUS_FAMILIES,
+    CORPUS_NAMES,
+    CorpusFamily,
+    CorpusInstance,
+    corpus_instance,
+    corpus_instances,
+    oracle_feasible,
+)
 
 __all__ = [
+    "CORPUS_FAMILIES",
+    "CORPUS_NAMES",
+    "CorpusFamily",
+    "CorpusInstance",
+    "corpus_instance",
+    "corpus_instances",
+    "oracle_feasible",
     "CDFG",
     "Operation",
     "Variable",

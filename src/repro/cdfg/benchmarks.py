@@ -11,7 +11,7 @@ are reported side by side with the paper's in EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import CDFGError
 from repro.cdfg.graph import CDFG
@@ -29,7 +29,11 @@ class BenchmarkSpec:
     paper_cycles: int  # Table 2 "Cycle"
     paper_registers: int  # Table 2 "Reg"
     paper_runtime_s: float  # Table 2 "HLPower Runtime (s)"
-    kind: str  # "dct" or "dsp" per Section 6.1
+    kind: str  # "dct", "dsp" (Section 6.1), or "corpus"
+    #: Generator seed baked into the benchmark's identity. 0 for the
+    #: paper benchmarks; corpus instances carry their grid seed here
+    #: so the same name always yields the same graph.
+    graph_seed: int = 0
 
     @property
     def name(self) -> str:
@@ -94,22 +98,38 @@ BENCHMARK_NAMES: Tuple[str, ...] = tuple(BENCHMARKS)
 
 
 def benchmark_spec(name: str) -> BenchmarkSpec:
-    """Lookup one benchmark's spec; raises on unknown names."""
+    """Lookup one benchmark's spec; raises on unknown names.
+
+    Falls through to the synthetic corpus
+    (:mod:`repro.cdfg.corpus`), so a corpus instance name is a valid
+    benchmark everywhere a paper benchmark is — sweeps, the pipeline,
+    the CLI.
+    """
     try:
         return BENCHMARKS[name]
     except KeyError:
+        from repro.cdfg import corpus  # deferred: corpus imports us
+
+        if corpus.is_corpus_name(name):
+            return corpus.corpus_instance(name).spec()
         raise CDFGError(
-            f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES}"
+            f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES} "
+            f"or a corpus instance (see `repro corpus --list`)"
         )
 
 
-def load_benchmark(name: str, seed: int = 0) -> CDFG:
-    """Generate the synthetic CDFG for a paper benchmark.
+def load_benchmark(name: str, seed: Optional[int] = None) -> CDFG:
+    """Generate the synthetic CDFG for a (paper or corpus) benchmark.
 
-    Deterministic per ``(name, seed)``; the default seed is what every
-    bench and experiment in this repository uses.
+    Deterministic per ``(name, seed)``. The default seed is the
+    spec's own :attr:`~BenchmarkSpec.graph_seed` — 0 for the paper
+    benchmarks (what every bench and experiment uses), the grid seed
+    for corpus instances.
     """
-    return generate_cdfg(benchmark_spec(name).profile, seed)
+    spec = benchmark_spec(name)
+    return generate_cdfg(
+        spec.profile, spec.graph_seed if seed is None else seed
+    )
 
 
 def figure1_example() -> Tuple[CDFG, Dict[int, int]]:

@@ -174,17 +174,21 @@ def generate_cdfg(profile: GraphProfile, seed: int = 0) -> CDFG:
     profile.validate()
     # zlib.crc32 is stable across processes (unlike built-in hash()).
     base = (zlib.crc32(profile.name.encode()) & 0xFFFF) * 100003 + seed * 7919
-    for hard_drain in (False, True):
+    # Escalating generation modes. Ordering is a compatibility
+    # contract: a (profile, seed) pair that succeeds in an earlier
+    # mode must keep producing the identical graph, so stricter modes
+    # only ever run for profiles that previously failed outright.
+    for hard_drain, strict in ((False, False), (True, False), (True, True)):
         for attempt in range(MAX_RETRIES):
             cdfg = _attempt(
-                profile, random.Random(base + attempt), hard_drain
+                profile, random.Random(base + attempt), hard_drain, strict
             )
             if cdfg is not None:
                 cdfg.validate()
                 return cdfg
     raise CDFGError(
         f"{profile.name}: could not satisfy profile after "
-        f"{2 * MAX_RETRIES} attempts"
+        f"{3 * MAX_RETRIES} attempts"
     )
 
 
@@ -328,6 +332,7 @@ def _attempt(
     profile: GraphProfile,
     rng: random.Random,
     hard_drain: bool = False,
+    strict: bool = False,
 ) -> Optional[CDFG]:
     layers, add_width, mult_width = profile.layout()
     add_counts = _layer_counts(profile.n_adds, layers, add_width, rng)
@@ -393,6 +398,9 @@ def _attempt(
                 ops_remaining,
                 allowed_sinks,
                 hard_drain,
+                strict,
+                profile.n_outputs,
+                len(produced_here),
             )
             out = cdfg.add_operation(kind, operands[0], operands[1])
             for operand in operands:
@@ -434,6 +442,9 @@ def _pick_operands(
     ops_remaining: int,
     allowed_sinks: int,
     hard_drain: bool = False,
+    strict: bool = False,
+    n_outputs: int = 0,
+    n_pending: int = 0,
 ) -> Tuple[int, int]:
     """Two operand variable ids for an op in layer ``layer_index``.
 
@@ -441,16 +452,42 @@ def _pick_operands(
     whose tails are too narrow to consume the pool through chain slots
     alone), the chain slot may fall back to *any* pooled sink once the
     previous layer's sinks are exhausted — trading exact depth pinning
-    for guaranteed sink consumption.
+    for guaranteed sink consumption. ``strict`` (the last-chance mode
+    for profiles so tight that almost every operand slot is spoken
+    for, e.g. single-output graphs with many inputs) additionally
+    makes the free slots deterministic-priority: drain-critical sinks,
+    then unconsumed inputs, then anything — no random slot wasting.
     """
     operands: List[int] = []
 
     # Slot 1: chain operand from the previous layer (pins the depth).
     if layer_index > 0 and by_layer[layer_index - 1]:
         prev = by_layer[layer_index - 1]
-        # Prefer previous-layer sinks when the pool is over budget.
         prev_sinks = [v for v in prev if v in sink_pool]
-        if len(sink_pool) > allowed_sinks and prev_sinks:
+        if strict:
+            # Zero-slack profiles: every slot must be productive —
+            # drain a sink only when the *global* budget (every
+            # pooled, pending same-layer, and future value minus the
+            # outputs allowed to remain) demands it, otherwise
+            # consume an input; a random re-read would strand a
+            # mandatory read.
+            drain_needed = (
+                len(sink_pool) + n_pending + ops_remaining - n_outputs
+            )
+            if drain_needed > 0 and prev_sinks:
+                operands.append(prev_sinks[rng.randrange(len(prev_sinks))])
+            elif drain_needed > 0 and sink_pool:
+                ordered = sorted(sink_pool)
+                operands.append(ordered[rng.randrange(len(ordered))])
+            elif unused_inputs:
+                ordered = sorted(unused_inputs)
+                operands.append(ordered[rng.randrange(len(ordered))])
+            elif prev_sinks:
+                operands.append(prev_sinks[rng.randrange(len(prev_sinks))])
+            else:
+                operands.append(prev[rng.randrange(len(prev))])
+        # Prefer previous-layer sinks when the pool is over budget.
+        elif len(sink_pool) > allowed_sinks and prev_sinks:
             operands.append(prev_sinks[rng.randrange(len(prev_sinks))])
         elif hard_drain and len(sink_pool) > allowed_sinks and sink_pool:
             ordered = sorted(sink_pool)
@@ -462,7 +499,7 @@ def _pick_operands(
     else:
         operands.append(_free_choice(
             rng, inputs, all_values, unused_inputs, sink_pool,
-            ops_remaining, allowed_sinks,
+            ops_remaining, allowed_sinks, strict, n_outputs, n_pending,
         ))
         sink_pool_snapshot = set(sink_pool)
         sink_pool_snapshot.discard(operands[0])
@@ -470,7 +507,7 @@ def _pick_operands(
     # Slot 2: coverage / sink pressure / mixed sources.
     operands.append(_free_choice(
         rng, inputs, all_values, unused_inputs, sink_pool_snapshot,
-        ops_remaining, allowed_sinks,
+        ops_remaining, allowed_sinks, strict, n_outputs, n_pending,
     ))
     return operands[0], operands[1]
 
@@ -483,8 +520,32 @@ def _free_choice(
     sink_pool: Set[int],
     ops_remaining: int,
     allowed_sinks: int,
+    strict: bool = False,
+    n_outputs: int = 0,
+    n_pending: int = 0,
 ) -> int:
     slots_left = 2 * ops_remaining
+    if strict:
+        # Deterministic priority for profiles with near-zero slot
+        # slack: finish the mandatory reads first, never waste a slot
+        # on a random re-read. The drain requirement is the *global*
+        # budget — every pooled value, every same-layer value not yet
+        # pooled, and every future op's value, minus the outputs
+        # allowed to remain — not the local per-layer heuristic,
+        # which over-drains and strands inputs.
+        drain_needed = (
+            len(sink_pool) + n_pending + ops_remaining - n_outputs
+        )
+        if sink_pool and drain_needed >= slots_left:
+            ordered = sorted(sink_pool)
+            return ordered[rng.randrange(len(ordered))]
+        if unused_inputs:
+            ordered = sorted(unused_inputs)
+            return ordered[rng.randrange(len(ordered))]
+        if sink_pool and drain_needed > 0:
+            ordered = sorted(sink_pool)
+            return ordered[rng.randrange(len(ordered))]
+        return all_values[rng.randrange(len(all_values))]
     if unused_inputs and (
         slots_left <= len(unused_inputs) + 2 or rng.random() < 0.30
     ):

@@ -14,6 +14,9 @@ Commands:
 * ``estimate`` — the partial flow: Equation-(3) switching-activity and
   area estimates after tech-map, with no vectors and no simulation
   (see docs/architecture.md).
+* ``corpus`` — enumerate/run the synthetic benchmark corpus
+  (parameterized CDFG families; see docs/binding.md) through the sweep
+  engine, with exact-binder quality gaps on the feasible subset.
 * ``profiles`` — print Table 1.
 
 ``bench``, ``suite``, ``sweep`` and ``estimate`` are all thin wrappers
@@ -27,7 +30,7 @@ from __future__ import annotations
 import argparse
 import statistics
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro import (
     BENCHMARK_NAMES,
@@ -37,7 +40,12 @@ from repro import (
     run_sweep,
     synthesize,
 )
-from repro.binding import SATable
+from repro.binding import BIND_ENGINES, SATable
+from repro.cdfg.corpus import (
+    CORPUS_FAMILIES,
+    corpus_instances,
+    oracle_feasible,
+)
 from repro.errors import ReproError
 from repro.techmap import MAP_EFFORTS
 from repro.flow import (
@@ -65,6 +73,11 @@ def _add_flow_args(parser: argparse.ArgumentParser) -> None:
                         help="technology-mapper effort (default fast; "
                              "'reference' is the seed mapper, "
                              "byte-identical and slower)")
+    parser.add_argument("--bind-engine", default="fast",
+                        choices=BIND_ENGINES,
+                        help="binding engine (default fast; 'reference' "
+                             "is the seed binders, byte-identical and "
+                             "slower)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -139,6 +152,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "'exhaustive' (evaluate every surviving "
                             "cut), and/or 'reference' (the seed "
                             "mapper; byte-identical to fast)")
+    sweep.add_argument("--bind-engine", default="fast",
+                       help="comma-separated binding-engine axis: "
+                            "'fast' (vectorized engines, default) "
+                            "and/or 'reference' (the seed binders; "
+                            "byte-identical to fast)")
     sweep.add_argument("--idle-modes", default="zero",
                        help="comma-separated idle-step control policies to "
                             "sweep: 'zero' and/or 'hold' (default zero)")
@@ -190,10 +208,57 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--map-effort", default="fast",
                           choices=MAP_EFFORTS,
                           help="technology-mapper effort (default fast)")
+    estimate.add_argument("--bind-engine", default="fast",
+                          choices=BIND_ENGINES,
+                          help="binding engine (default fast)")
     estimate.add_argument("--sa-table", default="data/sa_table.txt",
                           help="persistent SA table path")
     estimate.add_argument("--out", metavar="FILE",
                           help="write the JSON result store here")
+
+    corpus = sub.add_parser(
+        "corpus",
+        help="enumerate/run the synthetic benchmark corpus",
+        description=(
+            "Run corpus instances — parameterized CDFG families "
+            "sweeping operation count, add/mult mix and schedule "
+            "density — through the sweep engine, and report heuristic "
+            "quality gaps against the exact (branch-and-bound) binder "
+            "on every instance small enough for it."
+        ),
+    )
+    corpus.add_argument("--list", action="store_true", dest="list_only",
+                        help="print the instance table and exit")
+    corpus.add_argument("--families", default="all",
+                        help="comma-separated corpus families "
+                             f"(default all = {','.join(CORPUS_FAMILIES)})")
+    corpus.add_argument("--limit", type=int, default=0, metavar="N",
+                        help="run at most N instances, drawn round-robin "
+                             "across the selected families (default 0 = "
+                             "all)")
+    corpus.add_argument("--binders", default="lopass,hlpower",
+                        help="comma-separated binder names "
+                             "(default lopass,hlpower)")
+    corpus.add_argument("--alphas", default="0.5",
+                        help="comma-separated Equation (4) alpha values "
+                             "(default 0.5)")
+    corpus.add_argument("--width", type=int, default=8,
+                        help="datapath bit-width (default 8)")
+    corpus.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1 = in-process)")
+    corpus.add_argument("--flow", choices=("estimate", "full"),
+                        default="estimate",
+                        help="'estimate' (default) stops every cell after "
+                             "tech-map; 'full' simulates every instance")
+    corpus.add_argument("--bind-engine", default="fast",
+                        choices=BIND_ENGINES,
+                        help="binding engine (default fast)")
+    corpus.add_argument("--no-oracle", action="store_true",
+                        help="skip the exact-binder quality-gap report")
+    corpus.add_argument("--sa-table", default="data/sa_table.txt",
+                        help="persistent SA table path")
+    corpus.add_argument("--out", metavar="FILE",
+                        help="write the JSON result store here")
 
     synth = sub.add_parser("synth", help="integrated HLS on a benchmark")
     synth.add_argument("name", choices=BENCHMARK_NAMES)
@@ -263,6 +328,7 @@ def _bench_rows(names: Sequence[str], args, table: SATable) -> List[List[str]]:
         widths=(args.width,),
         n_vectors=args.vectors,
         map_effort=args.map_effort,
+        bind_engine=args.bind_engine,
     )
     sweep = run_sweep(spec, jobs=args.jobs, sa_table=table)
     rows = []
@@ -327,6 +393,9 @@ def cmd_sweep(args) -> int:
     efforts = _comma_list(args.map_effort, str, "--map-effort")
     if not efforts:
         raise SystemExit("error: --map-effort needs at least one value")
+    engines = _comma_list(args.bind_engine, str, "--bind-engine")
+    if not engines:
+        raise SystemExit("error: --bind-engine needs at least one value")
     spec = SweepSpec(
         benchmarks=_parse_benchmarks(args.benchmarks),
         binders=_comma_list(args.binders, str, "--binders"),
@@ -340,6 +409,8 @@ def cmd_sweep(args) -> int:
         sim_kernels=kernels if len(kernels) > 1 else None,
         map_effort=efforts[0],
         map_efforts=efforts if len(efforts) > 1 else None,
+        bind_engine=engines[0],
+        bind_engines=engines if len(engines) > 1 else None,
         idle_modes=_comma_list(args.idle_modes, str, "--idle-modes"),
         jitters=_comma_list(args.jitters, int, "--jitters"),
         flow=args.flow,
@@ -372,6 +443,7 @@ def cmd_estimate(args) -> int:
         widths=(args.width,),
         baseline=args.baseline,
         map_effort=args.map_effort,
+        bind_engine=args.bind_engine,
         flow="estimate",
     )
     table = SATable(path=args.sa_table)
@@ -381,6 +453,128 @@ def cmd_estimate(args) -> int:
         raise SystemExit(f"error: {exc}")
     table.save_if_dirty()
     print(format_sweep_summary(sweep))
+    if args.out:
+        sweep.save(args.out)
+        print(f"result store written to {args.out}")
+    return 0
+
+
+def _corpus_selection(args):
+    if args.families.strip() == "all":
+        families = None
+    else:
+        families = _comma_list(args.families, str, "--families")
+    limit = args.limit if args.limit > 0 else None
+    try:
+        return corpus_instances(families, limit)
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def _oracle_rows(sweep, instances, configs) -> List[List[str]]:
+    """Quality-gap table: heuristic vs exact FU mux length per instance.
+
+    The comparison metric is the exact binder's own objective — total
+    FU multiplexer inputs (``fu_mux_length``); register-side muxes are
+    a function of the whole binding and are not what the oracle
+    optimizes. Only instances the exact binder can solve appear; the
+    closing row carries the per-config mean gap over that feasible
+    subset.
+    """
+    from repro.binding import bind_optimal
+    from repro.cdfg import load_benchmark
+    from repro.flow.run import prepare_flow_inputs
+    from repro.rtl.metrics import mux_report
+    from repro.scheduling import list_schedule
+
+    rows: List[List[str]] = []
+    gaps: Dict[str, List[float]] = {config: [] for config in configs}
+    for instance in instances:
+        if not oracle_feasible(instance):
+            continue
+        schedule = list_schedule(
+            load_benchmark(instance.name), instance.constraints
+        )
+        registers, ports = prepare_flow_inputs(schedule)
+        optimal = bind_optimal(
+            schedule, instance.constraints, registers, ports
+        )
+        best = mux_report(optimal).fu_mux_length
+        row = [instance.name, str(best)]
+        for config in configs:
+            length = sweep.cell(
+                instance.name, config
+            ).metrics["fu_mux_length"]
+            gap = percent_change(best, length) if best else 0.0
+            gaps[config].append(gap)
+            row.append(f"{length:g} ({gap:+.1f}%)")
+        rows.append(row)
+    if rows:
+        mean_row = ["mean gap", ""]
+        for config in configs:
+            mean_row.append(f"{statistics.mean(gaps[config]):+.1f}%")
+        rows.append(mean_row)
+    return rows
+
+
+def cmd_corpus(args) -> int:
+    instances = _corpus_selection(args)
+    if not instances:
+        raise SystemExit("error: no corpus instances selected")
+    if args.list_only:
+        rows = []
+        for inst in instances:
+            profile = inst.profile
+            rows.append([
+                inst.name, inst.family, profile.n_operations,
+                f"{profile.n_adds}/{profile.n_mults}", profile.n_layers,
+                f"{profile.add_width}/{profile.mult_width}",
+                "yes" if oracle_feasible(inst) else "no",
+            ])
+        print(format_table(
+            ["instance", "family", "ops", "add/mult", "layers",
+             "FUs", "oracle"],
+            rows,
+            title=f"corpus: {len(instances)} instances",
+        ))
+        return 0
+
+    binders = _comma_list(args.binders, str, "--binders")
+    spec = SweepSpec(
+        benchmarks=[inst.name for inst in instances],
+        binders=binders,
+        alphas=_comma_list(args.alphas, float, "--alphas"),
+        widths=(args.width,),
+        baseline="lopass" if "lopass" in binders else "none",
+        bind_engine=args.bind_engine,
+        flow=args.flow,
+    )
+    table = SATable(path=args.sa_table)
+    try:
+        sweep = run_sweep(spec, jobs=args.jobs, sa_table=table)
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}")
+    table.save_if_dirty()
+    print(format_sweep_summary(sweep))
+    if not args.no_oracle:
+        configs = [config.label for config in spec.binder_configs()]
+        try:
+            rows = _oracle_rows(sweep, instances, configs)
+        except ReproError as exc:
+            raise SystemExit(f"error: {exc}")
+        if rows:
+            print()
+            print(format_table(
+                ["instance", "optimal mux"]
+                + [f"{config} mux (gap)" for config in configs],
+                rows,
+                title=(
+                    "oracle quality gaps (exact branch-and-bound "
+                    "binder, feasible subset)"
+                ),
+            ))
+        else:
+            print("\nno oracle-feasible instances in the selection")
     if args.out:
         sweep.save(args.out)
         print(f"result store written to {args.out}")
@@ -438,6 +632,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "suite": cmd_suite,
         "sweep": cmd_sweep,
         "estimate": cmd_estimate,
+        "corpus": cmd_corpus,
         "synth": cmd_synth,
         "profiles": cmd_profiles,
     }

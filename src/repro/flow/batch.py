@@ -56,7 +56,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.binding import SATable
+from repro.binding import BIND_ENGINES, SATable
 from repro.cdfg import Schedule, benchmark_spec, load_benchmark
 from repro.errors import ConfigError
 from repro.flow.cache import ArtifactCache
@@ -92,8 +92,8 @@ class SweepSpec:
     """Declarative description of one experiment grid.
 
     The grid is the cross product ``benchmarks x binder_configs x
-    widths x map efforts x idle_modes x jitters x sim kernels x
-    vector_seeds``.
+    widths x bind engines x map efforts x idle_modes x jitters x
+    sim kernels x vector_seeds``.
     Binder configurations come either from the ``binders x alphas``
     cross product (the default) or from an explicit ``configs`` list
     when the columns are not a product — e.g. the bench suite's
@@ -122,6 +122,11 @@ class SweepSpec:
     #: "reference" (the seed mapper; the differential oracle).
     #: ``map_efforts`` overrides this scalar with a grid axis.
     map_effort: str = "fast"
+    #: Binding engine for every cell: "fast" (default, the vectorized
+    #: engines — byte-identical solutions) or "reference" (the seed
+    #: binders; the differential oracle). ``bind_engines`` overrides
+    #: this scalar with a grid axis.
+    bind_engine: str = "fast"
     #: Binder label (or binder name) used as the reference for
     #: percentage changes; "none" (or empty) disables the comparison.
     baseline: str = "lopass"
@@ -133,6 +138,8 @@ class SweepSpec:
     sim_kernels: Optional[Sequence[str]] = None
     #: Optional mapper-effort axis; ``None`` means ``(map_effort,)``.
     map_efforts: Optional[Sequence[str]] = None
+    #: Optional bind-engine axis; ``None`` means ``(bind_engine,)``.
+    bind_engines: Optional[Sequence[str]] = None
     #: "full" runs the paper's measurement chain; "estimate" stops
     #: every cell after tech-map (Equation-(3) numbers, no simulator).
     flow: str = "full"
@@ -161,6 +168,12 @@ class SweepSpec:
             return list(self.map_efforts)
         return [self.map_effort]
 
+    def engines(self) -> List[str]:
+        """The bind-engine axis (scalar unless overridden)."""
+        if self.bind_engines is not None:
+            return list(self.bind_engines)
+        return [self.bind_engine]
+
     def validate(self) -> None:
         if not self.benchmarks:
             raise ConfigError("sweep spec has no benchmarks")
@@ -179,6 +192,12 @@ class SweepSpec:
                 raise ConfigError(
                     f"unknown mapper effort {effort!r}; choose from "
                     f"{MAP_EFFORTS}"
+                )
+        for engine in [self.bind_engine] + self.engines():
+            if engine not in BIND_ENGINES:
+                raise ConfigError(
+                    f"unknown bind engine {engine!r}; choose from "
+                    f"{BIND_ENGINES}"
                 )
         if self.flow not in ("full", "estimate"):
             raise ConfigError(
@@ -249,6 +268,8 @@ class SweepSpec:
             data["sim_kernels"] = list(self.sim_kernels)
         if self.map_efforts is not None:
             data["map_efforts"] = list(self.map_efforts)
+        if self.bind_engines is not None:
+            data["bind_engines"] = list(self.bind_engines)
         if self.configs is not None:
             data["configs"] = [asdict(config) for config in self.configs]
         return data
@@ -276,6 +297,7 @@ class SweepJob:
     delay_jitter: int = 0
     sim_kernel: str = "event"
     map_effort: str = "fast"
+    bind_engine: str = "fast"
 
 
 @dataclass
@@ -298,17 +320,18 @@ class SweepCell:
     delay_jitter: int = 0
     sim_kernel: str = "event"
     map_effort: str = "fast"
+    bind_engine: str = "fast"
     #: Per-pipeline-stage wall clock of this cell's flow run.
     stage_timings: Dict[str, float] = field(default_factory=dict)
     #: Pipeline stages served from the worker's artifact cache.
     cache_hits: List[str] = field(default_factory=list)
 
     @property
-    def key(self) -> Tuple[str, str, int, int, str, int, str, str]:
+    def key(self) -> Tuple[str, str, int, int, str, int, str, str, str]:
         return (
             self.benchmark, self.config, self.width, self.vector_seed,
             self.idle_selects, self.delay_jitter, self.sim_kernel,
-            self.map_effort,
+            self.map_effort, self.bind_engine,
         )
 
 
@@ -336,19 +359,24 @@ def expand_grid(spec: SweepSpec) -> List[SweepJob]:
     for benchmark in spec.benchmarks:
         for config in spec.binder_configs():
             for width in spec.widths:
-                # The mapper-effort axis sits outside the
+                # The bind-engine axis is outermost (bind is the
+                # pipeline root: engine cells share no cached
+                # prefix), then the mapper-effort axis outside the
                 # simulation-only axes: cells that share (benchmark,
-                # binder, width, effort) still share the mapped prefix.
-                for effort in spec.efforts():
-                    for idle in idle_modes:
-                        for jitter in jitters:
-                            for kernel in kernels:
-                                for seed in seeds:
-                                    jobs.append(SweepJob(
-                                        len(jobs), benchmark, config,
-                                        width, seed, idle, jitter,
-                                        kernel, effort,
-                                    ))
+                # binder, width, engine, effort) still share the
+                # mapped prefix.
+                for engine in spec.engines():
+                    for effort in spec.efforts():
+                        for idle in idle_modes:
+                            for jitter in jitters:
+                                for kernel in kernels:
+                                    for seed in seeds:
+                                        jobs.append(SweepJob(
+                                            len(jobs), benchmark,
+                                            config, width, seed, idle,
+                                            jitter, kernel, effort,
+                                            engine,
+                                        ))
     return jobs
 
 
@@ -439,6 +467,7 @@ def _execute(job: SweepJob) -> Tuple[SweepCell, Any, Dict[Any, float]]:
         delay_jitter=job.delay_jitter,
         sim_kernel=job.sim_kernel,
         map_effort=job.map_effort,
+        bind_engine=job.bind_engine,
         flow=spec.flow,
     )
     result = execute_flow(
@@ -467,6 +496,7 @@ def _execute(job: SweepJob) -> Tuple[SweepCell, Any, Dict[Any, float]]:
         delay_jitter=job.delay_jitter,
         sim_kernel=job.sim_kernel,
         map_effort=job.map_effort,
+        bind_engine=job.bind_engine,
         stage_timings=dict(result.stage_timings),
         cache_hits=list(result.cache_hits),
     )
@@ -513,6 +543,7 @@ class SweepResult:
         delay_jitter: Optional[int] = None,
         sim_kernel: Optional[str] = None,
         map_effort: Optional[str] = None,
+        bind_engine: Optional[str] = None,
     ) -> SweepCell:
         """The unique cell matching the given coordinates."""
         matches = [
@@ -526,17 +557,18 @@ class SweepResult:
             and (delay_jitter is None or c.delay_jitter == delay_jitter)
             and (sim_kernel is None or c.sim_kernel == sim_kernel)
             and (map_effort is None or c.map_effort == map_effort)
+            and (bind_engine is None or c.bind_engine == bind_engine)
         ]
         if not matches:
             raise KeyError(
                 (benchmark, config, width, vector_seed, idle_selects,
-                 delay_jitter, sim_kernel, map_effort)
+                 delay_jitter, sim_kernel, map_effort, bind_engine)
             )
         if len(matches) > 1:
             raise KeyError(
                 f"ambiguous cell {(benchmark, config)}: {len(matches)} "
                 f"matches; pass width/vector_seed/idle_selects/"
-                f"delay_jitter/sim_kernel/map_effort"
+                f"delay_jitter/sim_kernel/map_effort/bind_engine"
             )
         return matches[0]
 
@@ -550,11 +582,12 @@ class SweepResult:
         delay_jitter: Optional[int] = None,
         sim_kernel: Optional[str] = None,
         map_effort: Optional[str] = None,
+        bind_engine: Optional[str] = None,
     ) -> FlowResult:
         """The retained FlowResult for a cell (needs keep_results)."""
         cell = self.cell(
             benchmark, config, width, vector_seed, idle_selects,
-            delay_jitter, sim_kernel, map_effort,
+            delay_jitter, sim_kernel, map_effort, bind_engine,
         )
         return self.results[cell.key]
 
@@ -582,7 +615,7 @@ class SweepResult:
             group = (
                 cell.benchmark, cell.config, cell.width,
                 cell.idle_selects, cell.delay_jitter, cell.sim_kernel,
-                cell.map_effort,
+                cell.map_effort, cell.bind_engine,
             )
             groups.setdefault(group, []).append(cell)
 
@@ -602,7 +635,7 @@ class SweepResult:
         out = []
         for group, cells in groups.items():
             (benchmark, config, width, idle, jitter, kernel,
-             map_effort) = group
+             map_effort, bind_engine) = group
             primary = [c.metrics[primary_key] for c in cells]
             base = baseline_primary.get((benchmark,) + group[2:])
             mean_primary = statistics.fmean(primary)
@@ -614,6 +647,7 @@ class SweepResult:
                 "delay_jitter": jitter,
                 "sim_kernel": kernel,
                 "map_effort": map_effort,
+                "bind_engine": bind_engine,
                 "n_seeds": len(cells),
                 "area_luts": cells[0].metrics["area_luts"],
                 "largest_mux": cells[0].metrics["largest_mux"],

@@ -6,8 +6,9 @@ declared subset of :class:`~repro.flow.run.FlowConfig`:
 ====================  ===========================  ========================
 stage                 inputs                       config fields read
 ====================  ===========================  ========================
-``bind``              schedule/constraints/        ``alpha`` (+ SA-table
-                      registers/ports/binder       settings, hlpower only)
+``bind``              schedule/constraints/        ``bind_engine, alpha``
+                      registers/ports/binder       (+ SA-table settings,
+                                                   hlpower only)
 ``datapath``          ``bind``                     ``width``
 ``elaborate``         ``datapath``                 —
 ``techmap``           ``elaborate``                ``k, control_activity,
@@ -64,6 +65,11 @@ from repro.binding import (
     bind_hlpower,
     bind_lopass,
 )
+from repro.binding.compile import (
+    BindMemo,
+    bind_hlpower_fast,
+    bind_lopass_fast,
+)
 from repro.binding.sa_table import SATableConfig
 from repro.cdfg.schedule import Schedule
 from repro.flow.cache import ArtifactCache, fingerprint
@@ -99,14 +105,35 @@ def run_binder(
     ports: PortAssignment,
     alpha: float = 0.5,
     sa_table=None,
+    engine: str = "fast",
+    bind_memo: Optional[BindMemo] = None,
 ) -> BindingSolution:
-    """Dispatch one binder by name or callable (shared with repro.hls)."""
+    """Dispatch one binder by name or callable (shared with repro.hls).
+
+    ``engine`` selects the bind implementation: "fast" (the vectorized
+    engines of :mod:`repro.binding.compile`, decision-identical) or
+    "reference" (the seed binders verbatim, the differential-testing
+    oracle). ``bind_memo`` is the fast HLPower engine's cross-round /
+    cross-cell weight-block memo; the reference engine ignores it.
+    """
     if callable(binder):
         return binder(schedule, constraints, registers, ports)
+    if engine not in ("fast", "reference"):
+        raise ConfigError(
+            f"unknown bind engine {engine!r}; choose from "
+            f"('fast', 'reference')"
+        )
     if binder == "hlpower":
         hl_cfg = HLPowerConfig(alpha=alpha, sa_table=sa_table)
+        if engine == "fast":
+            return bind_hlpower_fast(
+                schedule, constraints, registers, ports, hl_cfg,
+                memo=bind_memo,
+            )
         return bind_hlpower(schedule, constraints, registers, ports, hl_cfg)
     if binder == "lopass":
+        if engine == "fast":
+            return bind_lopass_fast(schedule, constraints, registers, ports)
         return bind_lopass(schedule, constraints, registers, ports)
     raise ConfigError(f"unknown binder {binder!r}")
 
@@ -227,10 +254,38 @@ class Stage:
     persist_to_disk: bool = True
 
 
+def _bind_memo(p: "Pipeline") -> Optional[BindMemo]:
+    """The fast HLPower engine's weight-block memo, shared via the cache.
+
+    Keyed by the bind stage's *inputs* (schedule/constraints/registers/
+    ports plus the SA-table settings) but not by ``alpha`` or the
+    binder: blocks are the alpha-independent part of Equation (4), so
+    every hlpower cell of an alpha grid reuses the rounds whose node
+    sets coincide. Memory-only, exactly like the tech mapper's
+    ConeMemo (the memo mutates in place as cells add rounds).
+    """
+    if p.cfg.bind_engine != "fast" or callable(p.binder):
+        return None
+    table_config = (
+        p.cfg.sa_table.config
+        if p.cfg.sa_table is not None
+        else SATableConfig()
+    )
+    key = fingerprint(
+        CACHE_SALT, "bind-memo", p._input_token, table_config
+    )
+    hit, memo = p.cache.lookup(key)
+    if not hit:
+        memo = BindMemo()
+        p.cache.store(key, memo, persist=False)
+    return memo
+
+
 def _run_bind(p: "Pipeline") -> BindingSolution:
     return run_binder(
         p.binder, p.schedule, p.constraints, p.registers, p.ports,
         alpha=p.cfg.alpha, sa_table=p.cfg.sa_table,
+        engine=p.cfg.bind_engine, bind_memo=_bind_memo(p),
     )
 
 
@@ -346,7 +401,12 @@ STAGES: Dict[str, Stage] = {
     stage.name: stage
     for stage in (
         Stage(
-            "bind", deps=(), config_fields=(), run=_run_bind,
+            # ``bind_engine`` is in the fingerprint even though fast
+            # and reference produce byte-identical solutions — the
+            # same convention as ``sim_kernel``/``map_effort``, so a
+            # differential sweep's reference cells never silently
+            # reuse fast-engine artifacts (or vice versa).
+            "bind", deps=(), config_fields=("bind_engine",), run=_run_bind,
             extra=lambda p: binder_token(p.binder, p.cfg),
             # Memory-only: binding has a side effect the artifact does
             # not carry — HLPower populates the run's persistent SA

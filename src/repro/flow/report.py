@@ -69,6 +69,8 @@ def format_sweep_summary(sweep: "SweepResult") -> str:
     rows = []
     multi_width = len(spec.widths) > 1
     extra_axes = []
+    if len(spec.engines()) > 1:
+        extra_axes.append(("engine", "bind_engine"))
     if len(spec.efforts()) > 1:
         extra_axes.append(("effort", "map_effort"))
     if not estimate:
@@ -116,6 +118,7 @@ def format_sweep_summary(sweep: "SweepResult") -> str:
         (len(spec.benchmarks), "benchmarks"),
         (len(spec.binder_configs()), "configs"),
         (len(spec.widths), "widths"),
+        (len(spec.engines()), "engines"),
         (len(spec.efforts()), "efforts"),
     ]
     if not estimate:

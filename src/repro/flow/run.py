@@ -27,6 +27,7 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.errors import ConfigError
 from repro.binding import (
+    BIND_ENGINES,
     BindingSolution,
     PortAssignment,
     RegisterBinding,
@@ -93,6 +94,11 @@ class FlowConfig:
     #: surviving cut per node — better covers, slower), or "reference"
     #: (the seed mapper verbatim, the differential-testing oracle).
     map_effort: str = "fast"
+    #: Binding engine: "fast" (the vectorized engines of
+    #: :mod:`repro.binding.compile`, decision-identical to the seed
+    #: binders) or "reference" (the seed binders verbatim, the
+    #: differential-testing oracle).
+    bind_engine: str = "fast"
     #: Which flow the drivers execute: "full" (the paper's measurement
     #: chain, through simulation and power) or "estimate" (stop after
     #: tech-map/timing and report the Equation-(3) estimates only).
@@ -117,6 +123,11 @@ class FlowConfig:
             raise ConfigError(
                 f"unknown mapper effort {self.map_effort!r}; choose from "
                 f"{MAP_EFFORTS}"
+            )
+        if self.bind_engine not in BIND_ENGINES:
+            raise ConfigError(
+                f"unknown bind engine {self.bind_engine!r}; choose from "
+                f"{BIND_ENGINES}"
             )
         if self.idle_selects not in ("zero", "hold"):
             raise ConfigError(
@@ -183,7 +194,9 @@ class FlowResult:
             "controller_luts": self.controller_luts,
             "largest_mux": self.muxes.largest_mux,
             "mux_length": self.muxes.mux_length,
+            "fu_mux_length": self.muxes.fu_mux_length,
             "mux_diff_mean": self.muxes.mux_diff_mean,
+            "mux_diff_sum": sum(self.muxes.mux_diffs),
             "n_registers": self.solution.registers.n_registers,
             "estimated_sa": self.mapping.total_sa,
             "glitch_fraction": self.mapping.glitch_fraction,
@@ -231,7 +244,9 @@ class EstimateResult:
             "controller_luts": self.controller_luts,
             "largest_mux": self.muxes.largest_mux,
             "mux_length": self.muxes.mux_length,
+            "fu_mux_length": self.muxes.fu_mux_length,
             "mux_diff_mean": self.muxes.mux_diff_mean,
+            "mux_diff_sum": sum(self.muxes.mux_diffs),
             "n_registers": self.solution.registers.n_registers,
         }
 

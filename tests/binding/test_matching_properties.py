@@ -1,0 +1,251 @@
+"""Property tests: matching solvers and the corpus generator.
+
+Three invariant families back the binding engine work:
+
+* the scipy-backed :func:`max_weight_matching` and the pure-Python
+  Hungarian oracle :func:`max_weight_matching_python` must agree on
+  the *value* of every random weighted bipartite graph (the matchings
+  themselves may differ between optimal ties) while both emitting only
+  real edges, at most one partner per node, and rejecting non-positive
+  weights;
+* the vectorized network simplex behind the fast LOPASS engine must
+  compute the *same flow* (not just the same cost) as networkx's
+  ``min_cost_flow`` on arbitrary random graphs — the pivot-for-pivot
+  fidelity the chain extraction depends on;
+* the corpus generator must be deterministic per seed, emit acyclic
+  graphs, and honor its profile's counts (the properties every sweep
+  over ``repro.cdfg.corpus`` instances silently relies on).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BindingError
+from repro.binding.matching import (
+    matching_weight,
+    max_weight_matching,
+    max_weight_matching_python,
+)
+from repro.cdfg.corpus import CORPUS_FAMILIES, corpus_instances
+from repro.cdfg.generate import generate_cdfg
+
+
+# ---------------------------------------------------------------------------
+# Random weighted bipartite graphs.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def bipartite_graphs(draw):
+    """(left, right, weights) with strictly positive float weights."""
+    n_left = draw(st.integers(min_value=1, max_value=7))
+    n_right = draw(st.integers(min_value=1, max_value=7))
+    left = [f"u{i}" for i in range(n_left)]
+    right = [f"v{j}" for j in range(n_right)]
+    pairs = [(u, v) for u in left for v in right]
+    edges = draw(
+        st.lists(
+            st.sampled_from(pairs),
+            unique=True,
+            max_size=len(pairs),
+        )
+    )
+    weights = {}
+    for edge in edges:
+        weights[edge] = draw(
+            st.floats(
+                min_value=0.001,
+                max_value=100.0,
+                allow_nan=False,
+                allow_infinity=False,
+            )
+        )
+    return left, right, weights
+
+
+class TestMatchingAgainstOracle:
+    @settings(max_examples=150, deadline=None)
+    @given(bipartite_graphs())
+    def test_equal_total_weight(self, graph):
+        left, right, weights = graph
+        scipy_matching = max_weight_matching(left, right, weights)
+        python_matching = max_weight_matching_python(left, right, weights)
+        assert matching_weight(scipy_matching, weights) == pytest.approx(
+            matching_weight(python_matching, weights), rel=1e-9, abs=1e-9
+        )
+
+    @settings(max_examples=150, deadline=None)
+    @given(bipartite_graphs())
+    def test_only_real_edges(self, graph):
+        left, right, weights = graph
+        for solver in (max_weight_matching, max_weight_matching_python):
+            for u, v in solver(left, right, weights).items():
+                assert (u, v) in weights
+
+    @settings(max_examples=150, deadline=None)
+    @given(bipartite_graphs())
+    def test_no_duplicate_right_nodes(self, graph):
+        left, right, weights = graph
+        for solver in (max_weight_matching, max_weight_matching_python):
+            matching = solver(left, right, weights)
+            matched_right = list(matching.values())
+            assert len(matched_right) == len(set(matched_right))
+            assert set(matching) <= set(left)
+            assert set(matched_right) <= set(right)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        bipartite_graphs(),
+        st.sampled_from([0.0, -1.0, -0.5]),
+    )
+    def test_non_positive_weight_rejected(self, graph, bad_weight):
+        left, right, weights = graph
+        weights = dict(weights)
+        weights[(left[0], right[0])] = bad_weight
+        for solver in (max_weight_matching, max_weight_matching_python):
+            with pytest.raises(BindingError):
+                solver(left, right, weights)
+
+
+# ---------------------------------------------------------------------------
+# The vectorized network simplex vs networkx, on arbitrary graphs.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def flow_problems(draw):
+    """(n, edges, demands) with finite capacities and zero-sum demands."""
+    n = draw(st.integers(min_value=2, max_value=6))
+    pairs = [(u, v) for u in range(n) for v in range(n) if u != v]
+    edges = draw(
+        st.lists(st.sampled_from(pairs), unique=True, min_size=1,
+                 max_size=len(pairs))
+    )
+    attrs = [
+        (
+            draw(st.integers(min_value=1, max_value=5)),   # capacity
+            draw(st.integers(min_value=-3, max_value=6)),  # weight
+        )
+        for _ in edges
+    ]
+    demands = [
+        draw(st.integers(min_value=-3, max_value=3)) for _ in range(n - 1)
+    ]
+    demands.append(-sum(demands))
+    return n, list(zip(edges, attrs)), demands
+
+
+class TestNetworkSimplexAgainstNetworkx:
+    @settings(max_examples=120, deadline=None)
+    @given(flow_problems())
+    def test_same_flow_as_networkx(self, problem):
+        import networkx as nx
+        import numpy as np
+
+        from repro.binding.compile import _network_simplex
+        from repro.errors import BindingError
+
+        n, edges, demands = problem
+        graph = nx.DiGraph()
+        for node in range(n):
+            graph.add_node(node, demand=demands[node])
+        for (u, v), (capacity, weight) in edges:
+            graph.add_edge(u, v, capacity=capacity, weight=weight)
+        # Present edges to the fast solver in networkx's own iteration
+        # order, exactly as the LOPASS engine builds its arrays.
+        ordered = list(graph.edges(data=True))
+        srcs = np.array([e[0] for e in ordered], dtype=np.int64)
+        tgts = np.array([e[1] for e in ordered], dtype=np.int64)
+        caps = np.array([e[2]["capacity"] for e in ordered], dtype=np.int64)
+        weights = np.array([e[2]["weight"] for e in ordered], dtype=np.int64)
+        demand_arr = np.array(demands, dtype=np.int64)
+
+        try:
+            flow_dict = nx.min_cost_flow(graph)
+        except nx.NetworkXUnfeasible:
+            with pytest.raises(BindingError):
+                _network_simplex(demand_arr, srcs, tgts, caps, weights)
+            return
+        flow = _network_simplex(demand_arr, srcs, tgts, caps, weights)
+        for index, (u, v, _) in enumerate(ordered):
+            assert flow[index] == flow_dict[u][v], (u, v)
+
+
+# ---------------------------------------------------------------------------
+# Corpus-generator invariants.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def corpus_picks(draw):
+    """One shipped corpus instance (drawn from the full registry)."""
+    instances = corpus_instances()
+    return instances[draw(st.integers(0, len(instances) - 1))]
+
+
+def assert_dag(cdfg):
+    """Operand variables are always produced by earlier operations."""
+    produced_by = {}
+    for op_id in sorted(cdfg.operations):
+        op = cdfg.operations[op_id]
+        for var in op.inputs:
+            producer = cdfg.variables[var].producer
+            if producer is not None:
+                assert producer in produced_by, (
+                    f"op {op_id} reads variable {var} produced by the "
+                    f"later (or same) operation {producer}"
+                )
+        produced_by[op_id] = op.output
+
+
+def graph_signature(cdfg):
+    return (
+        sorted(cdfg.primary_inputs),
+        sorted(cdfg.primary_outputs),
+        sorted(
+            (op.op_id, op.op_type, op.inputs, op.output)
+            for op in cdfg.operations.values()
+        ),
+    )
+
+
+class TestCorpusGenerator:
+    @settings(max_examples=40, deadline=None)
+    @given(corpus_picks())
+    def test_deterministic_per_seed(self, instance):
+        first = generate_cdfg(instance.profile, instance.seed)
+        second = generate_cdfg(instance.profile, instance.seed)
+        assert graph_signature(first) == graph_signature(second)
+
+    @settings(max_examples=40, deadline=None)
+    @given(corpus_picks())
+    def test_dag_and_validates(self, instance):
+        cdfg = generate_cdfg(instance.profile, instance.seed)
+        cdfg.validate()
+        assert_dag(cdfg)
+
+    @settings(max_examples=40, deadline=None)
+    @given(corpus_picks())
+    def test_profile_counts_honored(self, instance):
+        profile = instance.profile
+        cdfg = generate_cdfg(profile, instance.seed)
+        ops = list(cdfg.operations.values())
+        assert len(cdfg.primary_inputs) == profile.n_inputs
+        assert len(cdfg.primary_outputs) == profile.n_outputs
+        assert sum(op.op_type == "add" for op in ops) == profile.n_adds
+        assert sum(op.op_type == "mult" for op in ops) == profile.n_mults
+
+    def test_registry_is_consistent(self):
+        instances = corpus_instances()
+        assert len(instances) == sum(
+            family.size() for family in CORPUS_FAMILIES.values()
+        )
+        assert len({inst.name for inst in instances}) == len(instances)
+        # Every family appears, and names parse back to their family.
+        for instance in instances:
+            assert instance.family in CORPUS_FAMILIES
+            assert instance.name.startswith(instance.family + "-")
+
+    def test_round_robin_limit_samples_every_family(self):
+        picked = corpus_instances(limit=len(CORPUS_FAMILIES))
+        assert {inst.family for inst in picked} == set(CORPUS_FAMILIES)

@@ -139,8 +139,10 @@ class TestParallelDeterminism:
         keys = {cell.key for cell in serial_sweep.cells}
         assert len(keys) == 4
         # Cell keys carry every grid axis, sim-only axes included.
-        assert ("pr", "lopass", 4, 7, "zero", 0, "event", "fast") in keys
-        assert ("pr", "hlpower", 4, 8, "zero", 0, "event", "fast") in keys
+        assert ("pr", "lopass", 4, 7, "zero", 0, "event", "fast",
+                "fast") in keys
+        assert ("pr", "hlpower", 4, 8, "zero", 0, "event", "fast",
+                "fast") in keys
 
     def test_jobs_recorded(self, serial_sweep, parallel_sweep):
         assert serial_sweep.jobs == 1
@@ -428,3 +430,53 @@ class TestForceScheduler:
         )
         sweep = run_sweep(spec, jobs=1)
         assert sweep.cell("dir", "lopass").metrics["area_luts"] > 0
+
+
+class TestBindEngineAxis:
+    """The bind-engine axis: grid shape, validation, and equivalence."""
+
+    def test_grid_size_includes_engine_axis(self):
+        spec = small_spec(
+            binders=("lopass",), vector_seeds=(7,),
+            bind_engines=("fast", "reference"),
+        )
+        jobs = expand_grid(spec)
+        assert len(jobs) == 2
+        assert {job.bind_engine for job in jobs} == {"fast", "reference"}
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ConfigError):
+            expand_grid(small_spec(bind_engine="turbo"))
+        with pytest.raises(ConfigError):
+            expand_grid(small_spec(bind_engines=("fast", "turbo")))
+
+    def test_spec_round_trips_engine_axis(self):
+        spec = small_spec(bind_engines=("fast", "reference"))
+        clone = SweepSpec.from_dict(spec.to_dict())
+        assert clone.engines() == ["fast", "reference"]
+        assert clone.bind_engine == spec.bind_engine
+
+    def test_engine_cells_byte_identical(self):
+        """fast and reference cells agree on every estimate metric."""
+        spec = small_spec(
+            binders=("lopass", "hlpower"), vector_seeds=(7,),
+            bind_engines=("fast", "reference"), flow="estimate",
+        )
+        sweep = run_sweep(spec, jobs=1)
+        for config in ("lopass", "hlpower"):
+            fast = sweep.cell("pr", config, bind_engine="fast")
+            reference = sweep.cell("pr", config, bind_engine="reference")
+            assert fast.metrics == reference.metrics
+
+    def test_corpus_instance_through_sweep(self):
+        """A corpus name is a first-class benchmark in the sweep engine."""
+        spec = small_spec(
+            benchmarks=["micro-n8-m30-d70-s0"],
+            binders=("lopass", "hlpower"), vector_seeds=(7,),
+            flow="estimate",
+        )
+        sweep = run_sweep(spec, jobs=1)
+        assert len(sweep.cells) == 2
+        for cell in sweep.cells:
+            assert cell.metrics["mux_length"] > 0
+            assert cell.metrics["fu_mux_length"] >= 0
