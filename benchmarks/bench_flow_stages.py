@@ -1,6 +1,6 @@
 """Staged-pipeline benchmark — per-stage cost and the cached speedup.
 
-Two measurements on the largest paper benchmark ("chem" by default):
+Three measurements on the largest paper benchmark ("chem" by default):
 
 1. **Stage profile** — one cold :func:`repro.flow.run_flow` with
    per-stage wall clock, showing where the flow spends its time
@@ -11,6 +11,9 @@ Two measurements on the largest paper benchmark ("chem" by default):
    policy) over one fixed (benchmark, binder, alpha). Run once with
    the per-worker artifact cache and once cold; assert every cell's
    metrics are byte-identical; report the end-to-end speedup.
+3. **Batched-dispatch speedup** — the same sweep with per-cell
+   (``sim_batch=1``) vs batched simulate dispatch (one packed kernel
+   pass per techmap-fingerprint group); metrics byte-checked again.
 
 Results land in ``BENCH_flow.json`` at the repo root so later PRs can
 track the trend.
@@ -22,8 +25,8 @@ alone costs tens of seconds):
 
 Knobs (environment variables): ``REPRO_FLOW_BENCH`` (default
 ``chem``), ``REPRO_FLOW_WIDTH`` (default 8), ``REPRO_FLOW_VECTORS``
-(default 128), ``REPRO_FLOW_SEEDS`` (default 2), ``REPRO_FLOW_BINDER``
-(default ``lopass``).
+(default 128), ``REPRO_FLOW_SEEDS`` (default 8 — 32 cells, one full
+batched kernel pass), ``REPRO_FLOW_BINDER`` (default ``lopass``).
 """
 
 from __future__ import annotations
@@ -43,7 +46,7 @@ _OUT_PATH = os.path.join(_REPO_ROOT, "BENCH_flow.json")
 BENCH = os.environ.get("REPRO_FLOW_BENCH", "chem")
 WIDTH = int(os.environ.get("REPRO_FLOW_WIDTH", "8"))
 VECTORS = int(os.environ.get("REPRO_FLOW_VECTORS", "128"))
-SEEDS = int(os.environ.get("REPRO_FLOW_SEEDS", "2"))
+SEEDS = int(os.environ.get("REPRO_FLOW_SEEDS", "8"))
 BINDER = os.environ.get("REPRO_FLOW_BINDER", "lopass")
 
 
@@ -68,8 +71,8 @@ def stage_profile() -> dict:
     }
 
 
-def sweep_spec() -> SweepSpec:
-    return SweepSpec(
+def sweep_spec(**overrides) -> SweepSpec:
+    kwargs = dict(
         benchmarks=[BENCH],
         binders=(BINDER,),
         widths=(WIDTH,),
@@ -79,6 +82,8 @@ def sweep_spec() -> SweepSpec:
         jitters=(0, 1),
         baseline="none",
     )
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
 
 
 def cached_speedup() -> dict:
@@ -121,6 +126,53 @@ def cached_speedup() -> dict:
     }
 
 
+def batched_speedup() -> dict:
+    """The same sim-knob sweep, per-cell vs batched simulate dispatch.
+
+    Both runs use the per-worker artifact cache (the prefix reuse
+    already measured above); the only variable is whether the simulate
+    stage runs one kernel pass per cell (``sim_batch=1``) or one
+    batched pass per techmap-fingerprint group.
+    """
+    n_cells = SEEDS * 2 * 2
+    print(f"\nbatched simulate dispatch: same {n_cells}-cell sweep, "
+          f"per-cell vs batched kernel passes")
+
+    started = time.perf_counter()
+    percell = run_sweep(sweep_spec(sim_batch=1), jobs=1)
+    percell_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batched = run_sweep(sweep_spec(), jobs=1)
+    batched_s = time.perf_counter() - started
+
+    mismatch = [
+        (a.key, b.key)
+        for a, b in zip(percell.cells, batched.cells)
+        if a.key != b.key or a.metrics != b.metrics
+    ]
+    if mismatch:
+        raise SystemExit(
+            f"per-cell vs batched metrics diverge: {mismatch}")
+
+    speedup = percell_s / batched_s
+    print(f"  per-cell: {percell_s:6.2f}s")
+    print(f"  batched:  {batched_s:6.2f}s "
+          f"({batched.sim_batched_cells} cells in "
+          f"{batched.sim_batches} kernel passes, "
+          f"{batched.sim_batch_wall_s:.2f}s in the kernel)")
+    print(f"  speedup: {speedup:.2f}x  (metrics byte-identical)")
+    return {
+        "n_cells": n_cells,
+        "percell_wall_s": round(percell_s, 3),
+        "batched_wall_s": round(batched_s, 3),
+        "speedup": round(speedup, 3),
+        "sim_batches": batched.sim_batches,
+        "batched_cells": batched.sim_batched_cells,
+        "batch_wall_s": round(batched.sim_batch_wall_s, 3),
+    }
+
+
 def main() -> None:
     record = {
         "benchmark": BENCH,
@@ -129,6 +181,7 @@ def main() -> None:
         "n_vectors": VECTORS,
         "stage_profile": stage_profile(),
         "cached_sweep": cached_speedup(),
+        "batched_sweep": batched_speedup(),
     }
     with open(_OUT_PATH, "w") as handle:
         json.dump(record, handle, indent=2)

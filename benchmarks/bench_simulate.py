@@ -3,7 +3,9 @@
 Times :func:`repro.fpga.simulate_design` on the largest paper benchmark
 ("chem": 171 adds / 176 mults, Table 1) with both kernels, checks they
 agree byte-for-byte, and writes the numbers to ``BENCH_sim.json`` at
-the repo root so later PRs can track the trend.
+the repo root so later PRs can track the trend. A ``batched`` section
+times :func:`repro.fpga.simulate_batch` over a mixed config set
+(stimulus x idle policy x jitter) against the same configs run solo.
 
 This is a standalone script (not collected by pytest — the reference
 kernel alone costs tens of seconds):
@@ -24,9 +26,11 @@ import time
 from repro import benchmark_spec, list_schedule, load_benchmark
 from repro.binding import assign_ports, bind_lopass, bind_registers
 from repro.fpga import (
+    BatchConfig,
     ElaboratedDesign,
     elaborate_datapath,
     random_vectors,
+    simulate_batch,
     simulate_design,
 )
 from repro.rtl import build_datapath
@@ -77,6 +81,51 @@ def time_kernel(design, vectors, kernel: str, repeats: int):
     return best, result
 
 
+def batched_section(design, vectors) -> dict:
+    """Batched kernel vs the same configs run solo, byte-checked."""
+    n_pads = len(design.datapath.cdfg.primary_inputs)
+    alt = random_vectors(n_pads, WIDTH, VECTORS, seed=8)
+    configs = [
+        BatchConfig(stimulus, idle, jitter)
+        for stimulus in (vectors, alt)
+        for idle in ("zero", "hold")
+        for jitter in (0, 1)
+    ]
+
+    def run_solo():
+        return [
+            simulate_design(design, c.vectors, idle_selects=c.idle_selects,
+                            delay_jitter=c.delay_jitter)
+            for c in configs
+        ]
+
+    # Warm both paths (compile + codegen caches), then best-of time.
+    run_solo()
+    simulate_batch(design, configs)
+    solo_s = float("inf")
+    batch_s = float("inf")
+    solo = batched = None
+    for _ in range(max(1, REPEATS)):
+        started = time.perf_counter()
+        solo = run_solo()
+        solo_s = min(solo_s, time.perf_counter() - started)
+        started = time.perf_counter()
+        batched = simulate_batch(design, configs)
+        batch_s = min(batch_s, time.perf_counter() - started)
+    if batched != solo:
+        raise SystemExit("batched kernel disagrees with solo runs")
+    print(f"  batched ({len(configs)} configs): {batch_s:8.3f} s "
+          f"vs solo total {solo_s:8.3f} s "
+          f"({solo_s / batch_s:.2f}x)")
+    return {
+        "n_configs": len(configs),
+        "solo_total_s": round(solo_s, 4),
+        "batch_s": round(batch_s, 4),
+        "speedup": round(solo_s / batch_s, 2),
+        "byte_identical": True,
+    }
+
+
 def main() -> int:
     print(f"building {BENCH} (width={WIDTH}, vectors={VECTORS}) ...")
     design, vectors = build_design()
@@ -105,6 +154,7 @@ def main() -> int:
         "reference_s": round(reference_s, 4),
         "speedup": round(reference_s / event_s, 2),
         "byte_identical": True,
+        "batched": batched_section(design, vectors),
         "recorded": time.strftime("%Y-%m-%d"),
     }
     with open(_OUT_PATH, "w") as handle:

@@ -57,6 +57,98 @@ from repro.flow import (
 )
 
 
+#: Simulation kernel vocabulary (mirrors repro.fpga.simulate).
+SIM_KERNELS = ("event", "reference")
+
+
+def _axis_type(choices: Sequence[str], flag: str):
+    """argparse ``type`` for a comma-separated axis over fixed choices.
+
+    Validation happens at parse time (like ``choices=`` on scalar
+    flags), and string defaults pass through the same parser, so a
+    subcommand cannot silently accept values its siblings reject.
+    """
+
+    def parse(raw: str) -> List[str]:
+        values = [token.strip() for token in raw.split(",") if token.strip()]
+        if not values:
+            raise argparse.ArgumentTypeError(
+                f"{flag} needs at least one value"
+            )
+        for value in values:
+            if value not in choices:
+                raise argparse.ArgumentTypeError(
+                    f"invalid choice {value!r} (choose from "
+                    f"{', '.join(choices)})"
+                )
+        return values
+
+    return parse
+
+
+# Shared flag declarations. Every subcommand that takes one of these
+# flags goes through the same helper, so help text, defaults and
+# choices cannot drift apart (tests/test_cli_args.py pins this).
+
+def _add_sa_table_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sa-table", default="data/sa_table.txt",
+                        help="persistent SA table path")
+
+
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1 = in-process)")
+
+
+def _add_map_effort_arg(
+    parser: argparse.ArgumentParser, multi: bool = False
+) -> None:
+    help_text = ("technology-mapper effort (default fast; 'reference' "
+                 "is the seed mapper, byte-identical and slower)")
+    if multi:
+        parser.add_argument(
+            "--map-effort", default="fast",
+            type=_axis_type(MAP_EFFORTS, "--map-effort"),
+            metavar="{" + ",".join(MAP_EFFORTS) + "}[,...]",
+            help="comma-separated axis: " + help_text)
+    else:
+        parser.add_argument("--map-effort", default="fast",
+                            choices=MAP_EFFORTS, help=help_text)
+
+
+def _add_bind_engine_arg(
+    parser: argparse.ArgumentParser, multi: bool = False
+) -> None:
+    help_text = ("binding engine (default fast; 'reference' is the "
+                 "seed binders, byte-identical and slower)")
+    if multi:
+        parser.add_argument(
+            "--bind-engine", default="fast",
+            type=_axis_type(BIND_ENGINES, "--bind-engine"),
+            metavar="{" + ",".join(BIND_ENGINES) + "}[,...]",
+            help="comma-separated axis: " + help_text)
+    else:
+        parser.add_argument("--bind-engine", default="fast",
+                            choices=BIND_ENGINES, help=help_text)
+
+
+def _add_sim_kernel_arg(
+    parser: argparse.ArgumentParser, multi: bool = False
+) -> None:
+    help_text = ("simulation kernel (default event, the compiled "
+                 "event-driven kernel; 'reference' is the waveform "
+                 "loop, byte-identical and slower)")
+    if multi:
+        parser.add_argument(
+            "--sim-kernel", default="event",
+            type=_axis_type(SIM_KERNELS, "--sim-kernel"),
+            metavar="{" + ",".join(SIM_KERNELS) + "}[,...]",
+            help="comma-separated axis: " + help_text)
+    else:
+        parser.add_argument("--sim-kernel", default="event",
+                            choices=SIM_KERNELS, help=help_text)
+
+
 def _add_flow_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--width", type=int, default=8,
                         help="datapath bit-width (default 8)")
@@ -64,20 +156,10 @@ def _add_flow_args(parser: argparse.ArgumentParser) -> None:
                         help="random input vectors (default 256)")
     parser.add_argument("--alpha", type=float, default=0.5,
                         help="Equation (4) alpha (default 0.5)")
-    parser.add_argument("--sa-table", default="data/sa_table.txt",
-                        help="persistent SA table path")
-    parser.add_argument("--jobs", type=int, default=1,
-                        help="worker processes (default 1 = in-process)")
-    parser.add_argument("--map-effort", default="fast",
-                        choices=MAP_EFFORTS,
-                        help="technology-mapper effort (default fast; "
-                             "'reference' is the seed mapper, "
-                             "byte-identical and slower)")
-    parser.add_argument("--bind-engine", default="fast",
-                        choices=BIND_ENGINES,
-                        help="binding engine (default fast; 'reference' "
-                             "is the seed binders, byte-identical and "
-                             "slower)")
+    _add_sa_table_arg(parser)
+    _add_jobs_arg(parser)
+    _add_map_effort_arg(parser)
+    _add_bind_engine_arg(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -127,12 +209,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="random input vectors per cell (default 256)")
     sweep.add_argument("--scheduler", choices=("list", "force"),
                        default="list")
-    sweep.add_argument("--jobs", type=int, default=1,
-                       help="worker processes (default 1 = in-process)")
+    _add_jobs_arg(sweep)
     sweep.add_argument("--out", metavar="FILE",
                        help="write the JSON result store here")
-    sweep.add_argument("--sa-table", default="data/sa_table.txt",
-                       help="persistent SA table path")
+    _add_sa_table_arg(sweep)
     sweep.add_argument(
         "--precalc-mux", type=int, default=0, metavar="N",
         help="bulk-precalculate SA entries up to NxN muxes before "
@@ -141,22 +221,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="binder label (or name) percent changes compare "
                             "against; 'none' disables the column "
                             "(default lopass)")
-    sweep.add_argument("--sim-kernel", default="event",
-                       help="comma-separated simulation kernel axis: "
-                            "'event' (the compiled event-driven kernel, "
-                            "default) and/or 'reference' (the waveform "
-                            "loop; slower, byte-identical metrics)")
-    sweep.add_argument("--map-effort", default="fast",
-                       help="comma-separated technology-mapper effort "
-                            "axis: 'fast' (compiled mapper, default), "
-                            "'exhaustive' (evaluate every surviving "
-                            "cut), and/or 'reference' (the seed "
-                            "mapper; byte-identical to fast)")
-    sweep.add_argument("--bind-engine", default="fast",
-                       help="comma-separated binding-engine axis: "
-                            "'fast' (vectorized engines, default) "
-                            "and/or 'reference' (the seed binders; "
-                            "byte-identical to fast)")
+    _add_sim_kernel_arg(sweep, multi=True)
+    _add_map_effort_arg(sweep, multi=True)
+    _add_bind_engine_arg(sweep, multi=True)
+    sweep.add_argument(
+        "--sim-batch", type=int, default=32, metavar="N",
+        help="max configurations per batched simulation kernel pass: "
+             "event-kernel cells sharing the mapped design run "
+             "together (default 32; 1 disables batching — metrics are "
+             "byte-identical either way)")
     sweep.add_argument("--idle-modes", default="zero",
                        help="comma-separated idle-step control policies to "
                             "sweep: 'zero' and/or 'hold' (default zero)")
@@ -199,20 +272,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated Equation (4) alpha values (default 0.5)")
     estimate.add_argument("--width", type=int, default=8,
                           help="datapath bit-width (default 8)")
-    estimate.add_argument("--jobs", type=int, default=1,
-                          help="worker processes (default 1 = in-process)")
+    _add_jobs_arg(estimate)
     estimate.add_argument("--baseline", default="lopass",
                           help="binder label (or name) the dSA column "
                                "compares against; 'none' disables the "
                                "column (default lopass)")
-    estimate.add_argument("--map-effort", default="fast",
-                          choices=MAP_EFFORTS,
-                          help="technology-mapper effort (default fast)")
-    estimate.add_argument("--bind-engine", default="fast",
-                          choices=BIND_ENGINES,
-                          help="binding engine (default fast)")
-    estimate.add_argument("--sa-table", default="data/sa_table.txt",
-                          help="persistent SA table path")
+    _add_map_effort_arg(estimate)
+    _add_bind_engine_arg(estimate)
+    _add_sa_table_arg(estimate)
     estimate.add_argument("--out", metavar="FILE",
                           help="write the JSON result store here")
 
@@ -244,19 +311,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default 0.5)")
     corpus.add_argument("--width", type=int, default=8,
                         help="datapath bit-width (default 8)")
-    corpus.add_argument("--jobs", type=int, default=1,
-                        help="worker processes (default 1 = in-process)")
+    _add_jobs_arg(corpus)
     corpus.add_argument("--flow", choices=("estimate", "full"),
                         default="estimate",
                         help="'estimate' (default) stops every cell after "
                              "tech-map; 'full' simulates every instance")
-    corpus.add_argument("--bind-engine", default="fast",
-                        choices=BIND_ENGINES,
-                        help="binding engine (default fast)")
+    _add_map_effort_arg(corpus)
+    _add_bind_engine_arg(corpus)
     corpus.add_argument("--no-oracle", action="store_true",
                         help="skip the exact-binder quality-gap report")
-    corpus.add_argument("--sa-table", default="data/sa_table.txt",
-                        help="persistent SA table path")
+    _add_sa_table_arg(corpus)
     corpus.add_argument("--out", metavar="FILE",
                         help="write the JSON result store here")
 
@@ -387,15 +451,10 @@ def cmd_suite(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    kernels = _comma_list(args.sim_kernel, str, "--sim-kernel")
-    if not kernels:
-        raise SystemExit("error: --sim-kernel needs at least one value")
-    efforts = _comma_list(args.map_effort, str, "--map-effort")
-    if not efforts:
-        raise SystemExit("error: --map-effort needs at least one value")
-    engines = _comma_list(args.bind_engine, str, "--bind-engine")
-    if not engines:
-        raise SystemExit("error: --bind-engine needs at least one value")
+    # The axis flags carry parse-time validated lists (see _axis_type).
+    kernels = args.sim_kernel
+    efforts = args.map_effort
+    engines = args.bind_engine
     spec = SweepSpec(
         benchmarks=_parse_benchmarks(args.benchmarks),
         binders=_comma_list(args.binders, str, "--binders"),
@@ -414,6 +473,7 @@ def cmd_sweep(args) -> int:
         idle_modes=_comma_list(args.idle_modes, str, "--idle-modes"),
         jitters=_comma_list(args.jitters, int, "--jitters"),
         flow=args.flow,
+        sim_batch=args.sim_batch,
     )
     table = SATable(path=args.sa_table)
     try:
@@ -546,6 +606,7 @@ def cmd_corpus(args) -> int:
         alphas=_comma_list(args.alphas, float, "--alphas"),
         widths=(args.width,),
         baseline="lopass" if "lopass" in binders else "none",
+        map_effort=args.map_effort,
         bind_engine=args.bind_engine,
         flow=args.flow,
     )

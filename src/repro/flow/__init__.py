@@ -34,6 +34,7 @@ from repro.flow.pipeline import (
     MappedDesign,
     Pipeline,
     Stage,
+    batch_simulate_pipelines,
     run_binder,
 )
 from repro.flow.run import (
@@ -72,6 +73,7 @@ __all__ = [
     "MappedDesign",
     "Pipeline",
     "Stage",
+    "batch_simulate_pipelines",
     "run_binder",
     "EstimateResult",
     "FlowConfig",

@@ -15,7 +15,7 @@ first-class subsystem:
   fixtures) and collects per-cell records into a JSON-serializable
   :class:`SweepResult`.
 
-Three performance layers keep the grid cheap:
+Four performance layers keep the grid cheap:
 
 * a per-worker **artifact cache** — every cell runs through the staged
   pipeline (:mod:`repro.flow.pipeline`), whose stage artifacts are
@@ -30,6 +30,14 @@ Three performance layers keep the grid cheap:
   constraints)``, so each worker process computes them once per
   benchmark and every binder/alpha/seed job on that benchmark reuses
   them (cache hits are counted per cell);
+* **batched simulation dispatch** — event-kernel cells in a chunk
+  that share everything upstream of the simulate stage (they differ
+  only in seed / idle mode / jitter) are grouped by
+  :func:`_batch_key` and simulated together in one
+  :func:`~repro.fpga.simulate.simulate_batch` kernel pass of up to
+  ``SweepSpec.sim_batch`` configurations; the per-cell flows then hit
+  the cache. Batch sizes and per-config kernel wall clock land in
+  :attr:`SweepCell.sim_batch` / :attr:`SweepCell.sim_batch_s`;
 * **shared SA-table state** — the parent precalculates/loads the
   Section 5.2.2 table once per sweep, ships the values to every worker
   via the pool initializer, and merges any entries a worker still had
@@ -60,9 +68,11 @@ from repro.binding import BIND_ENGINES, SATable
 from repro.cdfg import Schedule, benchmark_spec, load_benchmark
 from repro.errors import ConfigError
 from repro.flow.cache import ArtifactCache
+from repro.flow.pipeline import batch_simulate_pipelines
 from repro.flow.run import (
     FlowConfig,
     FlowResult,
+    build_pipeline,
     execute_flow,
     prepare_flow_inputs,
 )
@@ -143,6 +153,18 @@ class SweepSpec:
     #: "full" runs the paper's measurement chain; "estimate" stops
     #: every cell after tech-map (Equation-(3) numbers, no simulator).
     flow: str = "full"
+    #: Maximum configurations per batched simulation kernel pass.
+    #: Event-kernel cells that share the mapped design (same benchmark
+    #: / binder / width / effort / engine, differing only in seed,
+    #: idle mode or jitter) are dispatched through
+    #: :func:`~repro.flow.pipeline.batch_simulate_pipelines` in groups
+    #: of up to this many; ``1`` disables batching (every cell runs
+    #: the solo kernel). Metrics are byte-identical either way. Kernel
+    #: wall clock is strongly sublinear in batch width (the union of
+    #: scheduled events grows much slower than the config count), so
+    #: wider is cheaper until word width dominates; 32 is the sweet
+    #: spot measured on the chem benchmark (BENCH_flow.json).
+    sim_batch: int = 32
 
     def binder_configs(self) -> List[BinderConfig]:
         if self.configs is not None:
@@ -203,6 +225,10 @@ class SweepSpec:
             raise ConfigError(
                 f"unknown flow mode {self.flow!r}; choose from "
                 f"('full', 'estimate')"
+            )
+        if self.sim_batch < 1:
+            raise ConfigError(
+                f"sim_batch must be >= 1, got {self.sim_batch}"
             )
         if not self.idle_modes:
             raise ConfigError("sweep spec needs >= 1 idle mode")
@@ -325,6 +351,12 @@ class SweepCell:
     stage_timings: Dict[str, float] = field(default_factory=dict)
     #: Pipeline stages served from the worker's artifact cache.
     cache_hits: List[str] = field(default_factory=list)
+    #: Size of the batched simulation pass that produced this cell's
+    #: trace (0 = solo kernel run, batching off or group too small).
+    sim_batch: int = 0
+    #: This cell's share of its batched pass's kernel wall clock
+    #: (total pass seconds / configurations in the pass).
+    sim_batch_s: float = 0.0
 
     @property
     def key(self) -> Tuple[str, str, int, int, str, int, str, str, str]:
@@ -412,12 +444,18 @@ def _init_worker(payload: _WorkerPayload) -> None:
     )
 
 
-def _elaborate(benchmark: str, spec: SweepSpec) -> Tuple[Schedule, Dict[str, int], Any, Any, bool]:
+def _elaborate(benchmark: str, spec: SweepSpec,
+               prefetch: bool = False) -> Tuple[Schedule, Dict[str, int], Any, Any, bool]:
     """Memoized schedule + registers + ports for one benchmark.
 
     Keyed by the content that determines them: benchmark name,
     scheduler, and the resource constraints. Returns the cached tuple
     plus whether this call was a hit.
+
+    ``prefetch=True`` marks a call from the batched-simulation
+    prefetch pass: a miss it fills is billed to the *first per-cell
+    consumer* instead, so the sweep's hit/miss accounting reads the
+    same whether or not batching ran first.
 
     With the list scheduler the Table 2 constraints drive the
     schedule; with the force-directed scheduler the binding
@@ -433,6 +471,7 @@ def _elaborate(benchmark: str, spec: SweepSpec) -> Tuple[Schedule, Dict[str, int
         tuple(sorted(bench.constraints.items())),
     )
     memo: Dict[Any, Any] = _WORKER["memo"]
+    unbilled: set = _WORKER.setdefault("prefetch_misses", set())
     hit = key in memo
     if not hit:
         cdfg = load_benchmark(benchmark)
@@ -444,18 +483,19 @@ def _elaborate(benchmark: str, spec: SweepSpec) -> Tuple[Schedule, Dict[str, int
             schedule = list_schedule(cdfg, constraints)
         registers, ports = prepare_flow_inputs(schedule)
         memo[key] = (schedule, constraints, registers, ports)
+        if prefetch:
+            unbilled.add(key)
+    if not prefetch and key in unbilled:
+        unbilled.discard(key)
+        hit = False
     schedule, constraints, registers, ports = memo[key]
     return schedule, constraints, registers, ports, hit
 
 
-def _execute(job: SweepJob) -> Tuple[SweepCell, Any, Dict[Any, float]]:
-    """Run one job against this process's shared state."""
-    spec: SweepSpec = _WORKER["spec"]
-    table: SATable = _WORKER["sa_table"]
-    schedule, constraints, registers, ports, hit = _elaborate(
-        job.benchmark, spec
-    )
-    config = FlowConfig(
+def _flow_config(job: SweepJob, spec: SweepSpec, table: SATable) -> FlowConfig:
+    """The FlowConfig of one job — shared by execution and prefetch, so
+    batched pipelines fingerprint identically to the per-cell flows."""
+    return FlowConfig(
         width=job.width,
         k=spec.k,
         n_vectors=spec.n_vectors,
@@ -470,6 +510,16 @@ def _execute(job: SweepJob) -> Tuple[SweepCell, Any, Dict[Any, float]]:
         bind_engine=job.bind_engine,
         flow=spec.flow,
     )
+
+
+def _execute(job: SweepJob) -> Tuple[SweepCell, Any, Dict[Any, float]]:
+    """Run one job against this process's shared state."""
+    spec: SweepSpec = _WORKER["spec"]
+    table: SATable = _WORKER["sa_table"]
+    schedule, constraints, registers, ports, hit = _elaborate(
+        job.benchmark, spec
+    )
+    config = _flow_config(job, spec, table)
     result = execute_flow(
         schedule, constraints, job.config.binder, config, registers, ports,
         cache=_WORKER["cache"],
@@ -503,10 +553,100 @@ def _execute(job: SweepJob) -> Tuple[SweepCell, Any, Dict[Any, float]]:
     return cell, result, new_entries
 
 
-def _execute_remote(job: SweepJob) -> Tuple[SweepCell, Dict[Any, float]]:
-    """Pool entry point: drop the heavyweight FlowResult before pickling."""
-    cell, _, new_entries = _execute(job)
-    return cell, new_entries
+def _batch_key(job: SweepJob, spec: SweepSpec) -> Optional[Tuple]:
+    """Grouping key for batched simulation, or None if ineligible.
+
+    Jobs sharing a key share everything upstream of the simulate stage
+    (same benchmark, binder config, width, mapper effort and bind
+    engine), so their techmap fingerprints coincide and they can ride
+    one batched kernel pass. Only full-flow event-kernel cells qualify.
+    """
+    if spec.flow != "full" or job.sim_kernel != "event":
+        return None
+    return (
+        job.benchmark, job.config.label, job.width, job.map_effort,
+        job.bind_engine,
+    )
+
+
+def _prefetch_batches(
+    chunk: Sequence[SweepJob],
+) -> Tuple[Dict[int, Tuple[int, float]], Dict[str, Any]]:
+    """Run batched simulation passes for a chunk of jobs.
+
+    Groups the chunk's eligible jobs by :func:`_batch_key`, builds one
+    pipeline per job over the worker's shared cache, and lets
+    :func:`~repro.flow.pipeline.batch_simulate_pipelines` store their
+    simulate artifacts; the per-job flows then hit the cache instead of
+    running the solo kernel. Returns per-job-index ``(batch size,
+    kernel-wall share)`` annotations plus chunk-level batching stats.
+    """
+    annotations: Dict[int, Tuple[int, float]] = {}
+    stats = {"batches": 0, "batched_cells": 0, "batch_wall_s": 0.0}
+    spec: SweepSpec = _WORKER["spec"]
+    cache: Optional[ArtifactCache] = _WORKER["cache"]
+    if cache is None or spec.sim_batch <= 1 or spec.flow != "full":
+        return annotations, stats
+    table: SATable = _WORKER["sa_table"]
+    groups: Dict[Tuple, List[SweepJob]] = {}
+    for job in chunk:
+        key = _batch_key(job, spec)
+        if key is not None:
+            groups.setdefault(key, []).append(job)
+    for group_jobs in groups.values():
+        if len(group_jobs) < 2:
+            continue
+        pipes = []
+        for job in group_jobs:
+            schedule, constraints, registers, ports, _ = _elaborate(
+                job.benchmark, spec, prefetch=True
+            )
+            pipes.append(build_pipeline(
+                schedule, constraints, job.config.binder,
+                _flow_config(job, spec, table), registers, ports,
+                cache=cache,
+            ))
+        passes = batch_simulate_pipelines(pipes, max_batch=spec.sim_batch)
+        for member_indices, wall in passes:
+            share = wall / len(member_indices)
+            for member in member_indices:
+                annotations[group_jobs[member].index] = (
+                    len(member_indices), share,
+                )
+            stats["batches"] += 1
+            stats["batched_cells"] += len(member_indices)
+            stats["batch_wall_s"] += wall
+    return annotations, stats
+
+
+def _run_chunk(
+    chunk: Sequence[SweepJob],
+    keep_results: bool = False,
+    progress: Optional[Callable[["SweepCell"], None]] = None,
+) -> Tuple[List[Tuple[SweepCell, Any, Dict[Any, float]]], Dict[str, Any]]:
+    """Batched prefetch + per-job flows for one chunk of jobs."""
+    annotations, stats = _prefetch_batches(chunk)
+    out = []
+    for job in chunk:
+        cell, result, new_entries = _execute(job)
+        note = annotations.get(job.index)
+        if note is not None:
+            cell.sim_batch, cell.sim_batch_s = note
+        out.append((cell, result if keep_results else None, new_entries))
+        if progress is not None:
+            progress(cell)
+    return out, stats
+
+
+def _execute_chunk_remote(
+    chunk: List[SweepJob],
+) -> Tuple[List[Tuple[SweepCell, Dict[Any, float]]], Dict[str, Any]]:
+    """Pool entry point: drop the heavyweight FlowResults before pickling."""
+    executed, stats = _run_chunk(chunk)
+    return (
+        [(cell, new_entries) for cell, _, new_entries in executed],
+        stats,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -529,6 +669,11 @@ class SweepResult:
     #: Pipeline-stage cache traffic summed over all cells.
     stage_cache_hits: int = 0
     stage_cache_misses: int = 0
+    #: Batched-simulation dispatch: kernel passes run, cells served by
+    #: them, and their total kernel wall clock (see SweepSpec.sim_batch).
+    sim_batches: int = 0
+    sim_batched_cells: int = 0
+    sim_batch_wall_s: float = 0.0
     #: Full FlowResults keyed by cell key; only populated when
     #: ``run_sweep(..., keep_results=True)``.
     results: Dict[Tuple, Any] = field(default_factory=dict, repr=False)
@@ -706,6 +851,9 @@ class SweepResult:
             "sa_new_entries": self.sa_new_entries,
             "stage_cache_hits": self.stage_cache_hits,
             "stage_cache_misses": self.stage_cache_misses,
+            "sim_batches": self.sim_batches,
+            "sim_batched_cells": self.sim_batched_cells,
+            "sim_batch_wall_s": self.sim_batch_wall_s,
             "stage_time_totals": self.stage_time_totals(),
             "cells": [asdict(cell) for cell in self.cells],
             "aggregates": self.aggregates(),
@@ -727,6 +875,9 @@ class SweepResult:
             sa_new_entries=data["sa_new_entries"],
             stage_cache_hits=data.get("stage_cache_hits", 0),
             stage_cache_misses=data.get("stage_cache_misses", 0),
+            sim_batches=data.get("sim_batches", 0),
+            sim_batched_cells=data.get("sim_batched_cells", 0),
+            sim_batch_wall_s=data.get("sim_batch_wall_s", 0.0),
         )
 
     @classmethod
@@ -807,33 +958,43 @@ def run_sweep(
     cells: List[SweepCell] = []
     results: Dict[Tuple, Any] = {}
     sa_new_total = 0
+    batch_stats = {"batches": 0, "batched_cells": 0, "batch_wall_s": 0.0}
 
     if jobs == 1 or len(job_list) == 1:
         _init_worker(payload)
-        for job in job_list:
-            cell, result, new_entries = _execute(job)
+        executed, batch_stats = _run_chunk(
+            job_list, keep_results=keep_results, progress=progress
+        )
+        for cell, result, new_entries in executed:
             sa_new_total += len(new_entries)
             cells.append(cell)
             if keep_results:
                 results[cell.key] = result
-            if progress is not None:
-                progress(cell)
     else:
-        # Chunks keep same-benchmark jobs on one worker (memo locality)
-        # while still splitting every benchmark across workers.
+        # Explicit chunks keep same-benchmark jobs on one worker (memo
+        # locality) and give each worker whole batchable groups — the
+        # simulation-only axes are innermost in expand_grid, so a chunk
+        # holds consecutive cells over the same mapped design.
         chunksize = max(1, len(job_list) // (jobs * 4))
+        chunks = [
+            list(job_list[start:start + chunksize])
+            for start in range(0, len(job_list), chunksize)
+        ]
         with ProcessPoolExecutor(
             max_workers=jobs,
             initializer=_init_worker,
             initargs=(payload,),
         ) as pool:
-            for cell, new_entries in pool.map(
-                _execute_remote, job_list, chunksize=chunksize
+            for executed, stats in pool.map(
+                _execute_chunk_remote, chunks, chunksize=1
             ):
-                sa_new_total += table.merge(new_entries)
-                cells.append(cell)
-                if progress is not None:
-                    progress(cell)
+                for key in batch_stats:
+                    batch_stats[key] += stats[key]
+                for cell, new_entries in executed:
+                    sa_new_total += table.merge(new_entries)
+                    cells.append(cell)
+                    if progress is not None:
+                        progress(cell)
 
     hits = sum(1 for cell in cells if cell.schedule_cache_hit)
     stage_hits = sum(len(cell.cache_hits) for cell in cells)
@@ -849,5 +1010,8 @@ def run_sweep(
         sa_new_entries=sa_new_total,
         stage_cache_hits=stage_hits,
         stage_cache_misses=stage_total - stage_hits,
+        sim_batches=batch_stats["batches"],
+        sim_batched_cells=batch_stats["batched_cells"],
+        sim_batch_wall_s=batch_stats["batch_wall_s"],
         results=results,
     )

@@ -31,10 +31,16 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
 _MISSING = object()
+
+#: A ``.tmp`` file older than this is an orphan from a writer that died
+#: between ``mkstemp`` and ``os.replace``; younger ones may still belong
+#: to a live writer mid-publish and are left alone.
+STALE_TMP_SECONDS = 300.0
 
 
 def _update(hasher: "hashlib._Hash", value: Any) -> None:
@@ -121,6 +127,7 @@ class ArtifactCache:
         self.disk_dir = disk_dir
         self.disk_max_entries = disk_max_entries
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._pinned: set = set()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -132,7 +139,19 @@ class ArtifactCache:
         return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        """Membership across *both* layers.
+
+        Unlike :meth:`lookup`, a membership probe is read-only: it never
+        refreshes LRU order, promotes disk entries into memory, or
+        touches the hit/miss counters — so ``key in cache`` always
+        agrees with what ``lookup(key)[0]`` *would* return, without the
+        side effects.
+        """
+        if key in self._entries:
+            return True
+        if self.disk_dir is None:
+            return False
+        return self._disk_read(key) is not _MISSING
 
     # -- lookup / store ----------------------------------------------------
 
@@ -141,6 +160,7 @@ class ArtifactCache:
         value = self._entries.get(key, _MISSING)
         if value is not _MISSING:
             self._entries.move_to_end(key)
+            self._pinned.discard(key)
             self.hits += 1
             return True, value
         if self.disk_dir is not None:
@@ -153,7 +173,8 @@ class ArtifactCache:
         self.misses += 1
         return False, None
 
-    def store(self, key: str, value: Any, persist: bool = True) -> None:
+    def store(self, key: str, value: Any, persist: bool = True,
+              pin: bool = False) -> None:
         """Insert an artifact (and publish it to disk when enabled).
 
         ``persist=False`` keeps the artifact memory-only even when the
@@ -161,14 +182,22 @@ class ArtifactCache:
         simulation trace is keyed by its exact seed/jitter/idle/kernel
         combination) that would otherwise fill the directory with
         write-only pickles.
+
+        ``pin=True`` protects the entry from LRU eviction until its
+        first :meth:`lookup` hit. Batched simulation passes prefetch
+        many artifacts before any consumer runs; without the pin,
+        unrelated cache traffic in between could silently evict them
+        and the consumers would fall back to recomputing — correct,
+        but the whole batched pass would have been wasted work.
         """
-        self._insert(key, value)
+        self._insert(key, value, pin=pin)
         if persist and self.disk_dir is not None:
             self._disk_write(key, value)
 
     def clear(self) -> None:
         """Drop the in-memory layer (disk entries survive)."""
         self._entries.clear()
+        self._pinned.clear()
 
     def stats(self) -> Dict[str, int]:
         return {
@@ -181,12 +210,22 @@ class ArtifactCache:
 
     # -- internals ---------------------------------------------------------
 
-    def _insert(self, key: str, value: Any) -> None:
+    def _insert(self, key: str, value: Any, pin: bool = False) -> None:
         self._entries[key] = value
         self._entries.move_to_end(key)
+        if pin:
+            self._pinned.add(key)
         if self.max_entries is not None:
             while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+                victim = next(
+                    (k for k in self._entries if k not in self._pinned),
+                    None,
+                )
+                if victim is None:
+                    # Everything still pinned: tolerate the overflow
+                    # rather than evict an unconsumed prefetch.
+                    break
+                del self._entries[victim]
                 self.evictions += 1
 
     def _disk_path(self, key: str) -> str:
@@ -220,12 +259,18 @@ class ArtifactCache:
             pass
 
     def _disk_prune(self) -> None:
-        """Drop oldest pickles once the directory exceeds its bound."""
-        entries = [
-            item
-            for item in os.scandir(self.disk_dir)
-            if item.name.endswith(".pkl")
-        ]
+        """Bound the pickle count and sweep orphaned temp files."""
+        now = time.time()
+        entries = []
+        for item in os.scandir(self.disk_dir):
+            if item.name.endswith(".pkl"):
+                entries.append(item)
+            elif item.name.endswith(".tmp"):
+                try:
+                    if now - item.stat().st_mtime > STALE_TMP_SECONDS:
+                        os.unlink(item.path)
+                except OSError:
+                    pass
         if len(entries) <= self.disk_max_entries:
             return
         entries.sort(key=lambda item: item.stat().st_mtime)

@@ -148,4 +148,10 @@ def format_sweep_summary(sweep: "SweepResult") -> str:
         f"{sweep.sa_precalc_entries} precalculated, "
         f"{sweep.sa_new_entries} new entries"
     )
+    if sweep.sim_batches:
+        stats += (
+            f"; batched simulation: {sweep.sim_batched_cells} cells in "
+            f"{sweep.sim_batches} kernel passes "
+            f"({sweep.sim_batch_wall_s:.1f}s)"
+        )
     return table + "\n" + stats

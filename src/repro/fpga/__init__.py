@@ -24,9 +24,11 @@ from repro.fpga.vectors import (
     unpack_values,
 )
 from repro.fpga.simulate import (
+    BatchConfig,
     CompiledNetlist,
     SimulationResult,
     compile_netlist,
+    simulate_batch,
     simulate_design,
 )
 from repro.fpga.timing import TimingReport, timing_report
@@ -42,9 +44,11 @@ __all__ = [
     "random_vectors",
     "unpack_lane_values",
     "unpack_values",
+    "BatchConfig",
     "CompiledNetlist",
     "SimulationResult",
     "compile_netlist",
+    "simulate_batch",
     "simulate_design",
     "TimingReport",
     "timing_report",

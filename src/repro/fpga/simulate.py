@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
+from operator import itemgetter
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -577,6 +578,460 @@ def _settle_events(
             state[index] = value
             changed_now.append(index)
     counters["comb"] = comb
+
+
+# ---------------------------------------------------------------------------
+# Batched kernel: many (vectors x jitter x idle) configurations of the
+# same netlist in one event-driven pass. Each configuration owns a
+# contiguous block of bit lanes inside one wider packed big int, so the
+# per-gate evaluators run once per event for every configuration at
+# once; only the toggle accounting and the pack/unpack boundaries are
+# per-configuration.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BatchConfig:
+    """One configuration of a batched simulation run.
+
+    The netlist, datapath and control table come from the shared
+    design; a configuration only varies the simulation knobs — the
+    stimulus, the idle-step control convention and the delay spread.
+    """
+
+    vectors: VectorSet
+    idle_selects: str = "zero"
+    delay_jitter: int = 0
+
+
+def simulate_batch(
+    design: ElaboratedDesign,
+    configs: List[BatchConfig],
+    collect_per_net: bool = False,
+    kernel: str = "event",
+) -> List[SimulationResult]:
+    """Simulate every configuration in one batched kernel pass.
+
+    Returns one :class:`SimulationResult` per configuration, in order,
+    byte-identical to what :func:`simulate_design` produces for that
+    configuration alone (the differential suite pins this against the
+    ``"reference"`` kernel).
+
+    Layout: configuration ``c`` occupies lanes ``[offset_c, offset_c +
+    lanes_c)`` of every net's packed big int. Bitwise ops never move
+    bits across lanes, so the compiled per-gate evaluators are reused
+    unchanged over the wider words. Configurations sharing a
+    ``delay_jitter`` form a *delay group* with one per-gate delay
+    vector; the time-wheel carries ``(net, value, group_mask)``
+    transitions so groups with different delays coexist on one wheel,
+    each landing only on its own lanes. Idle conventions differ only in
+    the per-step control words, composed per-config with the same
+    masks.
+
+    ``kernel="reference"`` runs the oracle once per configuration —
+    the batched path's differential baseline.
+    """
+    if kernel == "reference":
+        return [
+            _simulate_reference(
+                design, config.vectors, collect_per_net,
+                config.idle_selects, config.delay_jitter,
+            )
+            for config in configs
+        ]
+    if kernel != "event":
+        raise SimulationError(
+            f"unknown simulation kernel {kernel!r}; choose 'event' or "
+            f"'reference'"
+        )
+    if not configs:
+        return []
+
+    netlist = design.netlist
+    n_configs = len(configs)
+
+    # Lane layout: contiguous blocks, one per configuration, each
+    # starting on a byte boundary so toggle counting can slice the
+    # delta's byte string per configuration (see
+    # :func:`_settle_events_batch`). The padding lanes between blocks
+    # are inert: nothing ever drives them away from their power-on
+    # value, so they contribute zero to every delta.
+    offsets: List[int] = []
+    block_ones: List[int] = []
+    byte_ranges: List[Tuple[int, int]] = []
+    total_lanes = 0
+    for config in configs:
+        lanes = config.vectors.lanes
+        offsets.append(total_lanes)
+        block_ones.append(((1 << lanes) - 1) << total_lanes)
+        byte_ranges.append(
+            (total_lanes // 8, (total_lanes + lanes + 7) // 8)
+        )
+        total_lanes += (lanes + 7) & ~7
+    ones = (1 << total_lanes) - 1
+    n_bytes = total_lanes // 8
+    blocks = list(zip(range(n_configs), block_ones))
+    real_ones = 0
+    for block in block_ones:
+        real_ones |= block
+    gap_mask = ones ^ real_ones
+
+    # Delay groups: one compiled netlist per distinct jitter. The
+    # lowering is identical across jitters except for the delay vector,
+    # so any of them serves as the structural base.
+    compiled_by_jitter = {
+        jitter: compile_netlist(netlist, jitter)
+        for jitter in {config.delay_jitter for config in configs}
+    }
+    compiled = compiled_by_jitter[configs[0].delay_jitter]
+    net_id = compiled.net_id
+    group_delays: List[List[int]] = []
+    group_masks: List[int] = []
+    group_of_jitter: Dict[int, int] = {}
+    for index, config in enumerate(configs):
+        group = group_of_jitter.get(config.delay_jitter)
+        if group is None:
+            group = len(group_delays)
+            group_of_jitter[config.delay_jitter] = group
+            group_delays.append(
+                compiled_by_jitter[config.delay_jitter].gate_delays
+            )
+            group_masks.append(0)
+        group_masks[group] |= block_ones[index]
+
+    # Per-gate delay plan: groups whose delay for this gate coincides
+    # share one wheel transition (their masks merge). With jittered
+    # delays drawn from small ranges, a large fraction of gates end up
+    # with a single merged entry covering every lane — those schedule
+    # one event with no mask test at all.
+    delay_plans: List[List[Tuple[int, int]]] = []
+    for position in range(compiled.n_gates):
+        merged: Dict[int, int] = {}
+        for group, delays in enumerate(group_delays):
+            tick = delays[position]
+            merged[tick] = merged.get(tick, 0) | group_masks[group]
+        delay_plans.append(sorted(merged.items()))
+    # One tuple per gate keeps the settle loop to a single list index;
+    # a plan of one merged entry is pre-split out of the tuple so the
+    # common case needs no len() test. Fanin values are gathered with
+    # ``operator.itemgetter`` (one C call) instead of a per-gate list
+    # comprehension.
+    gate_data = [
+        (evaluate, _fanin_getter(fanins), out, plan,
+         plan[0] if len(plan) == 1 else None)
+        for evaluate, fanins, out, plan in zip(
+            compiled.gate_evals, compiled.gate_fanins,
+            compiled.gate_outputs, delay_plans,
+        )
+    ]
+    # Settle-call scratch: epoch-stamped pending words (cheaper than a
+    # dict in the hot loop) and the configs' byte-segment layout for
+    # the vectorized toggle counting.
+    pend_value = [0] * compiled.n_gates
+    pend_epoch = [-1] * compiled.n_gates
+    epoch_box = [0]
+    seg_bounds = [start for start, _ in byte_ranges] + [n_bytes]
+    seg_widths = {b - a for a, b in zip(seg_bounds, seg_bounds[1:])}
+    seg_width = seg_widths.pop() if len(seg_widths) == 1 else 0
+    seg_starts = np.array(seg_bounds[:-1], dtype=np.intp)
+
+    # Idle conventions: per-step control words composed per mode.
+    controller = build_controller(design.datapath)
+    mode_values: Dict[str, Dict[str, List[int]]] = {}
+    mode_masks: Dict[str, int] = {}
+    for index, config in enumerate(configs):
+        mode = config.idle_selects
+        if mode not in mode_values:
+            mode_values[mode] = controller.resolved(mode)
+            mode_masks[mode] = 0
+        mode_masks[mode] |= block_ones[index]
+    modes = list(mode_values)
+
+    # One packed big int per net; power-on settle, uncounted (every
+    # configuration starts from the same all-zero state).
+    state: List[int] = [0] * compiled.n_nets
+    gate_outputs = compiled.gate_outputs
+    gate_fanins = compiled.gate_fanins
+    gate_evals = compiled.gate_evals
+    for position in range(compiled.n_gates):
+        values = [state[i] for i in gate_fanins[position]]
+        state[gate_outputs[position]] = gate_evals[position](values, ones)
+
+    counters = [
+        {"comb": 0, "reg": 0, "pad": 0, "control": 0}
+        for _ in range(n_configs)
+    ]
+    net_toggles: Optional[List[np.ndarray]] = (
+        [np.zeros(compiled.n_nets, dtype=np.int64)
+         for _ in range(n_configs)]
+        if collect_per_net else None
+    )
+
+    def drive(index: int, new_value: int, category: str,
+              changed: List[int]) -> None:
+        if gap_mask:
+            # Keep padding lanes pinned at their power-on value so
+            # they never show up in any delta.
+            new_value = (new_value & real_ones) | (state[index] & gap_mask)
+        delta = state[index] ^ new_value
+        if delta:
+            for ci, block in blocks:
+                part = delta & block
+                if part:
+                    toggles = part.bit_count()
+                    counters[ci][category] += toggles
+                    if net_toggles is not None:
+                        net_toggles[ci][index] += toggles
+            state[index] = new_value
+            changed.append(index)
+
+    n_steps = len(design.datapath.control)
+    for step in range(n_steps):
+        changed: List[int] = []
+
+        # Pads present their vector at the load step: every
+        # configuration's packed words, shifted into its lane block.
+        if step == 0:
+            for position, nets in design.pad_nets.items():
+                for bit, net in enumerate(nets):
+                    value = 0
+                    for ci, config in enumerate(configs):
+                        value |= _words_to_int(
+                            config.vectors.pad_words(position, bit)
+                        ) << offsets[ci]
+                    drive(net_id[net], value, "pad", changed)
+
+        # Control signals take this step's value, composed per idle
+        # mode. A mode that does not drive a signal (resolved() returns
+        # no entry) keeps that mode's lanes at their current value —
+        # exactly the solo kernel's "skip" semantics.
+        for name, nets in design.control_nets.items():
+            per_mode = [
+                (mode_masks[mode], mode_values[mode].get(name))
+                for mode in modes
+            ]
+            if all(value is None for _, value in per_mode):
+                continue
+            for bit, net in enumerate(nets):
+                index = net_id[net]
+                new_value = state[index]
+                for mask, value in per_mode:
+                    if value is None:
+                        continue
+                    if (value[step] >> bit) & 1:
+                        new_value |= mask
+                    else:
+                        new_value &= ~mask
+                drive(index, new_value, "control", changed)
+
+        _settle_events_batch(
+            compiled, gate_data, state, changed, ones,
+            n_bytes, seg_starts, seg_width, counters, net_toggles,
+            pend_value, pend_epoch, epoch_box,
+        )
+
+        # Clock edge: all flip-flops load their data nets (read out
+        # first — flops clock simultaneously, in every configuration).
+        updates = [
+            (q_index, state[data_index])
+            for q_index, data_index in compiled.latch_pairs
+        ]
+        changed = []
+        for q_index, new_q in updates:
+            drive(q_index, new_q, "reg", changed)
+        _settle_events_batch(
+            compiled, gate_data, state, changed, ones,
+            n_bytes, seg_starts, seg_width, counters, net_toggles,
+            pend_value, pend_epoch, epoch_box,
+        )
+
+    results: List[SimulationResult] = []
+    names = compiled.net_names
+    for ci, config in enumerate(configs):
+        lanes = config.vectors.lanes
+        words = n_words(lanes)
+        offset = offsets[ci]
+        lane_mask = (1 << lanes) - 1
+        outputs: Dict[int, List[int]] = {}
+        for position, nets in design.output_nets.items():
+            rows = [
+                _int_to_words((state[net_id[net]] >> offset) & lane_mask,
+                              words)
+                for net in nets
+            ]
+            outputs[position] = [
+                int(value) for value in unpack_lane_values(rows, lanes)
+            ]
+        per_net: Dict[str, int] = {}
+        if net_toggles is not None:
+            for index in np.nonzero(net_toggles[ci])[0]:
+                per_net[names[index]] = int(net_toggles[ci][index])
+        results.append(SimulationResult(
+            lanes=lanes,
+            steps=n_steps,
+            comb_toggles=counters[ci]["comb"],
+            register_toggles=counters[ci]["reg"],
+            pad_toggles=counters[ci]["pad"],
+            control_toggles=counters[ci]["control"],
+            per_net=per_net,
+            outputs=outputs,
+        ))
+    return results
+
+
+#: Per-byte popcounts, for the vectorized delta counting below
+#: (int16: segment sums in `np.add.reduceat` stay within dtype).
+_POPCOUNT_TABLE = np.array(
+    [bin(value).count("1") for value in range(256)], dtype=np.int16
+)
+
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+    def _popcount_bytes(matrix: np.ndarray) -> np.ndarray:
+        return np.bitwise_count(matrix).astype(np.int16)
+else:
+    def _popcount_bytes(matrix: np.ndarray) -> np.ndarray:
+        return _POPCOUNT_TABLE[matrix]
+
+
+def _fanin_getter(fanins: List[int]) -> Callable:
+    """One C-level call that gathers a gate's fanin values."""
+    if len(fanins) > 1:
+        return itemgetter(*fanins)
+    if fanins:
+        index = fanins[0]
+        return lambda state: (state[index],)
+    return lambda state: ()
+
+
+def _settle_events_batch(
+    compiled: CompiledNetlist,
+    gate_data: List[Tuple],
+    state: List[int],
+    changed: List[int],
+    ones: int,
+    n_bytes: int,
+    seg_starts: np.ndarray,
+    seg_width: int,
+    counters: List[Dict[str, int]],
+    net_toggles: Optional[List[np.ndarray]],
+    pend_value: List[int],
+    pend_epoch: List[int],
+    epoch_box: List[int],
+) -> None:
+    """Batched event-driven settling (see :func:`_settle_events`).
+
+    Identical walk to the solo kernel, with two twists. A changed gate
+    schedules one wheel transition per entry of its delay plan — delay
+    groups whose delay for this gate coincides were merged into one
+    entry up front — carrying the entry's lane mask: transitions land
+    as ``state = (state & ~mask) | (value & mask)``, so groups with
+    different delays never clobber each other's lanes. The pending
+    word (epoch-stamped scratch arrays, one epoch per settle call)
+    still holds the full projection — lanes an entry did not schedule
+    are, by construction, equal to their previous value, so the
+    full-word update is exact.
+
+    And toggle counting is deferred: each nonzero evaluation delta is
+    captured as its little-endian byte string, and one vectorized pass
+    at the end popcounts every (delta, configuration) pair — per-byte
+    popcounts summed per configuration at the (byte-aligned)
+    lane-block boundaries (a reshape for uniform blocks, reduceat for
+    ragged ones). That replaces ``n_configs`` big-int masks per event
+    with one ``to_bytes`` per event plus a few numpy reductions per
+    settle — a configuration whose lanes did not change still
+    contributes nothing, even when a sibling's did.
+    """
+    if not changed:
+        return
+    fanout_gates = compiled.fanout_gates
+    epoch_box[0] += 1
+    epoch = epoch_box[0]
+
+    delta_nets: List[int] = []
+    delta_rows: List[bytes] = []
+    nets_append = delta_nets.append
+    rows_append = delta_rows.append
+    # Tick -> transitions [(net id, new value, lane mask)].
+    wheel: Dict[int, List[Tuple[int, int, int]]] = {}
+    wheel_setdefault = wheel.setdefault
+    time = 0
+    in_flight = 0
+    changed_now = changed
+    while True:
+        triggered = set()
+        for index in changed_now:
+            triggered.update(fanout_gates[index])
+        for position in sorted(triggered):
+            evaluate, gather, out, plan, single = gate_data[position]
+            new_value = evaluate(gather(state), ones)
+            if pend_epoch[position] == epoch:
+                previous = pend_value[position]
+            else:
+                previous = state[out]
+            delta = previous ^ new_value
+            if delta:
+                nets_append(out)
+                rows_append(delta.to_bytes(n_bytes, "little"))
+                if single is not None:
+                    # Merged entry: its mask covers every lane, and the
+                    # delta is nonzero, so it always schedules.
+                    tick, mask = single
+                    wheel_setdefault(time + tick, []).append(
+                        (out, new_value, mask)
+                    )
+                    in_flight += 1
+                else:
+                    for tick, mask in plan:
+                        if delta & mask:
+                            wheel_setdefault(time + tick, []).append(
+                                (out, new_value, mask)
+                            )
+                            in_flight += 1
+                pend_value[position] = new_value
+                pend_epoch[position] = epoch
+        if not in_flight:
+            break
+        time += 1
+        while time not in wheel:
+            time += 1
+        events = wheel.pop(time)
+        in_flight -= len(events)
+        changed_now = []
+        for index, value, mask in events:
+            state[index] = (state[index] & ~mask) | (value & mask)
+            changed_now.append(index)
+
+    if not delta_rows:
+        return
+    matrix = np.frombuffer(
+        b"".join(delta_rows), dtype=np.uint8
+    ).reshape(len(delta_rows), n_bytes)
+    # (n_deltas, n_configs) toggle counts in two C calls: per-byte
+    # popcount, then a segmented sum at the block starts (a block's
+    # trailing padding bytes fold into its own segment and are always
+    # zero in every delta). Uniform lane blocks — the usual case — sum
+    # via a cheap reshape; ragged blocks fall back to reduceat.
+    counts = _popcount_bytes(matrix)
+    if seg_width:
+        per_config = counts.reshape(
+            len(delta_rows), -1, seg_width
+        ).sum(axis=2, dtype=np.int64)
+    else:
+        per_config = np.add.reduceat(counts, seg_starts, axis=1)
+    totals = per_config.sum(axis=0, dtype=np.int64)
+    outs = np.asarray(delta_nets, dtype=np.intp)
+    n_nets = compiled.n_nets
+    for ci in range(len(seg_starts)):
+        total = int(totals[ci])
+        if not total:
+            continue
+        counters[ci]["comb"] += total
+        if net_toggles is not None:
+            # bincount's float64 weights are exact here (counts are
+            # far below 2**53).
+            net_toggles[ci] += np.bincount(
+                outs, weights=per_config[:, ci], minlength=n_nets
+            ).astype(np.int64)
 
 
 # ---------------------------------------------------------------------------

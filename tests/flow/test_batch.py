@@ -382,6 +382,85 @@ class TestSimOnlyAxes:
         assert len(table) > 0
 
 
+class TestBatchedSimulate:
+    """Fingerprint-grouped batched dispatch of the simulate stage."""
+
+    @staticmethod
+    def _knob_spec(**overrides):
+        kwargs = dict(
+            binders=("lopass",), vector_seeds=(7, 8),
+            idle_modes=("zero", "hold"), jitters=(0, 1),
+        )
+        kwargs.update(overrides)
+        return small_spec(**kwargs)
+
+    def test_batched_metrics_identical_to_solo_and_cold(self):
+        """The acceptance property: batching the simulate stage must not
+        move any metric relative to per-cell dispatch or a cold run."""
+        batched = run_sweep(self._knob_spec(), jobs=1)
+        solo = run_sweep(self._knob_spec(sim_batch=1), jobs=1)
+        cold = run_sweep(self._knob_spec(), jobs=1, use_cache=False)
+        assert [c.key for c in batched.cells] == [c.key for c in solo.cells]
+        assert [c.metrics for c in batched.cells] == [
+            c.metrics for c in solo.cells
+        ]
+        assert [c.metrics for c in batched.cells] == [
+            c.metrics for c in cold.cells
+        ]
+        # Eight cells share one techmap fingerprint: one kernel pass.
+        assert batched.sim_batches == 1
+        assert batched.sim_batched_cells == 8
+        assert batched.sim_batch_wall_s > 0
+        assert any(cell.sim_batch == 8 for cell in batched.cells)
+        # Solo dispatch and the cache-less path never batch.
+        assert solo.sim_batches == 0
+        assert all(cell.sim_batch == 0 for cell in solo.cells)
+        assert cold.sim_batches == 0
+
+    def test_batch_size_limit_respected(self):
+        sweep = run_sweep(self._knob_spec(sim_batch=2), jobs=1)
+        sizes = [cell.sim_batch for cell in sweep.cells if cell.sim_batch]
+        assert sizes and max(sizes) <= 2
+        assert sweep.sim_batches == 4
+        assert sweep.sim_batched_cells == 8
+
+    def test_batched_cells_annotated_with_wall_clock(self):
+        sweep = run_sweep(self._knob_spec(), jobs=1)
+        for cell in sweep.cells:
+            if cell.sim_batch:
+                assert cell.sim_batch_s > 0
+
+    def test_invalid_sim_batch_rejected(self):
+        with pytest.raises(ConfigError):
+            expand_grid(small_spec(sim_batch=0))
+
+    def test_round_trip_carries_batch_fields(self):
+        sweep = run_sweep(self._knob_spec(), jobs=1)
+        restored = SweepResult.from_json(sweep.to_json())
+        assert restored.sim_batches == sweep.sim_batches
+        assert restored.sim_batched_cells == sweep.sim_batched_cells
+        assert restored.sim_batch_wall_s == pytest.approx(
+            sweep.sim_batch_wall_s
+        )
+        assert [c.sim_batch for c in restored.cells] == [
+            c.sim_batch for c in sweep.cells
+        ]
+
+    def test_reference_kernel_cells_never_batched(self):
+        sweep = run_sweep(
+            self._knob_spec(jitters=(0,), sim_kernels=("reference",)),
+            jobs=1,
+        )
+        assert sweep.sim_batches == 0
+        assert all(cell.sim_batch == 0 for cell in sweep.cells)
+
+    def test_summary_reports_batching(self):
+        from repro.flow import format_sweep_summary
+
+        sweep = run_sweep(self._knob_spec(), jobs=1)
+        assert "batched simulation: 8 cells" in format_sweep_summary(sweep)
+
+
 class TestEstimateFlow:
     def test_estimate_cells_carry_equation3_metrics(self):
         sweep = run_sweep(small_spec(flow="estimate"), jobs=1)

@@ -2,10 +2,11 @@
 
 import dataclasses
 import os
+import time
 
 import pytest
 
-from repro.flow.cache import ArtifactCache, fingerprint
+from repro.flow.cache import STALE_TMP_SECONDS, ArtifactCache, fingerprint
 
 
 @dataclasses.dataclass(frozen=True)
@@ -74,6 +75,41 @@ class TestArtifactCache:
         with pytest.raises(ValueError):
             ArtifactCache(max_entries=0)
 
+    def test_pinned_entry_survives_eviction_pressure(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.store("prefetch", "batched", pin=True)
+        cache.store("b", 2)
+        cache.store("c", 3)
+        cache.store("d", 4)
+        # "prefetch" is the LRU-oldest entry yet outlives the churn;
+        # the unpinned entries get evicted around it.
+        hit, value = cache.lookup("prefetch")
+        assert hit and value == "batched"
+
+    def test_pin_drops_after_first_lookup(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.store("prefetch", "batched", pin=True)
+        cache.lookup("prefetch")  # consumed: now plain LRU
+        cache.store("b", 2)
+        cache.store("c", 3)
+        assert "prefetch" not in cache
+
+    def test_all_pinned_overflows_rather_than_evicts(self):
+        cache = ArtifactCache(max_entries=1)
+        cache.store("p1", 1, pin=True)
+        cache.store("p2", 2, pin=True)
+        assert len(cache) == 2 and cache.evictions == 0
+        assert cache.lookup("p1") == (True, 1)
+        assert cache.lookup("p2") == (True, 2)
+
+    def test_clear_drops_pins(self):
+        cache = ArtifactCache(max_entries=1)
+        cache.store("p", 1, pin=True)
+        cache.clear()
+        cache.store("a", 1)
+        cache.store("b", 2)  # would overflow if "p"'s pin leaked
+        assert len(cache) == 1
+
     def test_clear_drops_memory(self):
         cache = ArtifactCache()
         cache.store("a", 1)
@@ -137,3 +173,58 @@ class TestDiskLayer:
         hit, value = cache.lookup("a")  # ... but disk still has it
         assert hit and value == 1
         assert cache.disk_hits == 1
+
+    def test_stale_tmp_orphans_pruned_on_write(self, tmp_path):
+        # A writer that dies between mkstemp and os.replace leaves a
+        # .tmp file behind; the next prune must sweep it (but leave
+        # fresh ones alone — they may belong to a live writer).
+        stale = os.path.join(str(tmp_path), "deadbeef0000.tmp")
+        fresh = os.path.join(str(tmp_path), "cafebabe0000.tmp")
+        for path in (stale, fresh):
+            with open(path, "wb") as handle:
+                handle.write(b"partial pickle")
+        old = time.time() - STALE_TMP_SECONDS - 60
+        os.utime(stale, (old, old))
+        cache = ArtifactCache(disk_dir=str(tmp_path))
+        cache.store("k1", "artifact")  # store triggers _disk_prune
+        names = set(os.listdir(str(tmp_path)))
+        assert os.path.basename(stale) not in names
+        assert os.path.basename(fresh) in names
+        assert "k1.pkl" in names
+
+
+class TestContains:
+    def test_membership_sees_disk_layer(self, tmp_path):
+        # `key in cache` must agree with lookup() for artifacts that
+        # only live in the disk layer (a fresh process, or a memory
+        # eviction).
+        writer = ArtifactCache(disk_dir=str(tmp_path))
+        writer.store("k1", "artifact")
+        reader = ArtifactCache(disk_dir=str(tmp_path))  # cold memory
+        assert "k1" in reader
+        assert "missing" not in reader
+        hit, _ = reader.lookup("k1")
+        assert hit
+
+    def test_membership_has_no_side_effects(self, tmp_path):
+        cache = ArtifactCache(max_entries=2, disk_dir=str(tmp_path))
+        cache.store("a", 1, persist=False)
+        cache.store("b", 2, persist=False)
+        assert "a" in cache and "b" in cache and "zzz" not in cache
+        # No counter moved, and no disk entry was promoted to memory.
+        assert cache.stats() == {
+            "entries": 2, "hits": 0, "misses": 0, "evictions": 0,
+            "disk_hits": 0,
+        }
+        # No LRU refresh either: "a" is still the oldest entry, so a
+        # third store evicts it (lookup() would have refreshed it).
+        cache.store("c", 3, persist=False)
+        assert "a" not in cache and "b" in cache and "c" in cache
+
+    def test_membership_agrees_with_lookup_on_corrupt_entry(self, tmp_path):
+        cache = ArtifactCache(disk_dir=str(tmp_path))
+        with open(os.path.join(str(tmp_path), "bad.pkl"), "wb") as handle:
+            handle.write(b"not a pickle")
+        assert ("bad" in cache) is False
+        hit, _ = cache.lookup("bad")
+        assert not hit

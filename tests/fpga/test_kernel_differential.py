@@ -6,17 +6,26 @@ their :class:`SimulationResult` records must be *byte-identical* — all
 four toggle counters, the per-net toggle map, and the primary-output
 values — not merely close. This is pinned across every built-in
 benchmark, both idle-select conventions, and jittered delays.
+
+The batched kernel (:func:`simulate_batch`) shares the same contract
+per configuration: every per-config record of a batched run must equal
+a solo ``kernel="reference"`` run of that configuration (a fast chem
+smoke here, the full benchmark cross-product slow-marked), and a batch
+of one must equal the unbatched event kernel (hypothesis property).
 """
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro import BENCHMARK_NAMES, benchmark_spec, list_schedule, load_benchmark
 from repro.binding import assign_ports, bind_lopass, bind_registers
 from repro.fpga import (
+    BatchConfig,
     ElaboratedDesign,
     compile_netlist,
     elaborate_datapath,
     random_vectors,
+    simulate_batch,
     simulate_design,
 )
 from repro.errors import SimulationError
@@ -28,11 +37,14 @@ WIDTH = 4
 LANES = 48
 SEED = 11
 
+_BUILT = {}
 
-@pytest.fixture(scope="module", params=BENCHMARK_NAMES)
-def mapped_design(request):
-    """LUT-mapped design + stimulus for one built-in benchmark."""
-    name = request.param
+
+def build_mapped(name):
+    """LUT-mapped design + stimulus for one built-in benchmark
+    (memoized — the batch tests and the param fixture share builds)."""
+    if name in _BUILT:
+        return _BUILT[name]
     spec = benchmark_spec(name)
     schedule = list_schedule(load_benchmark(name), spec.constraints)
     registers = bind_registers(schedule)
@@ -53,7 +65,18 @@ def mapped_design(request):
     vectors = random_vectors(
         len(schedule.cdfg.primary_inputs), WIDTH, LANES, seed=SEED
     )
-    return mapped, vectors
+    _BUILT[name] = (mapped, vectors)
+    return _BUILT[name]
+
+
+@pytest.fixture(scope="module", params=BENCHMARK_NAMES)
+def mapped_design(request):
+    """LUT-mapped design + stimulus for one built-in benchmark."""
+    return build_mapped(request.param)
+
+
+def _n_pads(design):
+    return len(design.datapath.cdfg.primary_inputs)
 
 
 @pytest.mark.parametrize("idle_selects", ["zero", "hold"])
@@ -102,3 +125,96 @@ def test_compiled_netlist_invalidated_on_mutation(mapped_design):
     finally:
         netlist.inputs.remove(pi)
         netlist._sim_compiled.clear()
+
+
+# ---------------------------------------------------------------------------
+# Batched kernel: every per-config record == a solo reference run.
+# ---------------------------------------------------------------------------
+
+def _solo_reference(design, config, collect_per_net=True):
+    return simulate_design(
+        design, config.vectors, collect_per_net=collect_per_net,
+        idle_selects=config.idle_selects, delay_jitter=config.delay_jitter,
+        kernel="reference",
+    )
+
+
+def test_batch_matches_reference_chem():
+    """Tier-1 smoke: a mixed batch (two stimuli, both idle conventions,
+    three delay spreads) on chem, each config byte-identical to solo."""
+    design, vectors = build_mapped("chem")
+    alt = random_vectors(_n_pads(design), WIDTH, LANES, seed=SEED + 3)
+    configs = [
+        BatchConfig(vectors, "zero", 0),
+        BatchConfig(alt, "zero", 2),
+        BatchConfig(vectors, "hold", 1),
+        BatchConfig(alt, "hold", 0),
+    ]
+    results = simulate_batch(design, configs, collect_per_net=True)
+    assert len(results) == len(configs)
+    for config, result in zip(configs, results):
+        assert result == _solo_reference(design, config)
+
+
+def test_batch_mixed_lane_counts():
+    """Configs with different lane counts share one packed word; the
+    narrow config's block mask must isolate it from its wide sibling."""
+    design, vectors = build_mapped("pr")
+    narrow = random_vectors(_n_pads(design), WIDTH, 10, seed=SEED + 5)
+    configs = [BatchConfig(vectors, "zero", 0), BatchConfig(narrow, "hold", 3)]
+    results = simulate_batch(design, configs, collect_per_net=True)
+    for config, result in zip(configs, results):
+        assert result == _solo_reference(design, config)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("idle_selects", ["zero", "hold"])
+@pytest.mark.parametrize("delay_jitter", [0, 2])
+def test_batch_matches_reference_all_benchmarks(
+    mapped_design, idle_selects, delay_jitter
+):
+    design, vectors = mapped_design
+    alt = random_vectors(_n_pads(design), WIDTH, LANES, seed=SEED + 3)
+    configs = [
+        BatchConfig(vectors, idle_selects, delay_jitter),
+        BatchConfig(alt, idle_selects, delay_jitter),
+    ]
+    results = simulate_batch(design, configs, collect_per_net=True)
+    for config, result in zip(configs, results):
+        assert result == _solo_reference(design, config)
+
+
+def test_batch_unknown_kernel_rejected():
+    design, vectors = build_mapped("pr")
+    with pytest.raises(SimulationError):
+        simulate_batch(design, [BatchConfig(vectors)], kernel="quantum")
+
+
+def test_batch_empty():
+    design, _ = build_mapped("pr")
+    assert simulate_batch(design, []) == []
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    lanes=st.integers(min_value=1, max_value=70),
+    seed=st.integers(min_value=0, max_value=2**16),
+    idle_selects=st.sampled_from(["zero", "hold"]),
+    delay_jitter=st.integers(min_value=0, max_value=3),
+)
+def test_batch_of_one_equals_event_kernel(
+    lanes, seed, idle_selects, delay_jitter
+):
+    """Property: a batch of one is the unbatched event kernel."""
+    design, _ = build_mapped("pr")
+    vectors = random_vectors(_n_pads(design), WIDTH, lanes, seed=seed)
+    [batched] = simulate_batch(
+        design,
+        [BatchConfig(vectors, idle_selects, delay_jitter)],
+        collect_per_net=True,
+    )
+    solo = simulate_design(
+        design, vectors, collect_per_net=True,
+        idle_selects=idle_selects, delay_jitter=delay_jitter,
+    )
+    assert batched == solo
