@@ -1,0 +1,280 @@
+"""Serve-daemon load benchmark — concurrent estimate traffic, cold vs warm.
+
+Two phases against in-process ``repro serve`` daemons (ephemeral
+port, resident executor), each run cold then warm:
+
+1. **Latency probe** — one serial request per distinct configuration
+   on a fresh daemon, then again on the now-warm daemon. Serial round
+   trips keep connection churn out of the measurement, so the
+   cold-vs-warm speedup is exactly what the resident executor's memos
+   (elaboration memo, artifact cache, SA table) buy per request.
+2. **Load waves** — thousands of genuinely concurrent requests
+   cycling over the same configurations, on a second fresh daemon.
+   Wall clock here is dominated by single-core connection handling;
+   the interesting numbers are error-free completion of every request
+   and in-flight deduplication collapsing the duplicates onto ~one
+   executor submission per distinct configuration.
+
+Every distinct configuration's response is then byte-checked against
+a direct :func:`repro.flow.run.run_estimate` call — the daemon must
+be a transparent cache, never an approximation.
+
+Results land in ``BENCH_serve.json`` at the repo root so later PRs can
+track the trend.
+
+This is a standalone script (not collected by pytest — the full load
+run costs tens of seconds):
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+
+Knobs (environment variables): ``REPRO_SERVE_REQUESTS`` (default
+1000 — all genuinely in flight at once), ``REPRO_SERVE_WIDTHS``
+(default ``4,8``), ``REPRO_SERVE_BINDERS`` (default
+``lopass,hlpower``), ``REPRO_SERVE_BENCHES`` (default all seven),
+``REPRO_SERVE_CACHE_ENTRIES`` (default 2048 — the daemon must be
+provisioned to hold the working set, see below).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+from repro import BENCHMARK_NAMES, benchmark_spec
+from repro.cdfg import load_benchmark
+from repro.flow import FlowConfig
+from repro.flow.run import run_estimate
+from repro.scheduling import list_schedule
+from repro.serve import FlowServer, ServeConfig
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_OUT_PATH = os.path.join(_REPO_ROOT, "BENCH_serve.json")
+
+N_REQUESTS = int(os.environ.get("REPRO_SERVE_REQUESTS", "1000"))
+# A serving daemon must be provisioned for its working set: the
+# default 64-entry LRU holds ~12 configs' stage artifacts, and
+# cycling through more than that is worst-case eviction order (each
+# config's artifacts are gone before it comes around again).
+CACHE_ENTRIES = int(os.environ.get("REPRO_SERVE_CACHE_ENTRIES", "2048"))
+WIDTHS = [
+    int(token) for token in
+    os.environ.get("REPRO_SERVE_WIDTHS", "4,8").split(",")
+]
+BINDERS = os.environ.get(
+    "REPRO_SERVE_BINDERS", "lopass,hlpower"
+).split(",")
+BENCHES = os.environ.get(
+    "REPRO_SERVE_BENCHES", ",".join(BENCHMARK_NAMES)
+).split(",")
+
+#: The distinct request bodies the load cycles over.
+CONFIGS = [
+    {"benchmark": bench, "binder": binder, "width": width}
+    for bench in BENCHES
+    for binder in BINDERS
+    for width in WIDTHS
+]
+
+
+async def _estimate_request(port: int, body: dict) -> tuple:
+    """One POST /estimate; returns (latency_s, status, payload)."""
+    started = time.perf_counter()
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = json.dumps(body).encode()
+    head = (
+        f"POST /estimate HTTP/1.1\r\nHost: bench\r\n"
+        f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n"
+    )
+    writer.write(head.encode() + payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    header, _, response_body = raw.partition(b"\r\n\r\n")
+    status = int(header.split(None, 2)[1])
+    return time.perf_counter() - started, status, response_body
+
+
+async def _scrape_metrics(port: int) -> dict:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(b"GET /metrics HTTP/1.1\r\nHost: bench\r\n"
+                 b"Content-Length: 0\r\nConnection: close\r\n\r\n")
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    return json.loads(raw.partition(b"\r\n\r\n")[2])
+
+
+async def _serial_probe(server: FlowServer, label: str) -> tuple:
+    """One request per distinct config, sequentially.
+
+    Serial round trips isolate per-request latency from connection
+    churn, so the cold-vs-warm comparison measures exactly what the
+    resident executor's memos buy."""
+    latencies = []
+    samples = {}
+    started = time.perf_counter()
+    for body in CONFIGS:
+        latency, status, response = await _estimate_request(
+            server.port, body
+        )
+        if status != 200:
+            raise SystemExit(
+                f"{label} probe: {body} -> {status}: {response!r}"
+            )
+        latencies.append(latency)
+        key = (body["benchmark"], body["binder"], body["width"])
+        samples.setdefault(key, json.loads(response))
+    wall = time.perf_counter() - started
+    record = {
+        "requests": len(CONFIGS),
+        "wall_s": round(wall, 3),
+        "mean_ms": round(1e3 * sum(latencies) / len(latencies), 2),
+        "max_ms": round(1e3 * max(latencies), 2),
+    }
+    print(f"  {label} probe: {wall:6.2f}s wall, "
+          f"mean {record['mean_ms']:8.1f}ms, "
+          f"max {record['max_ms']:8.1f}ms per request")
+    return record, samples
+
+
+async def _wave(server: FlowServer, label: str) -> tuple:
+    """Fire N_REQUESTS concurrent estimate requests; return
+    (wave record, one representative payload per distinct config)."""
+    bodies = [CONFIGS[i % len(CONFIGS)] for i in range(N_REQUESTS)]
+    before = await _scrape_metrics(server.port)
+    started = time.perf_counter()
+    outcomes = await asyncio.gather(*[
+        _estimate_request(server.port, body) for body in bodies
+    ])
+    wall = time.perf_counter() - started
+    after = await _scrape_metrics(server.port)
+
+    failures = [status for _, status, _ in outcomes if status != 200]
+    if failures:
+        raise SystemExit(
+            f"{label} wave: {len(failures)} non-200 responses "
+            f"(first: {failures[0]})"
+        )
+    latencies = sorted(latency for latency, _, _ in outcomes)
+    samples = {}
+    for body, (_, _, response) in zip(bodies, outcomes):
+        key = (body["benchmark"], body["binder"], body["width"])
+        samples.setdefault(key, json.loads(response))
+
+    submissions = (after["executor"]["submissions"]
+                   - before["executor"]["submissions"])
+    deduped = after["deduped"] - before["deduped"]
+    record = {
+        "n_requests": N_REQUESTS,
+        "wall_s": round(wall, 3),
+        "throughput_rps": round(N_REQUESTS / wall, 1),
+        "p50_ms": round(1e3 * latencies[len(latencies) // 2], 2),
+        "p99_ms": round(1e3 * latencies[int(len(latencies) * 0.99) - 1], 2),
+        "max_ms": round(1e3 * latencies[-1], 2),
+        "executor_submissions": submissions,
+        "deduped": deduped,
+        "cache_hit_rate": round(
+            after["executor"]["cache"]["hit_rate"], 4
+        ),
+    }
+    print(f"  {label}: {wall:6.2f}s wall, "
+          f"{record['throughput_rps']:8.1f} req/s, "
+          f"p50 {record['p50_ms']:.1f}ms, p99 {record['p99_ms']:.1f}ms, "
+          f"{submissions} executor submissions for {N_REQUESTS} "
+          f"requests ({deduped} deduped in flight)")
+    return record, samples
+
+
+def _direct_metrics(body: dict) -> dict:
+    spec = benchmark_spec(body["benchmark"])
+    schedule = list_schedule(
+        load_benchmark(body["benchmark"]), spec.constraints
+    )
+    config = FlowConfig(width=body["width"], flow="estimate")
+    result = run_estimate(
+        schedule, spec.constraints, body["binder"], config
+    )
+    return result.metrics()
+
+
+async def _run() -> dict:
+    print(f"serve load: {N_REQUESTS} concurrent estimate requests over "
+          f"{len(CONFIGS)} distinct configs "
+          f"({len(BENCHES)} benchmarks x {len(BINDERS)} binders x "
+          f"{len(WIDTHS)} widths)")
+    # Phase 1 — per-request latency, cold vs warm. Serial round trips
+    # on a fresh daemon isolate what the resident memos buy.
+    probe_server = FlowServer(
+        ServeConfig(port=0, cache_entries=CACHE_ENTRIES)
+    )
+    await probe_server.start()
+    try:
+        cold_probe, samples = await _serial_probe(probe_server, "cold")
+        warm_probe, _ = await _serial_probe(probe_server, "warm")
+    finally:
+        await probe_server.stop()
+    probe_speedup = cold_probe["wall_s"] / warm_probe["wall_s"]
+    print(f"  warm-over-cold latency speedup: {probe_speedup:.1f}x")
+
+    # Phase 2 — sustained concurrency on a second fresh daemon (the
+    # probes above would otherwise pre-warm the cold wave). Here
+    # connection churn dominates wall clock; the interesting numbers
+    # are the error-free completion of every request and the in-flight
+    # dedup collapsing ~1000 requests onto ~one submission per
+    # distinct config.
+    server = FlowServer(ServeConfig(port=0, cache_entries=CACHE_ENTRIES))
+    await server.start()
+    try:
+        cold, _ = await _wave(server, "cold")
+        warm, _ = await _wave(server, "warm")
+    finally:
+        await server.stop()
+    load_speedup = cold["wall_s"] / warm["wall_s"]
+    print(f"  warm-over-cold load-wall speedup: {load_speedup:.2f}x")
+
+    print(f"\nbyte-checking {len(CONFIGS)} distinct configs against "
+          f"direct run_estimate...")
+    mismatched = []
+    for config in CONFIGS:
+        key = (config["benchmark"], config["binder"], config["width"])
+        served = samples[key]["metrics"]
+        direct = _direct_metrics(config)
+        if served != direct:
+            mismatched.append(key)
+    if mismatched:
+        raise SystemExit(
+            f"served metrics diverge from run_estimate: {mismatched}"
+        )
+    print("  all byte-identical")
+
+    return {
+        "n_requests": N_REQUESTS,
+        "distinct_configs": len(CONFIGS),
+        "latency": {
+            "cold": cold_probe,
+            "warm": warm_probe,
+            "warm_speedup": round(probe_speedup, 2),
+        },
+        "load": {
+            "cold": cold,
+            "warm": warm,
+            "warm_speedup": round(load_speedup, 3),
+        },
+        "byte_identical_configs": len(CONFIGS),
+    }
+
+
+def main() -> None:
+    record = asyncio.run(_run())
+    with open(_OUT_PATH, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(f"\nresults written to {_OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

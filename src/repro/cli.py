@@ -17,12 +17,15 @@ Commands:
 * ``corpus`` — enumerate/run the synthetic benchmark corpus
   (parameterized CDFG families; see docs/binding.md) through the sweep
   engine, with exact-binder quality gaps on the feasible subset.
+* ``serve`` — run the long-lived power-estimation daemon: an asyncio
+  HTTP/JSON server over a resident warm executor (see docs/serving.md).
 * ``profiles`` — print Table 1.
 
-``bench``, ``suite``, ``sweep`` and ``estimate`` are all thin wrappers
-over the same sweep engine (:mod:`repro.flow.batch`), so they share
-one execution path, one elaboration memo, one pipeline artifact cache
-per worker, and one SA-table lifecycle.
+``bench``, ``suite``, ``sweep``, ``estimate`` and ``serve`` are all
+thin wrappers over the same sweep engine (:mod:`repro.flow.batch` /
+:mod:`repro.flow.executor`), so they share one execution path, one
+elaboration memo, one pipeline artifact cache per worker, and one
+SA-table lifecycle.
 """
 
 from __future__ import annotations
@@ -323,6 +326,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sa_table_arg(corpus)
     corpus.add_argument("--out", metavar="FILE",
                         help="write the JSON result store here")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived power-estimation daemon",
+        description=(
+            "Start an asyncio HTTP/JSON server over a resident warm "
+            "executor: POST /estimate, /flow and /sweep requests are "
+            "queued by priority, deduplicated while in flight, and "
+            "executed against memos that survive across requests; "
+            "GET /metrics reports queue, executor and artifact-cache "
+            "counters. SIGTERM shuts down cleanly (see docs/serving.md)."
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8791,
+                       help="bind port (default 8791; 0 = ephemeral, "
+                            "printed at startup)")
+    _add_jobs_arg(serve)
+    _add_sa_table_arg(serve)
+    serve.add_argument("--cache-entries", type=int, default=64, metavar="N",
+                       help="in-memory artifact-cache capacity per worker "
+                            "(default 64)")
+    serve.add_argument("--cache-dir", metavar="DIR",
+                       help="persistent on-disk artifact-cache layer "
+                            "shared across workers and sweeps")
 
     synth = sub.add_parser("synth", help="integrated HLS on a benchmark")
     synth.add_argument("name", choices=BENCHMARK_NAMES)
@@ -686,6 +715,11 @@ def cmd_profiles(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.serve.server import main as serve_main
+    return serve_main(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -695,6 +729,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "estimate": cmd_estimate,
         "corpus": cmd_corpus,
         "synth": cmd_synth,
+        "serve": cmd_serve,
         "profiles": cmd_profiles,
     }
     return handlers[args.command](args)

@@ -16,17 +16,24 @@ timing and power reports. :func:`~repro.flow.run.run_estimate` is the
 partial-flow entry point: it stops after tech-map and reports the
 Equation-(3) estimates without invoking the simulator.
 
-:mod:`repro.flow.batch` scales those calls into declarative experiment
-grids: :class:`~repro.flow.batch.SweepSpec` describes a ``benchmark x
-binder x alpha x width x idle x jitter x kernel x seed`` grid and
-:func:`~repro.flow.batch.run_sweep` executes it across worker
-processes with shared SA-table state, memoized elaborations and a
-per-worker artifact cache (cells differing only in simulation knobs
-become simulate-only work), collecting per-cell records into a
-JSON-serializable :class:`~repro.flow.batch.SweepResult`.
+The sweep subsystem scales those calls into declarative experiment
+grids across three layers: :mod:`repro.flow.grid` is the model
+(:class:`~repro.flow.grid.SweepSpec` describes a ``benchmark x binder
+x alpha x width x idle x jitter x kernel x seed`` grid),
+:mod:`repro.flow.executor` is the resident execution layer
+(:class:`~repro.flow.executor.FlowExecutor` owns warm worker state —
+memoized elaborations, the artifact cache, shared SA-table values —
+that survives across submissions), and :mod:`repro.flow.batch` is the
+driver (:func:`~repro.flow.batch.run_sweep` expands a spec, submits
+it, and collects per-cell records into a JSON-serializable
+:class:`~repro.flow.batch.SweepResult`). Cells differing only in
+simulation knobs become simulate-only work via the shared cache; the
+``repro serve`` daemon (:mod:`repro.serve`) keeps one resident
+executor warm across requests.
 """
 
-from repro.flow.cache import ArtifactCache, fingerprint
+from repro.flow.cache import ArtifactCache, CacheStats, fingerprint
+from repro.flow.executor import ExecutorStats, FlowExecutor, Submission
 from repro.flow.pipeline import (
     ESTIMATE_STAGES,
     STAGE_NAMES,
@@ -66,6 +73,10 @@ from repro.flow.report import (
 
 __all__ = [
     "ArtifactCache",
+    "CacheStats",
+    "ExecutorStats",
+    "FlowExecutor",
+    "Submission",
     "fingerprint",
     "ESTIMATE_STAGES",
     "STAGE_NAMES",

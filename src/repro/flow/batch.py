@@ -1,58 +1,35 @@
-"""Parallel sweep engine for the experiment flow.
+"""Sweep driver and result store for the experiment flow.
 
 The paper's results are all grids of the same measurement: every table
 and figure is ``benchmark x binder x alpha x seed`` cells of
-:func:`~repro.flow.run.run_flow`. This module turns that shape into a
-first-class subsystem:
+:func:`~repro.flow.run.run_flow`. The sweep subsystem splits that
+shape across three layers:
 
-* :class:`SweepSpec` — a declarative grid (benchmarks, binder
-  configurations, alphas, widths, vector seeds, idle policies, delay
-  jitters, sim kernels) plus the shared flow knobs;
-* :func:`expand_grid` — spec -> concrete :class:`SweepJob` list;
-* :func:`run_sweep` — executes the jobs across a
-  :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs=1`` is a
-  fully in-process deterministic mode used by the tests and the bench
-  fixtures) and collects per-cell records into a JSON-serializable
-  :class:`SweepResult`.
+* :mod:`repro.flow.grid` — the declarative model
+  (:class:`SweepSpec` / :func:`expand_grid` / :class:`SweepJob` /
+  :class:`SweepCell`), re-exported here for compatibility;
+* :mod:`repro.flow.executor` — the resident execution layer: a
+  :class:`~repro.flow.executor.FlowExecutor` owns the warm per-worker
+  state (elaboration memo, artifact cache, SA-table snapshot, process
+  pool) and survives across submissions;
+* this module — :func:`run_sweep`, a thin client that expands a spec,
+  submits it to an executor, and collects the per-cell records into a
+  JSON-serializable :class:`SweepResult`.
 
-Four performance layers keep the grid cheap:
-
-* a per-worker **artifact cache** — every cell runs through the staged
-  pipeline (:mod:`repro.flow.pipeline`), whose stage artifacts are
-  content-fingerprinted into an
-  :class:`~repro.flow.cache.ArtifactCache`. Cells that share a prefix
-  (same binder+alpha but a different vector seed / jitter / idle mode
-  / kernel) reuse the bound-and-mapped design and become
-  simulate-only work; per-stage hits and wall clock land in each
-  :class:`SweepCell`;
-* a content-keyed **elaboration memo** — schedule, register binding
-  and port assignment depend only on ``(benchmark, scheduler,
-  constraints)``, so each worker process computes them once per
-  benchmark and every binder/alpha/seed job on that benchmark reuses
-  them (cache hits are counted per cell);
-* **batched simulation dispatch** — event-kernel cells in a chunk
-  that share everything upstream of the simulate stage (they differ
-  only in seed / idle mode / jitter) are grouped by
-  :func:`_batch_key` and simulated together in one
-  :func:`~repro.fpga.simulate.simulate_batch` kernel pass of up to
-  ``SweepSpec.sim_batch`` configurations; the per-cell flows then hit
-  the cache. Batch sizes and per-config kernel wall clock land in
-  :attr:`SweepCell.sim_batch` / :attr:`SweepCell.sim_batch_s`;
-* **shared SA-table state** — the parent precalculates/loads the
-  Section 5.2.2 table once per sweep, ships the values to every worker
-  via the pool initializer, and merges any entries a worker still had
-  to compute back into the master table, which is saved once
-  (atomically) at the end instead of once per job.
-
-Partial flows are first-class: ``SweepSpec(flow="estimate")`` stops
-every cell after tech-map and records the Equation-(3) estimates —
-no vectors, no simulation — which is what ``repro estimate`` drives.
+By default :func:`run_sweep` builds a **transient** executor per call,
+preserving the historical semantics (every sweep starts with fresh
+in-process worker state, so only an explicit ``cache_dir`` carries
+artifacts across calls). Pass a resident
+:class:`~repro.flow.executor.FlowExecutor` via ``executor=`` to reuse
+warm memos across many sweeps — that is what the ``repro serve``
+daemon does.
 
 Determinism: every per-cell ``metrics`` record is a pure function of
 the cell's inputs — SA-table values are themselves deterministic, so
 cache state cannot influence binding decisions; the artifact cache
 only ever substitutes byte-identical recomputations — and ``jobs=N``
-(cached or cold) produces byte-identical metrics to ``jobs=1``.
+(cached or cold, transient or resident) produces byte-identical
+metrics to ``jobs=1``.
 """
 
 from __future__ import annotations
@@ -60,593 +37,20 @@ from __future__ import annotations
 import json
 import statistics
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
-from repro.binding import BIND_ENGINES, SATable
-from repro.cdfg import Schedule, benchmark_spec, load_benchmark
+from repro.binding import SATable
 from repro.errors import ConfigError
-from repro.flow.cache import ArtifactCache
-from repro.flow.pipeline import batch_simulate_pipelines
-from repro.flow.run import (
-    FlowConfig,
-    FlowResult,
-    build_pipeline,
-    execute_flow,
-    prepare_flow_inputs,
+from repro.flow.executor import DEFAULT_CACHE_ENTRIES, FlowExecutor
+from repro.flow.grid import (  # noqa: F401  (compatibility re-exports)
+    BinderConfig,
+    SweepCell,
+    SweepJob,
+    SweepSpec,
+    expand_grid,
 )
-from repro.scheduling import force_directed_schedule, list_schedule
-from repro.techmap import MAP_EFFORTS
-
-#: Default in-memory artifact-cache capacity per worker process.
-DEFAULT_CACHE_ENTRIES = 64
-
-
-@dataclass(frozen=True)
-class BinderConfig:
-    """One binder column of the grid.
-
-    ``label`` names the column in records and reports ("lopass",
-    "hlpower_a05", ...); ``alpha`` is Equation (4)'s weight and is
-    ignored by binders that do not consume it (LOPASS).
-    """
-
-    label: str
-    binder: str
-    alpha: float = 0.5
-
-
-@dataclass
-class SweepSpec:
-    """Declarative description of one experiment grid.
-
-    The grid is the cross product ``benchmarks x binder_configs x
-    widths x bind engines x map efforts x idle_modes x jitters x
-    sim kernels x vector_seeds``.
-    Binder configurations come either from the ``binders x alphas``
-    cross product (the default) or from an explicit ``configs`` list
-    when the columns are not a product — e.g. the bench suite's
-    ``lopass / hlpower_a1 / hlpower_a05``. The simulation-only axes
-    (idle mode, jitter, kernel, seed) vary nothing before the simulate
-    stage, so the pipeline cache turns them into simulate-only work.
-    """
-
-    benchmarks: Sequence[str]
-    binders: Sequence[str] = ("lopass", "hlpower")
-    alphas: Sequence[float] = (0.5,)
-    widths: Sequence[int] = (8,)
-    vector_seeds: Sequence[int] = (7,)
-    configs: Optional[Sequence[BinderConfig]] = None
-    n_vectors: int = 256
-    k: int = 4
-    scheduler: str = "list"
-    check_function: bool = True
-    #: Simulation kernel for every cell: "event" (default) or
-    #: "reference" (the differential-testing oracle; several-fold
-    #: slower, byte-identical metrics). ``sim_kernels`` overrides this
-    #: scalar with a grid axis.
-    sim_kernel: str = "event"
-    #: Technology-mapper effort for every cell: "fast" (default,
-    #: byte-identical to the seed mapper), "exhaustive", or
-    #: "reference" (the seed mapper; the differential oracle).
-    #: ``map_efforts`` overrides this scalar with a grid axis.
-    map_effort: str = "fast"
-    #: Binding engine for every cell: "fast" (default, the vectorized
-    #: engines — byte-identical solutions) or "reference" (the seed
-    #: binders; the differential oracle). ``bind_engines`` overrides
-    #: this scalar with a grid axis.
-    bind_engine: str = "fast"
-    #: Binder label (or binder name) used as the reference for
-    #: percentage changes; "none" (or empty) disables the comparison.
-    baseline: str = "lopass"
-    #: Idle-step control policies to sweep ("zero" and/or "hold").
-    idle_modes: Sequence[str] = ("zero",)
-    #: Per-gate delay-jitter values to sweep (0 = pure unit delay).
-    jitters: Sequence[int] = (0,)
-    #: Optional kernel axis; ``None`` means ``(sim_kernel,)``.
-    sim_kernels: Optional[Sequence[str]] = None
-    #: Optional mapper-effort axis; ``None`` means ``(map_effort,)``.
-    map_efforts: Optional[Sequence[str]] = None
-    #: Optional bind-engine axis; ``None`` means ``(bind_engine,)``.
-    bind_engines: Optional[Sequence[str]] = None
-    #: "full" runs the paper's measurement chain; "estimate" stops
-    #: every cell after tech-map (Equation-(3) numbers, no simulator).
-    flow: str = "full"
-    #: Maximum configurations per batched simulation kernel pass.
-    #: Event-kernel cells that share the mapped design (same benchmark
-    #: / binder / width / effort / engine, differing only in seed,
-    #: idle mode or jitter) are dispatched through
-    #: :func:`~repro.flow.pipeline.batch_simulate_pipelines` in groups
-    #: of up to this many; ``1`` disables batching (every cell runs
-    #: the solo kernel). Metrics are byte-identical either way. Kernel
-    #: wall clock is strongly sublinear in batch width (the union of
-    #: scheduled events grows much slower than the config count), so
-    #: wider is cheaper until word width dominates; 32 is the sweet
-    #: spot measured on the chem benchmark (BENCH_flow.json).
-    sim_batch: int = 32
-
-    def binder_configs(self) -> List[BinderConfig]:
-        if self.configs is not None:
-            return list(self.configs)
-        out = []
-        for binder in self.binders:
-            for alpha in self.alphas:
-                label = binder if len(self.alphas) == 1 else (
-                    f"{binder}_a{alpha:g}"
-                )
-                out.append(BinderConfig(label, binder, alpha))
-        return out
-
-    def kernels(self) -> List[str]:
-        """The kernel axis (the scalar ``sim_kernel`` unless overridden)."""
-        if self.sim_kernels is not None:
-            return list(self.sim_kernels)
-        return [self.sim_kernel]
-
-    def efforts(self) -> List[str]:
-        """The mapper-effort axis (scalar unless overridden)."""
-        if self.map_efforts is not None:
-            return list(self.map_efforts)
-        return [self.map_effort]
-
-    def engines(self) -> List[str]:
-        """The bind-engine axis (scalar unless overridden)."""
-        if self.bind_engines is not None:
-            return list(self.bind_engines)
-        return [self.bind_engine]
-
-    def validate(self) -> None:
-        if not self.benchmarks:
-            raise ConfigError("sweep spec has no benchmarks")
-        for name in self.benchmarks:
-            benchmark_spec(name)  # raises on unknown names
-        if self.scheduler not in ("list", "force"):
-            raise ConfigError(f"unknown scheduler {self.scheduler!r}")
-        for kernel in [self.sim_kernel] + self.kernels():
-            if kernel not in ("event", "reference"):
-                raise ConfigError(
-                    f"unknown simulation kernel {kernel!r}; choose "
-                    f"from ('event', 'reference')"
-                )
-        for effort in [self.map_effort] + self.efforts():
-            if effort not in MAP_EFFORTS:
-                raise ConfigError(
-                    f"unknown mapper effort {effort!r}; choose from "
-                    f"{MAP_EFFORTS}"
-                )
-        for engine in [self.bind_engine] + self.engines():
-            if engine not in BIND_ENGINES:
-                raise ConfigError(
-                    f"unknown bind engine {engine!r}; choose from "
-                    f"{BIND_ENGINES}"
-                )
-        if self.flow not in ("full", "estimate"):
-            raise ConfigError(
-                f"unknown flow mode {self.flow!r}; choose from "
-                f"('full', 'estimate')"
-            )
-        if self.sim_batch < 1:
-            raise ConfigError(
-                f"sim_batch must be >= 1, got {self.sim_batch}"
-            )
-        if not self.idle_modes:
-            raise ConfigError("sweep spec needs >= 1 idle mode")
-        for idle in self.idle_modes:
-            if idle not in ("zero", "hold"):
-                raise ConfigError(
-                    f"unknown idle policy {idle!r}; choose from "
-                    f"('zero', 'hold')"
-                )
-        if not self.jitters:
-            raise ConfigError("sweep spec needs >= 1 jitter value")
-        for jitter in self.jitters:
-            if jitter < 0:
-                raise ConfigError(f"delay jitter must be >= 0, got {jitter}")
-        configs = self.binder_configs()
-        if not configs:
-            raise ConfigError("sweep spec has no binder configurations")
-        for config in configs:
-            if config.binder not in ("lopass", "hlpower"):
-                raise ConfigError(
-                    f"unknown binder {config.binder!r}; choose from "
-                    f"('lopass', 'hlpower')"
-                )
-        labels = [config.label for config in configs]
-        if len(set(labels)) != len(labels):
-            raise ConfigError(f"duplicate binder labels: {labels}")
-        if not self.widths or not self.vector_seeds:
-            raise ConfigError("sweep spec needs >= 1 width and seed")
-        if self.baseline and self.baseline != "none":
-            if self.baseline not in labels:
-                matches = [
-                    c for c in configs if c.binder == self.baseline
-                ]
-                if not matches:
-                    raise ConfigError(
-                        f"baseline {self.baseline!r} matches no binder "
-                        f"configuration; choose from {sorted(labels)} or "
-                        f"pass 'none'"
-                    )
-                # LOPASS ignores alpha, so all its grid columns hold
-                # identical cells and any of them can anchor the
-                # comparison; an alpha-sensitive binder must be named
-                # by its exact label.
-                if len(matches) > 1 and self.baseline != "lopass":
-                    raise ConfigError(
-                        f"baseline {self.baseline!r} is ambiguous across "
-                        f"alphas; use an explicit label such as "
-                        f"{matches[0].label!r}"
-                    )
-
-    # -- (de)serialization -------------------------------------------------
-
-    def to_dict(self) -> Dict[str, Any]:
-        data = asdict(self)
-        data["benchmarks"] = list(self.benchmarks)
-        data["binders"] = list(self.binders)
-        data["alphas"] = list(self.alphas)
-        data["widths"] = list(self.widths)
-        data["vector_seeds"] = list(self.vector_seeds)
-        data["idle_modes"] = list(self.idle_modes)
-        data["jitters"] = list(self.jitters)
-        if self.sim_kernels is not None:
-            data["sim_kernels"] = list(self.sim_kernels)
-        if self.map_efforts is not None:
-            data["map_efforts"] = list(self.map_efforts)
-        if self.bind_engines is not None:
-            data["bind_engines"] = list(self.bind_engines)
-        if self.configs is not None:
-            data["configs"] = [asdict(config) for config in self.configs]
-        return data
-
-    @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
-        kwargs = dict(data)
-        if kwargs.get("configs") is not None:
-            kwargs["configs"] = [
-                BinderConfig(**config) for config in kwargs["configs"]
-            ]
-        return cls(**kwargs)
-
-
-@dataclass(frozen=True)
-class SweepJob:
-    """One expanded grid cell, ready to run."""
-
-    index: int
-    benchmark: str
-    config: BinderConfig
-    width: int
-    vector_seed: int
-    idle_selects: str = "zero"
-    delay_jitter: int = 0
-    sim_kernel: str = "event"
-    map_effort: str = "fast"
-    bind_engine: str = "fast"
-
-
-@dataclass
-class SweepCell:
-    """The record one job produces."""
-
-    benchmark: str
-    config: str
-    binder: str
-    alpha: float
-    width: int
-    vector_seed: int
-    #: Deterministic measurements (see :meth:`FlowResult.metrics` /
-    #: :meth:`EstimateResult.metrics` depending on the spec's flow).
-    metrics: Dict[str, float]
-    runtime_s: float
-    schedule_cache_hit: bool
-    sa_new_entries: int
-    idle_selects: str = "zero"
-    delay_jitter: int = 0
-    sim_kernel: str = "event"
-    map_effort: str = "fast"
-    bind_engine: str = "fast"
-    #: Per-pipeline-stage wall clock of this cell's flow run.
-    stage_timings: Dict[str, float] = field(default_factory=dict)
-    #: Pipeline stages served from the worker's artifact cache.
-    cache_hits: List[str] = field(default_factory=list)
-    #: Size of the batched simulation pass that produced this cell's
-    #: trace (0 = solo kernel run, batching off or group too small).
-    sim_batch: int = 0
-    #: This cell's share of its batched pass's kernel wall clock
-    #: (total pass seconds / configurations in the pass).
-    sim_batch_s: float = 0.0
-
-    @property
-    def key(self) -> Tuple[str, str, int, int, str, int, str, str, str]:
-        return (
-            self.benchmark, self.config, self.width, self.vector_seed,
-            self.idle_selects, self.delay_jitter, self.sim_kernel,
-            self.map_effort, self.bind_engine,
-        )
-
-
-def expand_grid(spec: SweepSpec) -> List[SweepJob]:
-    """Expand the spec into jobs, benchmark-major.
-
-    Benchmark-major order keeps jobs that share an elaboration-memo key
-    adjacent, and simulation-only axes (idle/jitter/kernel/seed)
-    innermost so consecutive jobs share the longest cached pipeline
-    prefix. In estimate mode the simulation-only axes are collapsed to
-    their first value — they cannot move any estimate metric, so
-    multiplying cells over them would only duplicate records.
-    """
-    spec.validate()
-    idle_modes: Sequence[str] = spec.idle_modes
-    jitters: Sequence[int] = spec.jitters
-    kernels: Sequence[str] = spec.kernels()
-    seeds: Sequence[int] = spec.vector_seeds
-    if spec.flow == "estimate":
-        idle_modes = idle_modes[:1]
-        jitters = jitters[:1]
-        kernels = kernels[:1]
-        seeds = seeds[:1]
-    jobs: List[SweepJob] = []
-    for benchmark in spec.benchmarks:
-        for config in spec.binder_configs():
-            for width in spec.widths:
-                # The bind-engine axis is outermost (bind is the
-                # pipeline root: engine cells share no cached
-                # prefix), then the mapper-effort axis outside the
-                # simulation-only axes: cells that share (benchmark,
-                # binder, width, engine, effort) still share the
-                # mapped prefix.
-                for engine in spec.engines():
-                    for effort in spec.efforts():
-                        for idle in idle_modes:
-                            for jitter in jitters:
-                                for kernel in kernels:
-                                    for seed in seeds:
-                                        jobs.append(SweepJob(
-                                            len(jobs), benchmark,
-                                            config, width, seed, idle,
-                                            jitter, kernel, effort,
-                                            engine,
-                                        ))
-    return jobs
-
-
-# ---------------------------------------------------------------------------
-# Worker side. One module-level state dict per process, filled by the pool
-# initializer (or directly for jobs=1 in-process mode).
-# ---------------------------------------------------------------------------
-
-
-@dataclass
-class _WorkerPayload:
-    """Everything a worker process needs, shipped once at pool start."""
-
-    spec: SweepSpec
-    sa_table: SATable  # preloaded values travel inside
-    use_cache: bool = True
-    cache_entries: int = DEFAULT_CACHE_ENTRIES
-    cache_dir: Optional[str] = None
-
-
-_WORKER: Dict[str, Any] = {}
-
-
-def _init_worker(payload: _WorkerPayload) -> None:
-    _WORKER["spec"] = payload.spec
-    _WORKER["sa_table"] = payload.sa_table
-    _WORKER["sa_known"] = set(payload.sa_table.snapshot())
-    _WORKER["memo"] = {}
-    _WORKER["cache"] = (
-        ArtifactCache(payload.cache_entries, payload.cache_dir)
-        if payload.use_cache
-        else None
-    )
-
-
-def _elaborate(benchmark: str, spec: SweepSpec,
-               prefetch: bool = False) -> Tuple[Schedule, Dict[str, int], Any, Any, bool]:
-    """Memoized schedule + registers + ports for one benchmark.
-
-    Keyed by the content that determines them: benchmark name,
-    scheduler, and the resource constraints. Returns the cached tuple
-    plus whether this call was a hit.
-
-    ``prefetch=True`` marks a call from the batched-simulation
-    prefetch pass: a miss it fills is billed to the *first per-cell
-    consumer* instead, so the sweep's hit/miss accounting reads the
-    same whether or not batching ran first.
-
-    With the list scheduler the Table 2 constraints drive the
-    schedule; with the force-directed scheduler the binding
-    constraints are the balanced schedule's own lower bound
-    (``min_resources``), matching :func:`repro.hls.synthesize` — the
-    Table 2 numbers need not be feasible for a latency-balanced
-    schedule.
-    """
-    bench = benchmark_spec(benchmark)
-    key = (
-        benchmark,
-        spec.scheduler,
-        tuple(sorted(bench.constraints.items())),
-    )
-    memo: Dict[Any, Any] = _WORKER["memo"]
-    unbilled: set = _WORKER.setdefault("prefetch_misses", set())
-    hit = key in memo
-    if not hit:
-        cdfg = load_benchmark(benchmark)
-        if spec.scheduler == "force":
-            schedule = force_directed_schedule(cdfg)
-            constraints = schedule.min_resources()
-        else:
-            constraints = bench.constraints
-            schedule = list_schedule(cdfg, constraints)
-        registers, ports = prepare_flow_inputs(schedule)
-        memo[key] = (schedule, constraints, registers, ports)
-        if prefetch:
-            unbilled.add(key)
-    if not prefetch and key in unbilled:
-        unbilled.discard(key)
-        hit = False
-    schedule, constraints, registers, ports = memo[key]
-    return schedule, constraints, registers, ports, hit
-
-
-def _flow_config(job: SweepJob, spec: SweepSpec, table: SATable) -> FlowConfig:
-    """The FlowConfig of one job — shared by execution and prefetch, so
-    batched pipelines fingerprint identically to the per-cell flows."""
-    return FlowConfig(
-        width=job.width,
-        k=spec.k,
-        n_vectors=spec.n_vectors,
-        vector_seed=job.vector_seed,
-        alpha=job.config.alpha,
-        sa_table=table,
-        check_function=spec.check_function,
-        idle_selects=job.idle_selects,
-        delay_jitter=job.delay_jitter,
-        sim_kernel=job.sim_kernel,
-        map_effort=job.map_effort,
-        bind_engine=job.bind_engine,
-        flow=spec.flow,
-    )
-
-
-def _execute(job: SweepJob) -> Tuple[SweepCell, Any, Dict[Any, float]]:
-    """Run one job against this process's shared state."""
-    spec: SweepSpec = _WORKER["spec"]
-    table: SATable = _WORKER["sa_table"]
-    schedule, constraints, registers, ports, hit = _elaborate(
-        job.benchmark, spec
-    )
-    config = _flow_config(job, spec, table)
-    result = execute_flow(
-        schedule, constraints, job.config.binder, config, registers, ports,
-        cache=_WORKER["cache"],
-    )
-    known: set = _WORKER["sa_known"]
-    new_entries = {
-        key: value
-        for key, value in table.snapshot().items()
-        if key not in known
-    }
-    known.update(new_entries)
-    cell = SweepCell(
-        benchmark=job.benchmark,
-        config=job.config.label,
-        binder=job.config.binder,
-        alpha=job.config.alpha,
-        width=job.width,
-        vector_seed=job.vector_seed,
-        metrics=result.metrics(),
-        runtime_s=result.runtime_s,
-        schedule_cache_hit=hit,
-        sa_new_entries=len(new_entries),
-        idle_selects=job.idle_selects,
-        delay_jitter=job.delay_jitter,
-        sim_kernel=job.sim_kernel,
-        map_effort=job.map_effort,
-        bind_engine=job.bind_engine,
-        stage_timings=dict(result.stage_timings),
-        cache_hits=list(result.cache_hits),
-    )
-    return cell, result, new_entries
-
-
-def _batch_key(job: SweepJob, spec: SweepSpec) -> Optional[Tuple]:
-    """Grouping key for batched simulation, or None if ineligible.
-
-    Jobs sharing a key share everything upstream of the simulate stage
-    (same benchmark, binder config, width, mapper effort and bind
-    engine), so their techmap fingerprints coincide and they can ride
-    one batched kernel pass. Only full-flow event-kernel cells qualify.
-    """
-    if spec.flow != "full" or job.sim_kernel != "event":
-        return None
-    return (
-        job.benchmark, job.config.label, job.width, job.map_effort,
-        job.bind_engine,
-    )
-
-
-def _prefetch_batches(
-    chunk: Sequence[SweepJob],
-) -> Tuple[Dict[int, Tuple[int, float]], Dict[str, Any]]:
-    """Run batched simulation passes for a chunk of jobs.
-
-    Groups the chunk's eligible jobs by :func:`_batch_key`, builds one
-    pipeline per job over the worker's shared cache, and lets
-    :func:`~repro.flow.pipeline.batch_simulate_pipelines` store their
-    simulate artifacts; the per-job flows then hit the cache instead of
-    running the solo kernel. Returns per-job-index ``(batch size,
-    kernel-wall share)`` annotations plus chunk-level batching stats.
-    """
-    annotations: Dict[int, Tuple[int, float]] = {}
-    stats = {"batches": 0, "batched_cells": 0, "batch_wall_s": 0.0}
-    spec: SweepSpec = _WORKER["spec"]
-    cache: Optional[ArtifactCache] = _WORKER["cache"]
-    if cache is None or spec.sim_batch <= 1 or spec.flow != "full":
-        return annotations, stats
-    table: SATable = _WORKER["sa_table"]
-    groups: Dict[Tuple, List[SweepJob]] = {}
-    for job in chunk:
-        key = _batch_key(job, spec)
-        if key is not None:
-            groups.setdefault(key, []).append(job)
-    for group_jobs in groups.values():
-        if len(group_jobs) < 2:
-            continue
-        pipes = []
-        for job in group_jobs:
-            schedule, constraints, registers, ports, _ = _elaborate(
-                job.benchmark, spec, prefetch=True
-            )
-            pipes.append(build_pipeline(
-                schedule, constraints, job.config.binder,
-                _flow_config(job, spec, table), registers, ports,
-                cache=cache,
-            ))
-        passes = batch_simulate_pipelines(pipes, max_batch=spec.sim_batch)
-        for member_indices, wall in passes:
-            share = wall / len(member_indices)
-            for member in member_indices:
-                annotations[group_jobs[member].index] = (
-                    len(member_indices), share,
-                )
-            stats["batches"] += 1
-            stats["batched_cells"] += len(member_indices)
-            stats["batch_wall_s"] += wall
-    return annotations, stats
-
-
-def _run_chunk(
-    chunk: Sequence[SweepJob],
-    keep_results: bool = False,
-    progress: Optional[Callable[["SweepCell"], None]] = None,
-) -> Tuple[List[Tuple[SweepCell, Any, Dict[Any, float]]], Dict[str, Any]]:
-    """Batched prefetch + per-job flows for one chunk of jobs."""
-    annotations, stats = _prefetch_batches(chunk)
-    out = []
-    for job in chunk:
-        cell, result, new_entries = _execute(job)
-        note = annotations.get(job.index)
-        if note is not None:
-            cell.sim_batch, cell.sim_batch_s = note
-        out.append((cell, result if keep_results else None, new_entries))
-        if progress is not None:
-            progress(cell)
-    return out, stats
-
-
-def _execute_chunk_remote(
-    chunk: List[SweepJob],
-) -> Tuple[List[Tuple[SweepCell, Dict[Any, float]]], Dict[str, Any]]:
-    """Pool entry point: drop the heavyweight FlowResults before pickling."""
-    executed, stats = _run_chunk(chunk)
-    return (
-        [(cell, new_entries) for cell, _, new_entries in executed],
-        stats,
-    )
+from repro.flow.run import FlowResult
 
 
 # ---------------------------------------------------------------------------
@@ -909,6 +313,7 @@ def run_sweep(
     use_cache: bool = True,
     cache_entries: int = DEFAULT_CACHE_ENTRIES,
     cache_dir: Optional[str] = None,
+    executor: Optional[FlowExecutor] = None,
 ) -> SweepResult:
     """Expand ``spec`` and run every cell, ``jobs`` at a time.
 
@@ -931,87 +336,82 @@ def run_sweep(
     ``keep_results`` retains the full :class:`FlowResult` objects in
     :attr:`SweepResult.results`; it requires ``jobs=1`` (the objects
     are deliberately not shipped across process boundaries).
+
+    ``executor`` submits the sweep to a **resident**
+    :class:`~repro.flow.executor.FlowExecutor` instead of a transient
+    one, so warm memos carry across calls. The executor then owns all
+    execution knobs — passing ``jobs``/``sa_table``/cache arguments
+    alongside it is a configuration conflict and raises.
     """
-    if jobs < 1:
-        raise ConfigError(f"jobs must be >= 1, got {jobs}")
-    if keep_results and jobs > 1:
-        raise ConfigError("keep_results requires jobs=1 (in-process mode)")
-    if cache_dir is not None and not use_cache:
-        raise ConfigError(
-            "cache_dir requires use_cache=True (the disk layer lives "
-            "inside the artifact cache)"
-        )
+    if executor is not None:
+        if (jobs != 1 or sa_table is not None or not use_cache
+                or cache_entries != DEFAULT_CACHE_ENTRIES
+                or cache_dir is not None):
+            raise ConfigError(
+                "run_sweep(executor=...) conflicts with jobs/sa_table/"
+                "use_cache/cache_entries/cache_dir — the resident "
+                "executor owns those knobs"
+            )
+        if keep_results and executor.jobs > 1:
+            raise ConfigError(
+                "keep_results requires jobs=1 (in-process mode)"
+            )
+    else:
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        if keep_results and jobs > 1:
+            raise ConfigError(
+                "keep_results requires jobs=1 (in-process mode)"
+            )
+        if cache_dir is not None and not use_cache:
+            raise ConfigError(
+                "cache_dir requires use_cache=True (the disk layer lives "
+                "inside the artifact cache)"
+            )
     started = time.perf_counter()
     job_list = expand_grid(spec)
-    table = sa_table if sa_table is not None else SATable()
+
+    transient: Optional[FlowExecutor] = None
+    if executor is None:
+        table = sa_table if sa_table is not None else SATable()
+        transient = FlowExecutor(
+            jobs=jobs,
+            sa_table=table,
+            use_cache=use_cache,
+            cache_entries=cache_entries,
+            cache_dir=cache_dir,
+        )
+        executor = transient
+    table = executor.sa_table
     precalc_entries = (
         table.precalculate(precalc_max_mux) if precalc_max_mux > 0 else 0
     )
 
-    payload = _WorkerPayload(
-        spec=spec,
-        sa_table=table,
-        use_cache=use_cache,
-        cache_entries=cache_entries,
-        cache_dir=cache_dir,
-    )
-    cells: List[SweepCell] = []
-    results: Dict[Tuple, Any] = {}
-    sa_new_total = 0
-    batch_stats = {"batches": 0, "batched_cells": 0, "batch_wall_s": 0.0}
-
-    if jobs == 1 or len(job_list) == 1:
-        _init_worker(payload)
-        executed, batch_stats = _run_chunk(
-            job_list, keep_results=keep_results, progress=progress
+    try:
+        submission = executor.run_jobs(
+            spec, job_list, keep_results=keep_results, progress=progress,
         )
-        for cell, result, new_entries in executed:
-            sa_new_total += len(new_entries)
-            cells.append(cell)
-            if keep_results:
-                results[cell.key] = result
-    else:
-        # Explicit chunks keep same-benchmark jobs on one worker (memo
-        # locality) and give each worker whole batchable groups — the
-        # simulation-only axes are innermost in expand_grid, so a chunk
-        # holds consecutive cells over the same mapped design.
-        chunksize = max(1, len(job_list) // (jobs * 4))
-        chunks = [
-            list(job_list[start:start + chunksize])
-            for start in range(0, len(job_list), chunksize)
-        ]
-        with ProcessPoolExecutor(
-            max_workers=jobs,
-            initializer=_init_worker,
-            initargs=(payload,),
-        ) as pool:
-            for executed, stats in pool.map(
-                _execute_chunk_remote, chunks, chunksize=1
-            ):
-                for key in batch_stats:
-                    batch_stats[key] += stats[key]
-                for cell, new_entries in executed:
-                    sa_new_total += table.merge(new_entries)
-                    cells.append(cell)
-                    if progress is not None:
-                        progress(cell)
+    finally:
+        if transient is not None:
+            transient.shutdown()
 
+    cells = submission.cells
     hits = sum(1 for cell in cells if cell.schedule_cache_hit)
     stage_hits = sum(len(cell.cache_hits) for cell in cells)
     stage_total = sum(len(cell.stage_timings) for cell in cells)
     return SweepResult(
         spec=spec,
         cells=cells,
-        jobs=jobs,
+        jobs=executor.jobs,
         wall_s=time.perf_counter() - started,
         schedule_cache_hits=hits,
         schedule_cache_misses=len(cells) - hits,
         sa_precalc_entries=precalc_entries,
-        sa_new_entries=sa_new_total,
+        sa_new_entries=submission.sa_new_entries,
         stage_cache_hits=stage_hits,
         stage_cache_misses=stage_total - stage_hits,
-        sim_batches=batch_stats["batches"],
-        sim_batched_cells=batch_stats["batched_cells"],
-        sim_batch_wall_s=batch_stats["batch_wall_s"],
-        results=results,
+        sim_batches=submission.sim_batches,
+        sim_batched_cells=submission.sim_batched_cells,
+        sim_batch_wall_s=submission.sim_batch_wall_s,
+        results=submission.results,
     )

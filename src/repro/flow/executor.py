@@ -1,0 +1,554 @@
+"""Resident execution layer for the experiment flow.
+
+This module owns *where flow state lives*: a :class:`FlowExecutor` is a
+long-lived execution engine whose per-worker warm state — the
+elaboration memo, the pipeline artifact cache (and through it the
+cross-cell ConeMemo / BindMemo / golden-output memos that live inside
+cached stage artifacts), and the SA-table snapshot — survives across
+submissions instead of dying with each :func:`~repro.flow.batch.run_sweep`
+call. ``run_sweep`` is a thin client that spins up a transient executor
+per call (preserving the historical fresh-state semantics); the
+``repro serve`` daemon holds one resident executor for its whole
+lifetime, so the ten-thousandth estimate request reuses the memos the
+first one built.
+
+Two execution modes share one code path:
+
+* ``jobs=1`` — fully in-process: worker state is an instance-scoped
+  dict on the executor (``self._state``), so a resident executor's
+  warmth is never clobbered by a transient ``run_sweep`` running in
+  the same process;
+* ``jobs>1`` — a resident :class:`~concurrent.futures.ProcessPoolExecutor`
+  whose children build their state once in the pool initializer
+  (module-level ``_WORKER``, one dict per child process) and keep it
+  across submissions; the grid spec travels with each chunk, so one
+  pool serves many different specs.
+
+Determinism contract (inherited from the staged pipeline): per-cell
+metrics are a pure function of the cell's inputs. Warm state only ever
+substitutes byte-identical recomputations, so a cold executor, a warm
+executor, and the pre-refactor ``run_sweep`` all produce identical
+cells.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.binding import SATable
+from repro.cdfg import Schedule, benchmark_spec, load_benchmark
+from repro.errors import ConfigError
+from repro.flow.cache import ArtifactCache, CacheStats
+from repro.flow.grid import SweepCell, SweepJob, SweepSpec, expand_grid
+from repro.flow.pipeline import batch_simulate_pipelines
+from repro.flow.run import (
+    FlowConfig,
+    build_pipeline,
+    execute_flow,
+    prepare_flow_inputs,
+)
+from repro.scheduling import force_directed_schedule, list_schedule
+
+#: Default in-memory artifact-cache capacity per worker process.
+DEFAULT_CACHE_ENTRIES = 64
+
+
+@dataclass
+class _WorkerPayload:
+    """Everything a worker needs at start — spec-independent, so one
+    resident worker can serve submissions of many different specs."""
+
+    sa_table: SATable  # preloaded values travel inside
+    use_cache: bool = True
+    cache_entries: int = DEFAULT_CACHE_ENTRIES
+    cache_dir: Optional[str] = None
+
+
+def _fresh_state(payload: _WorkerPayload) -> Dict[str, Any]:
+    """One worker's warm state: memos + artifact cache + SA snapshot."""
+    return {
+        "sa_table": payload.sa_table,
+        "sa_known": set(payload.sa_table.snapshot()),
+        "memo": {},
+        "prefetch_misses": set(),
+        "cache": (
+            ArtifactCache(payload.cache_entries, payload.cache_dir)
+            if payload.use_cache
+            else None
+        ),
+    }
+
+
+# One module-level state dict per pool child process, filled by the
+# pool initializer. In-process (jobs=1) execution never touches it —
+# the executor instance owns its own state dict instead.
+_WORKER: Dict[str, Any] = {}
+
+
+def _init_worker(payload: _WorkerPayload) -> None:
+    _WORKER.clear()
+    _WORKER.update(_fresh_state(payload))
+
+
+def _elaborate(state: Dict[str, Any], benchmark: str, spec: SweepSpec,
+               prefetch: bool = False) -> Tuple[Schedule, Dict[str, int], Any, Any, bool]:
+    """Memoized schedule + registers + ports for one benchmark.
+
+    Keyed by the content that determines them: benchmark name,
+    scheduler, and the resource constraints. Returns the cached tuple
+    plus whether this call was a hit.
+
+    ``prefetch=True`` marks a call from the batched-simulation
+    prefetch pass: a miss it fills is billed to the *first per-cell
+    consumer* instead, so the sweep's hit/miss accounting reads the
+    same whether or not batching ran first.
+
+    With the list scheduler the Table 2 constraints drive the
+    schedule; with the force-directed scheduler the binding
+    constraints are the balanced schedule's own lower bound
+    (``min_resources``), matching :func:`repro.hls.synthesize` — the
+    Table 2 numbers need not be feasible for a latency-balanced
+    schedule.
+    """
+    bench = benchmark_spec(benchmark)
+    key = (
+        benchmark,
+        spec.scheduler,
+        tuple(sorted(bench.constraints.items())),
+    )
+    memo: Dict[Any, Any] = state["memo"]
+    unbilled: set = state["prefetch_misses"]
+    hit = key in memo
+    if not hit:
+        cdfg = load_benchmark(benchmark)
+        if spec.scheduler == "force":
+            schedule = force_directed_schedule(cdfg)
+            constraints = schedule.min_resources()
+        else:
+            constraints = bench.constraints
+            schedule = list_schedule(cdfg, constraints)
+        registers, ports = prepare_flow_inputs(schedule)
+        memo[key] = (schedule, constraints, registers, ports)
+        if prefetch:
+            unbilled.add(key)
+    if not prefetch and key in unbilled:
+        unbilled.discard(key)
+        hit = False
+    schedule, constraints, registers, ports = memo[key]
+    return schedule, constraints, registers, ports, hit
+
+
+def _flow_config(job: SweepJob, spec: SweepSpec, table: SATable) -> FlowConfig:
+    """The FlowConfig of one job — shared by execution and prefetch, so
+    batched pipelines fingerprint identically to the per-cell flows."""
+    return FlowConfig(
+        width=job.width,
+        k=spec.k,
+        n_vectors=spec.n_vectors,
+        vector_seed=job.vector_seed,
+        alpha=job.config.alpha,
+        sa_table=table,
+        check_function=spec.check_function,
+        idle_selects=job.idle_selects,
+        delay_jitter=job.delay_jitter,
+        sim_kernel=job.sim_kernel,
+        map_effort=job.map_effort,
+        bind_engine=job.bind_engine,
+        flow=spec.flow,
+    )
+
+
+def _execute(state: Dict[str, Any], job: SweepJob,
+             spec: SweepSpec) -> Tuple[SweepCell, Any, Dict[Any, float]]:
+    """Run one job against a worker's shared state."""
+    table: SATable = state["sa_table"]
+    schedule, constraints, registers, ports, hit = _elaborate(
+        state, job.benchmark, spec
+    )
+    config = _flow_config(job, spec, table)
+    result = execute_flow(
+        schedule, constraints, job.config.binder, config, registers, ports,
+        cache=state["cache"],
+    )
+    known: set = state["sa_known"]
+    new_entries = {
+        key: value
+        for key, value in table.snapshot().items()
+        if key not in known
+    }
+    known.update(new_entries)
+    cell = SweepCell(
+        benchmark=job.benchmark,
+        config=job.config.label,
+        binder=job.config.binder,
+        alpha=job.config.alpha,
+        width=job.width,
+        vector_seed=job.vector_seed,
+        metrics=result.metrics(),
+        runtime_s=result.runtime_s,
+        schedule_cache_hit=hit,
+        sa_new_entries=len(new_entries),
+        idle_selects=job.idle_selects,
+        delay_jitter=job.delay_jitter,
+        sim_kernel=job.sim_kernel,
+        map_effort=job.map_effort,
+        bind_engine=job.bind_engine,
+        stage_timings=dict(result.stage_timings),
+        cache_hits=list(result.cache_hits),
+    )
+    return cell, result, new_entries
+
+
+def _batch_key(job: SweepJob, spec: SweepSpec) -> Optional[Tuple]:
+    """Grouping key for batched simulation, or None if ineligible.
+
+    Jobs sharing a key share everything upstream of the simulate stage
+    (same benchmark, binder config, width, mapper effort and bind
+    engine), so their techmap fingerprints coincide and they can ride
+    one batched kernel pass. Only full-flow event-kernel cells qualify.
+    """
+    if spec.flow != "full" or job.sim_kernel != "event":
+        return None
+    return (
+        job.benchmark, job.config.label, job.width, job.map_effort,
+        job.bind_engine,
+    )
+
+
+def _prefetch_batches(
+    state: Dict[str, Any],
+    chunk: Sequence[SweepJob],
+    spec: SweepSpec,
+) -> Tuple[Dict[int, Tuple[int, float]], Dict[str, Any]]:
+    """Run batched simulation passes for a chunk of jobs.
+
+    Groups the chunk's eligible jobs by :func:`_batch_key`, builds one
+    pipeline per job over the worker's shared cache, and lets
+    :func:`~repro.flow.pipeline.batch_simulate_pipelines` store their
+    simulate artifacts; the per-job flows then hit the cache instead of
+    running the solo kernel. Returns per-job-index ``(batch size,
+    kernel-wall share)`` annotations plus chunk-level batching stats.
+    """
+    annotations: Dict[int, Tuple[int, float]] = {}
+    stats = {"batches": 0, "batched_cells": 0, "batch_wall_s": 0.0}
+    cache: Optional[ArtifactCache] = state["cache"]
+    if cache is None or spec.sim_batch <= 1 or spec.flow != "full":
+        return annotations, stats
+    table: SATable = state["sa_table"]
+    groups: Dict[Tuple, List[SweepJob]] = {}
+    for job in chunk:
+        key = _batch_key(job, spec)
+        if key is not None:
+            groups.setdefault(key, []).append(job)
+    for group_jobs in groups.values():
+        if len(group_jobs) < 2:
+            continue
+        pipes = []
+        for job in group_jobs:
+            schedule, constraints, registers, ports, _ = _elaborate(
+                state, job.benchmark, spec, prefetch=True
+            )
+            pipes.append(build_pipeline(
+                schedule, constraints, job.config.binder,
+                _flow_config(job, spec, table), registers, ports,
+                cache=cache,
+            ))
+        passes = batch_simulate_pipelines(pipes, max_batch=spec.sim_batch)
+        for member_indices, wall in passes:
+            share = wall / len(member_indices)
+            for member in member_indices:
+                annotations[group_jobs[member].index] = (
+                    len(member_indices), share,
+                )
+            stats["batches"] += 1
+            stats["batched_cells"] += len(member_indices)
+            stats["batch_wall_s"] += wall
+    return annotations, stats
+
+
+def _run_chunk(
+    state: Dict[str, Any],
+    chunk: Sequence[SweepJob],
+    spec: SweepSpec,
+    keep_results: bool = False,
+    progress: Optional[Callable[[SweepCell], None]] = None,
+) -> Tuple[List[Tuple[SweepCell, Any, Dict[Any, float]]], Dict[str, Any]]:
+    """Batched prefetch + per-job flows for one chunk of jobs.
+
+    Alongside the batching stats the returned dict carries a
+    ``"cache"`` :class:`CacheStats` delta covering exactly this chunk's
+    artifact-cache traffic — computed here so pool children can ship it
+    back without the parent ever seeing their cache objects.
+    """
+    cache: Optional[ArtifactCache] = state["cache"]
+    before = cache.stats_typed() if cache is not None else None
+    annotations, stats = _prefetch_batches(state, chunk, spec)
+    out = []
+    for job in chunk:
+        cell, result, new_entries = _execute(state, job, spec)
+        note = annotations.get(job.index)
+        if note is not None:
+            cell.sim_batch, cell.sim_batch_s = note
+        out.append((cell, result if keep_results else None, new_entries))
+        if progress is not None:
+            progress(cell)
+    stats["cache"] = (
+        cache.stats_typed().since(before) if cache is not None
+        else CacheStats()
+    )
+    return out, stats
+
+
+def _execute_chunk_remote(
+    work: Tuple[SweepSpec, List[SweepJob]],
+) -> Tuple[List[Tuple[SweepCell, Dict[Any, float]]], Dict[str, Any]]:
+    """Pool entry point: drop the heavyweight FlowResults before pickling."""
+    spec, chunk = work
+    executed, stats = _run_chunk(_WORKER, chunk, spec)
+    return (
+        [(cell, new_entries) for cell, _, new_entries in executed],
+        stats,
+    )
+
+
+@dataclass
+class ExecutorStats:
+    """Lifetime counters of one :class:`FlowExecutor`."""
+
+    submissions: int = 0
+    cells: int = 0
+    chunks: int = 0
+    schedule_cache_hits: int = 0
+    schedule_cache_misses: int = 0
+    sa_new_entries: int = 0
+    sim_batches: int = 0
+    sim_batched_cells: int = 0
+    sim_batch_wall_s: float = 0.0
+    wall_s: float = 0.0
+    #: Artifact-cache traffic accumulated over every submission (pool
+    #: children included — their per-chunk deltas merge in here).
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "submissions": self.submissions,
+            "cells": self.cells,
+            "chunks": self.chunks,
+            "schedule_cache_hits": self.schedule_cache_hits,
+            "schedule_cache_misses": self.schedule_cache_misses,
+            "sa_new_entries": self.sa_new_entries,
+            "sim_batches": self.sim_batches,
+            "sim_batched_cells": self.sim_batched_cells,
+            "sim_batch_wall_s": self.sim_batch_wall_s,
+            "wall_s": self.wall_s,
+            "cache": self.cache.to_dict(),
+        }
+
+
+@dataclass
+class Submission:
+    """What one :meth:`FlowExecutor.run_jobs` call produced."""
+
+    cells: List[SweepCell]
+    #: Full FlowResults keyed by cell key (only with keep_results).
+    results: Dict[Tuple, Any]
+    sa_new_entries: int
+    sim_batches: int
+    sim_batched_cells: int
+    sim_batch_wall_s: float
+    #: Artifact-cache traffic of exactly this submission.
+    cache: CacheStats
+
+
+class FlowExecutor:
+    """A resident execution engine with warm per-worker state.
+
+    Construct once, submit many times: elaboration memos, the pipeline
+    artifact cache (and the ConeMemo/BindMemo/golden memos riding in
+    its artifacts), and the SA table stay warm across
+    :meth:`run_jobs` calls. ``jobs=1`` executes in-process against an
+    instance-owned state dict; ``jobs>1`` keeps a process pool alive
+    whose children were warmed by the pool initializer.
+
+    Submissions are serialized by an internal lock — callers from
+    multiple threads (the serve daemon's scheduler) get exclusive
+    access per submission, and the warm state is never mutated
+    concurrently.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        sa_table: Optional[SATable] = None,
+        use_cache: bool = True,
+        cache_entries: int = DEFAULT_CACHE_ENTRIES,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        if cache_dir is not None and not use_cache:
+            raise ConfigError(
+                "cache_dir requires use_cache=True (the disk layer lives "
+                "inside the artifact cache)"
+            )
+        self.jobs = jobs
+        self.sa_table = sa_table if sa_table is not None else SATable()
+        self.use_cache = use_cache
+        self.cache_entries = cache_entries
+        self.cache_dir = cache_dir
+        self.stats = ExecutorStats()
+        self._lock = threading.Lock()
+        self._state: Optional[Dict[str, Any]] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _payload(self) -> _WorkerPayload:
+        return _WorkerPayload(
+            sa_table=self.sa_table,
+            use_cache=self.use_cache,
+            cache_entries=self.cache_entries,
+            cache_dir=self.cache_dir,
+        )
+
+    def start(self) -> "FlowExecutor":
+        """Warm up eagerly (otherwise the first submission does it)."""
+        if self._closed:
+            raise ConfigError("executor has been shut down")
+        if self._state is None:
+            self._state = _fresh_state(self._payload())
+        if self.jobs > 1 and self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_worker,
+                initargs=(self._payload(),),
+            )
+        return self
+
+    def shutdown(self) -> None:
+        """Release the pool and drop the warm state."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._state = None
+
+    def __enter__(self) -> "FlowExecutor":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    # -- introspection -----------------------------------------------------
+
+    def cache_stats(self) -> CacheStats:
+        """Lifetime artifact-cache traffic (in-process + pool deltas)."""
+        return self.stats.cache
+
+    # -- submission --------------------------------------------------------
+
+    def run_jobs(
+        self,
+        spec: SweepSpec,
+        job_list: Optional[Sequence[SweepJob]] = None,
+        keep_results: bool = False,
+        progress: Optional[Callable[[SweepCell], None]] = None,
+    ) -> Submission:
+        """Execute one grid (or an explicit job list) to completion.
+
+        Routing matches the historical ``run_sweep`` behavior: a
+        single job, or ``jobs=1``, runs fully in-process (no pickling,
+        deterministic ordering); anything larger fans out over the
+        resident pool in memo-local chunks. ``keep_results`` retains
+        the full FlowResult objects and therefore requires the
+        in-process mode.
+        """
+        if self._closed:
+            raise ConfigError("executor has been shut down")
+        if keep_results and self.jobs > 1:
+            raise ConfigError(
+                "keep_results requires jobs=1 (in-process mode)"
+            )
+        if job_list is None:
+            job_list = expand_grid(spec)
+        else:
+            spec.validate()
+        with self._lock:
+            started = time.perf_counter()
+            self.start()
+            cells: List[SweepCell] = []
+            results: Dict[Tuple, Any] = {}
+            sa_new_total = 0
+            batch_stats: Dict[str, Any] = {
+                "batches": 0, "batched_cells": 0, "batch_wall_s": 0.0,
+            }
+            cache_delta = CacheStats()
+            n_chunks = 0
+
+            if self.jobs == 1 or len(job_list) <= 1:
+                assert self._state is not None
+                executed, stats = _run_chunk(
+                    self._state, job_list, spec,
+                    keep_results=keep_results, progress=progress,
+                )
+                n_chunks = 1
+                for key in batch_stats:
+                    batch_stats[key] += stats[key]
+                cache_delta.merge(stats["cache"])
+                for cell, result, new_entries in executed:
+                    sa_new_total += len(new_entries)
+                    cells.append(cell)
+                    if keep_results:
+                        results[cell.key] = result
+            else:
+                # Explicit chunks keep same-benchmark jobs on one
+                # worker (memo locality) and give each worker whole
+                # batchable groups — the simulation-only axes are
+                # innermost in expand_grid, so a chunk holds
+                # consecutive cells over the same mapped design.
+                assert self._pool is not None
+                chunksize = max(1, len(job_list) // (self.jobs * 4))
+                chunks = [
+                    (spec, list(job_list[start:start + chunksize]))
+                    for start in range(0, len(job_list), chunksize)
+                ]
+                n_chunks = len(chunks)
+                table = self.sa_table
+                for executed, stats in self._pool.map(
+                    _execute_chunk_remote, chunks, chunksize=1
+                ):
+                    for key in batch_stats:
+                        batch_stats[key] += stats[key]
+                    cache_delta.merge(stats["cache"])
+                    for cell, new_entries in executed:
+                        sa_new_total += table.merge(new_entries)
+                        cells.append(cell)
+                        if progress is not None:
+                            progress(cell)
+
+            hits = sum(1 for cell in cells if cell.schedule_cache_hit)
+            self.stats.submissions += 1
+            self.stats.cells += len(cells)
+            self.stats.chunks += n_chunks
+            self.stats.schedule_cache_hits += hits
+            self.stats.schedule_cache_misses += len(cells) - hits
+            self.stats.sa_new_entries += sa_new_total
+            self.stats.sim_batches += batch_stats["batches"]
+            self.stats.sim_batched_cells += batch_stats["batched_cells"]
+            self.stats.sim_batch_wall_s += batch_stats["batch_wall_s"]
+            self.stats.wall_s += time.perf_counter() - started
+            self.stats.cache.merge(cache_delta)
+            return Submission(
+                cells=cells,
+                results=results,
+                sa_new_entries=sa_new_total,
+                sim_batches=batch_stats["batches"],
+                sim_batched_cells=batch_stats["batched_cells"],
+                sim_batch_wall_s=batch_stats["batch_wall_s"],
+                cache=cache_delta,
+            )

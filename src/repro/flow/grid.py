@@ -1,0 +1,351 @@
+"""The declarative sweep-grid model.
+
+This module is the pure data layer under the sweep engine: a
+:class:`SweepSpec` describes one experiment grid (benchmarks, binder
+configurations, widths, engine/effort/simulation axes, seeds, shared
+flow knobs), :func:`expand_grid` expands it into concrete
+:class:`SweepJob` cells, and :class:`SweepCell` is the record one job
+produces. Execution lives in :mod:`repro.flow.executor` (the resident
+worker-pool layer) and :mod:`repro.flow.batch` (the ``run_sweep``
+driver and result store); the ``repro serve`` daemon builds
+single-cell grids out of HTTP requests through the same model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.binding import BIND_ENGINES
+from repro.cdfg import benchmark_spec
+from repro.errors import ConfigError
+from repro.techmap import MAP_EFFORTS
+
+
+@dataclass(frozen=True)
+class BinderConfig:
+    """One binder column of the grid.
+
+    ``label`` names the column in records and reports ("lopass",
+    "hlpower_a05", ...); ``alpha`` is Equation (4)'s weight and is
+    ignored by binders that do not consume it (LOPASS).
+    """
+
+    label: str
+    binder: str
+    alpha: float = 0.5
+
+
+@dataclass
+class SweepSpec:
+    """Declarative description of one experiment grid.
+
+    The grid is the cross product ``benchmarks x binder_configs x
+    widths x bind engines x map efforts x idle_modes x jitters x
+    sim kernels x vector_seeds``.
+    Binder configurations come either from the ``binders x alphas``
+    cross product (the default) or from an explicit ``configs`` list
+    when the columns are not a product — e.g. the bench suite's
+    ``lopass / hlpower_a1 / hlpower_a05``. The simulation-only axes
+    (idle mode, jitter, kernel, seed) vary nothing before the simulate
+    stage, so the pipeline cache turns them into simulate-only work.
+    """
+
+    benchmarks: Sequence[str]
+    binders: Sequence[str] = ("lopass", "hlpower")
+    alphas: Sequence[float] = (0.5,)
+    widths: Sequence[int] = (8,)
+    vector_seeds: Sequence[int] = (7,)
+    configs: Optional[Sequence[BinderConfig]] = None
+    n_vectors: int = 256
+    k: int = 4
+    scheduler: str = "list"
+    check_function: bool = True
+    #: Simulation kernel for every cell: "event" (default) or
+    #: "reference" (the differential-testing oracle; several-fold
+    #: slower, byte-identical metrics). ``sim_kernels`` overrides this
+    #: scalar with a grid axis.
+    sim_kernel: str = "event"
+    #: Technology-mapper effort for every cell: "fast" (default,
+    #: byte-identical to the seed mapper), "exhaustive", or
+    #: "reference" (the seed mapper; the differential oracle).
+    #: ``map_efforts`` overrides this scalar with a grid axis.
+    map_effort: str = "fast"
+    #: Binding engine for every cell: "fast" (default, the vectorized
+    #: engines — byte-identical solutions) or "reference" (the seed
+    #: binders; the differential oracle). ``bind_engines`` overrides
+    #: this scalar with a grid axis.
+    bind_engine: str = "fast"
+    #: Binder label (or binder name) used as the reference for
+    #: percentage changes; "none" (or empty) disables the comparison.
+    baseline: str = "lopass"
+    #: Idle-step control policies to sweep ("zero" and/or "hold").
+    idle_modes: Sequence[str] = ("zero",)
+    #: Per-gate delay-jitter values to sweep (0 = pure unit delay).
+    jitters: Sequence[int] = (0,)
+    #: Optional kernel axis; ``None`` means ``(sim_kernel,)``.
+    sim_kernels: Optional[Sequence[str]] = None
+    #: Optional mapper-effort axis; ``None`` means ``(map_effort,)``.
+    map_efforts: Optional[Sequence[str]] = None
+    #: Optional bind-engine axis; ``None`` means ``(bind_engine,)``.
+    bind_engines: Optional[Sequence[str]] = None
+    #: "full" runs the paper's measurement chain; "estimate" stops
+    #: every cell after tech-map (Equation-(3) numbers, no simulator).
+    flow: str = "full"
+    #: Maximum configurations per batched simulation kernel pass.
+    #: Event-kernel cells that share the mapped design (same benchmark
+    #: / binder / width / effort / engine, differing only in seed,
+    #: idle mode or jitter) are dispatched through
+    #: :func:`~repro.flow.pipeline.batch_simulate_pipelines` in groups
+    #: of up to this many; ``1`` disables batching (every cell runs
+    #: the solo kernel). Metrics are byte-identical either way. Kernel
+    #: wall clock is strongly sublinear in batch width (the union of
+    #: scheduled events grows much slower than the config count), so
+    #: wider is cheaper until word width dominates; 32 is the sweet
+    #: spot measured on the chem benchmark (BENCH_flow.json).
+    sim_batch: int = 32
+
+    def binder_configs(self) -> List[BinderConfig]:
+        if self.configs is not None:
+            return list(self.configs)
+        out = []
+        for binder in self.binders:
+            for alpha in self.alphas:
+                label = binder if len(self.alphas) == 1 else (
+                    f"{binder}_a{alpha:g}"
+                )
+                out.append(BinderConfig(label, binder, alpha))
+        return out
+
+    def kernels(self) -> List[str]:
+        """The kernel axis (the scalar ``sim_kernel`` unless overridden)."""
+        if self.sim_kernels is not None:
+            return list(self.sim_kernels)
+        return [self.sim_kernel]
+
+    def efforts(self) -> List[str]:
+        """The mapper-effort axis (scalar unless overridden)."""
+        if self.map_efforts is not None:
+            return list(self.map_efforts)
+        return [self.map_effort]
+
+    def engines(self) -> List[str]:
+        """The bind-engine axis (scalar unless overridden)."""
+        if self.bind_engines is not None:
+            return list(self.bind_engines)
+        return [self.bind_engine]
+
+    def validate(self) -> None:
+        if not self.benchmarks:
+            raise ConfigError("sweep spec has no benchmarks")
+        for name in self.benchmarks:
+            benchmark_spec(name)  # raises on unknown names
+        if self.scheduler not in ("list", "force"):
+            raise ConfigError(f"unknown scheduler {self.scheduler!r}")
+        for kernel in [self.sim_kernel] + self.kernels():
+            if kernel not in ("event", "reference"):
+                raise ConfigError(
+                    f"unknown simulation kernel {kernel!r}; choose "
+                    f"from ('event', 'reference')"
+                )
+        for effort in [self.map_effort] + self.efforts():
+            if effort not in MAP_EFFORTS:
+                raise ConfigError(
+                    f"unknown mapper effort {effort!r}; choose from "
+                    f"{MAP_EFFORTS}"
+                )
+        for engine in [self.bind_engine] + self.engines():
+            if engine not in BIND_ENGINES:
+                raise ConfigError(
+                    f"unknown bind engine {engine!r}; choose from "
+                    f"{BIND_ENGINES}"
+                )
+        if self.flow not in ("full", "estimate"):
+            raise ConfigError(
+                f"unknown flow mode {self.flow!r}; choose from "
+                f"('full', 'estimate')"
+            )
+        if self.sim_batch < 1:
+            raise ConfigError(
+                f"sim_batch must be >= 1, got {self.sim_batch}"
+            )
+        if not self.idle_modes:
+            raise ConfigError("sweep spec needs >= 1 idle mode")
+        for idle in self.idle_modes:
+            if idle not in ("zero", "hold"):
+                raise ConfigError(
+                    f"unknown idle policy {idle!r}; choose from "
+                    f"('zero', 'hold')"
+                )
+        if not self.jitters:
+            raise ConfigError("sweep spec needs >= 1 jitter value")
+        for jitter in self.jitters:
+            if jitter < 0:
+                raise ConfigError(f"delay jitter must be >= 0, got {jitter}")
+        configs = self.binder_configs()
+        if not configs:
+            raise ConfigError("sweep spec has no binder configurations")
+        for config in configs:
+            if config.binder not in ("lopass", "hlpower"):
+                raise ConfigError(
+                    f"unknown binder {config.binder!r}; choose from "
+                    f"('lopass', 'hlpower')"
+                )
+        labels = [config.label for config in configs]
+        if len(set(labels)) != len(labels):
+            raise ConfigError(f"duplicate binder labels: {labels}")
+        if not self.widths or not self.vector_seeds:
+            raise ConfigError("sweep spec needs >= 1 width and seed")
+        if self.baseline and self.baseline != "none":
+            if self.baseline not in labels:
+                matches = [
+                    c for c in configs if c.binder == self.baseline
+                ]
+                if not matches:
+                    raise ConfigError(
+                        f"baseline {self.baseline!r} matches no binder "
+                        f"configuration; choose from {sorted(labels)} or "
+                        f"pass 'none'"
+                    )
+                # LOPASS ignores alpha, so all its grid columns hold
+                # identical cells and any of them can anchor the
+                # comparison; an alpha-sensitive binder must be named
+                # by its exact label.
+                if len(matches) > 1 and self.baseline != "lopass":
+                    raise ConfigError(
+                        f"baseline {self.baseline!r} is ambiguous across "
+                        f"alphas; use an explicit label such as "
+                        f"{matches[0].label!r}"
+                    )
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["benchmarks"] = list(self.benchmarks)
+        data["binders"] = list(self.binders)
+        data["alphas"] = list(self.alphas)
+        data["widths"] = list(self.widths)
+        data["vector_seeds"] = list(self.vector_seeds)
+        data["idle_modes"] = list(self.idle_modes)
+        data["jitters"] = list(self.jitters)
+        if self.sim_kernels is not None:
+            data["sim_kernels"] = list(self.sim_kernels)
+        if self.map_efforts is not None:
+            data["map_efforts"] = list(self.map_efforts)
+        if self.bind_engines is not None:
+            data["bind_engines"] = list(self.bind_engines)
+        if self.configs is not None:
+            data["configs"] = [asdict(config) for config in self.configs]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        kwargs = dict(data)
+        if kwargs.get("configs") is not None:
+            kwargs["configs"] = [
+                BinderConfig(**config) for config in kwargs["configs"]
+            ]
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One expanded grid cell, ready to run."""
+
+    index: int
+    benchmark: str
+    config: BinderConfig
+    width: int
+    vector_seed: int
+    idle_selects: str = "zero"
+    delay_jitter: int = 0
+    sim_kernel: str = "event"
+    map_effort: str = "fast"
+    bind_engine: str = "fast"
+
+
+@dataclass
+class SweepCell:
+    """The record one job produces."""
+
+    benchmark: str
+    config: str
+    binder: str
+    alpha: float
+    width: int
+    vector_seed: int
+    #: Deterministic measurements (see :meth:`FlowResult.metrics` /
+    #: :meth:`EstimateResult.metrics` depending on the spec's flow).
+    metrics: Dict[str, float]
+    runtime_s: float
+    schedule_cache_hit: bool
+    sa_new_entries: int
+    idle_selects: str = "zero"
+    delay_jitter: int = 0
+    sim_kernel: str = "event"
+    map_effort: str = "fast"
+    bind_engine: str = "fast"
+    #: Per-pipeline-stage wall clock of this cell's flow run.
+    stage_timings: Dict[str, float] = field(default_factory=dict)
+    #: Pipeline stages served from the worker's artifact cache.
+    cache_hits: List[str] = field(default_factory=list)
+    #: Size of the batched simulation pass that produced this cell's
+    #: trace (0 = solo kernel run, batching off or group too small).
+    sim_batch: int = 0
+    #: This cell's share of its batched pass's kernel wall clock
+    #: (total pass seconds / configurations in the pass).
+    sim_batch_s: float = 0.0
+
+    @property
+    def key(self) -> Tuple[str, str, int, int, str, int, str, str, str]:
+        return (
+            self.benchmark, self.config, self.width, self.vector_seed,
+            self.idle_selects, self.delay_jitter, self.sim_kernel,
+            self.map_effort, self.bind_engine,
+        )
+
+
+def expand_grid(spec: SweepSpec) -> List[SweepJob]:
+    """Expand the spec into jobs, benchmark-major.
+
+    Benchmark-major order keeps jobs that share an elaboration-memo key
+    adjacent, and simulation-only axes (idle/jitter/kernel/seed)
+    innermost so consecutive jobs share the longest cached pipeline
+    prefix. In estimate mode the simulation-only axes are collapsed to
+    their first value — they cannot move any estimate metric, so
+    multiplying cells over them would only duplicate records.
+    """
+    spec.validate()
+    idle_modes: Sequence[str] = spec.idle_modes
+    jitters: Sequence[int] = spec.jitters
+    kernels: Sequence[str] = spec.kernels()
+    seeds: Sequence[int] = spec.vector_seeds
+    if spec.flow == "estimate":
+        idle_modes = idle_modes[:1]
+        jitters = jitters[:1]
+        kernels = kernels[:1]
+        seeds = seeds[:1]
+    jobs: List[SweepJob] = []
+    for benchmark in spec.benchmarks:
+        for config in spec.binder_configs():
+            for width in spec.widths:
+                # The bind-engine axis is outermost (bind is the
+                # pipeline root: engine cells share no cached
+                # prefix), then the mapper-effort axis outside the
+                # simulation-only axes: cells that share (benchmark,
+                # binder, width, engine, effort) still share the
+                # mapped prefix.
+                for engine in spec.engines():
+                    for effort in spec.efforts():
+                        for idle in idle_modes:
+                            for jitter in jitters:
+                                for kernel in kernels:
+                                    for seed in seeds:
+                                        jobs.append(SweepJob(
+                                            len(jobs), benchmark,
+                                            config, width, seed, idle,
+                                            jitter, kernel, effort,
+                                            engine,
+                                        ))
+    return jobs

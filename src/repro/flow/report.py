@@ -12,6 +12,13 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.flow.batch import SweepResult
 
+#: Pipeline order for the per-stage wall-clock line; stages the
+#: pipeline grows later sort after these, alphabetically.
+_STAGE_ORDER = (
+    "bind", "datapath", "elaborate", "techmap", "timing",
+    "vectors", "simulate", "power",
+)
+
 
 def percent_change(before: float, after: float) -> float:
     """Signed percentage change, as in Table 3's "Change" columns."""
@@ -140,11 +147,16 @@ def format_sweep_summary(sweep: "SweepResult") -> str:
         f"jobs={sweep.jobs}, wall {sweep.wall_s:.1f}s"
     )
     table = format_table(headers, rows, title=title)
+    stage_total = sweep.stage_cache_hits + sweep.stage_cache_misses
+    hit_rate = (
+        f" ({100.0 * sweep.stage_cache_hits / stage_total:.0f}% hit rate)"
+        if stage_total else ""
+    )
     stats = (
         f"elaboration cache: {sweep.schedule_cache_hits} hits / "
         f"{sweep.schedule_cache_misses} misses; pipeline stages: "
         f"{sweep.stage_cache_hits} cached / "
-        f"{sweep.stage_cache_misses} computed; SA table: "
+        f"{sweep.stage_cache_misses} computed{hit_rate}; SA table: "
         f"{sweep.sa_precalc_entries} precalculated, "
         f"{sweep.sa_new_entries} new entries"
     )
@@ -153,5 +165,15 @@ def format_sweep_summary(sweep: "SweepResult") -> str:
             f"; batched simulation: {sweep.sim_batched_cells} cells in "
             f"{sweep.sim_batches} kernel passes "
             f"({sweep.sim_batch_wall_s:.1f}s)"
+        )
+    totals = sweep.stage_time_totals()
+    if totals:
+        rank = {stage: index for index, stage in enumerate(_STAGE_ORDER)}
+        ordered = sorted(
+            totals.items(),
+            key=lambda item: (rank.get(item[0], len(rank)), item[0]),
+        )
+        stats += "\nstage wall: " + ", ".join(
+            f"{stage} {seconds:.2f}s" for stage, seconds in ordered
         )
     return table + "\n" + stats

@@ -1,0 +1,36 @@
+"""Long-lived power-estimation service (``repro serve``).
+
+The service layer of the flow (see docs/serving.md): an asyncio
+HTTP/JSON daemon (:mod:`repro.serve.server`) fronting a resident
+:class:`~repro.flow.executor.FlowExecutor`, with a priority request
+queue that deduplicates identical in-flight requests by their
+content fingerprint (:mod:`repro.serve.api`).
+"""
+
+from repro.serve.api import (
+    RequestError,
+    cell_payload,
+    request_key,
+    single_cell_spec,
+    sweep_spec,
+)
+from repro.serve.server import (
+    PRIORITY_SINGLE,
+    PRIORITY_SWEEP,
+    FlowServer,
+    ServeConfig,
+    serve_forever,
+)
+
+__all__ = [
+    "RequestError",
+    "cell_payload",
+    "request_key",
+    "single_cell_spec",
+    "sweep_spec",
+    "PRIORITY_SINGLE",
+    "PRIORITY_SWEEP",
+    "FlowServer",
+    "ServeConfig",
+    "serve_forever",
+]

@@ -460,6 +460,18 @@ class TestBatchedSimulate:
         sweep = run_sweep(self._knob_spec(), jobs=1)
         assert "batched simulation: 8 cells" in format_sweep_summary(sweep)
 
+    def test_summary_reports_hit_rate_and_stage_wall(self):
+        from repro.flow import format_sweep_summary
+
+        sweep = run_sweep(self._knob_spec(), jobs=1)
+        summary = format_sweep_summary(sweep)
+        assert "% hit rate)" in summary
+        # Per-stage wall clock, in pipeline order.
+        wall_line = summary.splitlines()[-1]
+        assert wall_line.startswith("stage wall: ")
+        assert wall_line.index("bind ") < wall_line.index("techmap ")
+        assert "simulate " in wall_line
+
 
 class TestEstimateFlow:
     def test_estimate_cells_carry_equation3_metrics(self):

@@ -2,17 +2,35 @@
 
 import dataclasses
 import os
+import pickle
 import time
 
 import pytest
 
-from repro.flow.cache import STALE_TMP_SECONDS, ArtifactCache, fingerprint
+from repro.flow.cache import (
+    STALE_TMP_SECONDS,
+    ArtifactCache,
+    CacheStats,
+    fingerprint,
+)
 
 
 @dataclasses.dataclass(frozen=True)
 class _Token:
     name: str
     value: float
+
+
+def _disk_pickles(root):
+    """Every .pkl path under the sharded store, shard dirs included."""
+    found = []
+    for directory, _, names in os.walk(str(root)):
+        found += [
+            os.path.join(directory, name)
+            for name in names
+            if name.endswith(".pkl")
+        ]
+    return found
 
 
 class TestFingerprint:
@@ -119,6 +137,53 @@ class TestArtifactCache:
         assert not hit
 
 
+class TestCacheStats:
+    def test_typed_snapshot_counts_and_latency(self):
+        cache = ArtifactCache()
+        cache.lookup("k1")  # miss
+        cache.store("k1", "artifact")
+        cache.lookup("k1")  # hit
+        stats = cache.stats_typed()
+        assert isinstance(stats, CacheStats)
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.stores == 1 and stats.entries == 1
+        assert stats.lookups == 2
+        assert stats.hit_rate == pytest.approx(0.5)
+        assert stats.lookup_s > 0.0
+
+    def test_disk_latency_counters(self, tmp_path):
+        cache = ArtifactCache(disk_dir=str(tmp_path))
+        cache.store("k1", list(range(1000)))
+        fresh = ArtifactCache(disk_dir=str(tmp_path))
+        fresh.lookup("k1")
+        assert cache.stats_typed().disk_write_s > 0.0
+        assert fresh.stats_typed().disk_read_s > 0.0
+
+    def test_since_delta(self):
+        cache = ArtifactCache()
+        cache.lookup("a")
+        before = cache.stats_typed()
+        cache.store("a", 1)
+        cache.lookup("a")
+        delta = cache.stats_typed().since(before)
+        assert delta.hits == 1 and delta.misses == 0 and delta.stores == 1
+
+    def test_merge_accumulates(self):
+        total = CacheStats()
+        total.merge(CacheStats(hits=2, misses=1, lookup_s=0.5))
+        total.merge(CacheStats(hits=1, misses=1, disk_hits=1))
+        assert total.hits == 3 and total.misses == 2
+        assert total.disk_hits == 1
+        assert total.lookup_s == pytest.approx(0.5)
+        assert total.hit_rate == pytest.approx(0.6)
+
+    def test_to_dict_round_trip(self):
+        stats = CacheStats(hits=3, misses=1)
+        data = stats.to_dict()
+        assert data["hits"] == 3
+        assert data["hit_rate"] == pytest.approx(0.75)
+
+
 class TestDiskLayer:
     def test_disk_round_trip_across_instances(self, tmp_path):
         writer = ArtifactCache(disk_dir=str(tmp_path))
@@ -131,12 +196,55 @@ class TestDiskLayer:
         hit, _ = reader.lookup("k1")
         assert hit and reader.disk_hits == 1
 
+    def test_store_is_sharded_by_key_prefix(self, tmp_path):
+        cache = ArtifactCache(disk_dir=str(tmp_path))
+        key = fingerprint("artifact")
+        cache.store(key, "value")
+        expected = os.path.join(str(tmp_path), key[:2], key + ".pkl")
+        assert os.path.exists(expected)
+
     def test_corrupt_disk_entry_degrades_to_miss(self, tmp_path):
         cache = ArtifactCache(disk_dir=str(tmp_path))
-        with open(os.path.join(str(tmp_path), "bad.pkl"), "wb") as handle:
+        path = cache._disk_path("bad")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as handle:
             handle.write(b"not a pickle")
         hit, value = cache.lookup("bad")
         assert not hit and value is None
+
+    def test_truncated_entry_quarantined_not_raised(self, tmp_path):
+        # The regression the shared store requires: a writer dying (or
+        # a reader racing a non-atomic copy) leaves a truncated pickle;
+        # readers must degrade to a miss, count it, and quarantine the
+        # file so the slot can be rewritten.
+        writer = ArtifactCache(disk_dir=str(tmp_path))
+        writer.store("k1", {"payload": list(range(100))})
+        path = writer._disk_path("k1")
+        size = os.path.getsize(path)
+        with open(path, "rb+") as handle:
+            handle.truncate(size // 2)
+        reader = ArtifactCache(disk_dir=str(tmp_path))
+        hit, value = reader.lookup("k1")
+        assert not hit and value is None
+        assert reader.disk_corrupt == 1
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt")
+        # The slot is writable again and future reads are clean hits.
+        reader.store("k1", "fresh")
+        fresh = ArtifactCache(disk_dir=str(tmp_path))
+        assert fresh.lookup("k1") == (True, "fresh")
+        assert fresh.disk_corrupt == 0
+
+    def test_contains_does_not_quarantine(self, tmp_path):
+        cache = ArtifactCache(disk_dir=str(tmp_path))
+        path = cache._disk_path("bad")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle")
+        assert "bad" not in cache
+        # Read-only probe: the corrupt file is left in place untouched.
+        assert os.path.exists(path)
+        assert cache.disk_corrupt == 0
 
     def test_unpicklable_artifact_stays_in_memory(self, tmp_path):
         cache = ArtifactCache(disk_dir=str(tmp_path))
@@ -156,15 +264,47 @@ class TestDiskLayer:
         hit, _ = fresh.lookup("mem")
         assert not hit
 
-    def test_disk_prune_bounds_directory(self, tmp_path):
+    def test_disk_prune_bounds_entry_count(self, tmp_path):
         cache = ArtifactCache(disk_dir=str(tmp_path), disk_max_entries=2)
         for index in range(5):
             cache.store(f"k{index}", index)
-        pickles = [
-            name for name in os.listdir(str(tmp_path))
-            if name.endswith(".pkl")
-        ]
-        assert len(pickles) == 2
+        assert len(_disk_pickles(tmp_path)) == 2
+        assert cache.disk_evictions == 3
+
+    def test_disk_prune_bounds_total_bytes(self, tmp_path):
+        blob = list(range(500))  # ~a couple of KB pickled
+        probe = ArtifactCache(disk_dir=str(tmp_path / "probe"))
+        probe.store("probe", blob)
+        (pickle_path,) = _disk_pickles(tmp_path / "probe")
+        entry_bytes = os.path.getsize(pickle_path)
+
+        cache = ArtifactCache(
+            disk_dir=str(tmp_path / "store"),
+            disk_max_bytes=int(entry_bytes * 2.5),
+        )
+        for index in range(5):
+            cache.store(f"k{index}", blob)
+            time.sleep(0.01)  # distinct mtimes: deterministic victims
+        kept = _disk_pickles(tmp_path / "store")
+        assert len(kept) == 2
+        # Oldest-first eviction: the newest entries survive.
+        names = {os.path.basename(path) for path in kept}
+        assert names == {"k3.pkl", "k4.pkl"}
+        assert cache.disk_evictions == 3
+
+    def test_disk_max_bytes_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactCache(disk_dir=str(tmp_path), disk_max_bytes=0)
+
+    def test_read_refreshes_mtime_for_disk_lru(self, tmp_path):
+        cache = ArtifactCache(disk_dir=str(tmp_path))
+        cache.store("old", 1)
+        path = cache._disk_path("old")
+        past = time.time() - 1000
+        os.utime(path, (past, past))
+        fresh = ArtifactCache(disk_dir=str(tmp_path))
+        fresh.lookup("old")
+        assert os.path.getmtime(path) > past + 500
 
     def test_memory_eviction_keeps_disk_copy(self, tmp_path):
         cache = ArtifactCache(max_entries=1, disk_dir=str(tmp_path))
@@ -177,20 +317,52 @@ class TestDiskLayer:
     def test_stale_tmp_orphans_pruned_on_write(self, tmp_path):
         # A writer that dies between mkstemp and os.replace leaves a
         # .tmp file behind; the next prune must sweep it (but leave
-        # fresh ones alone — they may belong to a live writer).
-        stale = os.path.join(str(tmp_path), "deadbeef0000.tmp")
-        fresh = os.path.join(str(tmp_path), "cafebabe0000.tmp")
-        for path in (stale, fresh):
+        # fresh ones alone — they may belong to a live writer). Both
+        # shard subdirs and the root (the pre-sharding flat layout)
+        # are swept.
+        shard = os.path.join(str(tmp_path), "de")
+        os.makedirs(shard)
+        stale = os.path.join(shard, "deadbeef0000.tmp")
+        flat_stale = os.path.join(str(tmp_path), "feedface0000.tmp")
+        fresh = os.path.join(shard, "cafebabe0000.tmp")
+        for path in (stale, flat_stale, fresh):
             with open(path, "wb") as handle:
                 handle.write(b"partial pickle")
         old = time.time() - STALE_TMP_SECONDS - 60
         os.utime(stale, (old, old))
+        os.utime(flat_stale, (old, old))
         cache = ArtifactCache(disk_dir=str(tmp_path))
         cache.store("k1", "artifact")  # store triggers _disk_prune
-        names = set(os.listdir(str(tmp_path)))
-        assert os.path.basename(stale) not in names
-        assert os.path.basename(fresh) in names
-        assert "k1.pkl" in names
+        assert not os.path.exists(stale)
+        assert not os.path.exists(flat_stale)
+        assert os.path.exists(fresh)
+        assert os.path.exists(cache._disk_path("k1"))
+
+    def test_stale_quarantined_entries_swept(self, tmp_path):
+        cache = ArtifactCache(disk_dir=str(tmp_path))
+        path = cache._disk_path("bad")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as handle:
+            handle.write(b"truncated")
+        cache.lookup("bad")  # quarantines to bad.pkl.corrupt
+        corrupt = path + ".corrupt"
+        assert os.path.exists(corrupt)
+        old = time.time() - STALE_TMP_SECONDS - 60
+        os.utime(corrupt, (old, old))
+        cache.store("k1", "artifact")  # prune sweeps stale quarantine
+        assert not os.path.exists(corrupt)
+
+    def test_flat_layout_pickles_still_bounded(self, tmp_path):
+        # Directories written by the pre-sharding layout hold .pkl
+        # files at the root; the pruner must keep counting them.
+        for index in range(4):
+            with open(os.path.join(str(tmp_path), f"flat{index}.pkl"),
+                      "wb") as handle:
+                pickle.dump(index, handle)
+            time.sleep(0.01)
+        cache = ArtifactCache(disk_dir=str(tmp_path), disk_max_entries=2)
+        cache.store("k1", "artifact")
+        assert len(_disk_pickles(tmp_path)) == 2
 
 
 class TestContains:
@@ -223,7 +395,9 @@ class TestContains:
 
     def test_membership_agrees_with_lookup_on_corrupt_entry(self, tmp_path):
         cache = ArtifactCache(disk_dir=str(tmp_path))
-        with open(os.path.join(str(tmp_path), "bad.pkl"), "wb") as handle:
+        path = cache._disk_path("bad")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as handle:
             handle.write(b"not a pickle")
         assert ("bad" in cache) is False
         hit, _ = cache.lookup("bad")

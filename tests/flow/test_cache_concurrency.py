@@ -1,0 +1,158 @@
+"""Cross-process tests for the shared sharded artifact store.
+
+The disk layer of :class:`~repro.flow.cache.ArtifactCache` is the only
+piece of the pipeline that two processes mutate simultaneously without
+a lock: a resident ``repro serve`` daemon and an ad-hoc ``repro
+sweep`` can point at the same ``--cache-dir``. These tests hammer one
+directory from two real processes at once — stores, lookups, and
+LRU evictions interleaving — and check the atomicity contract: a
+reader sees a complete pickle or nothing, never a torn write, and
+writer debris (``.tmp`` orphans, quarantined ``.corrupt`` entries) is
+swept once stale.
+"""
+
+import multiprocessing
+import os
+import pathlib
+import random
+
+from repro.flow.cache import STALE_TMP_SECONDS, ArtifactCache, fingerprint
+
+N_KEYS = 32
+N_OPS = 250
+DISK_MAX = 12
+
+# fork, not spawn: the workers are closures over this test module,
+# and the suite only targets Linux.
+_CTX = multiprocessing.get_context("fork")
+
+
+def _key(index):
+    return fingerprint("xproc-cache", index)
+
+
+def _value(index):
+    """Deterministic per-key payload, so a hit served by *either*
+    process can be validated byte-for-byte by the other."""
+    return {"index": index, "blob": bytes([index % 251]) * (300 + 17 * index)}
+
+
+def _hammer(disk_dir, seed, queue):
+    """Mixed store/lookup traffic over the shared key universe."""
+    rng = random.Random(seed)
+    cache = ArtifactCache(
+        max_entries=4, disk_dir=disk_dir, disk_max_entries=DISK_MAX
+    )
+    torn = 0
+    for op in range(N_OPS):
+        index = rng.randrange(N_KEYS)
+        if op % 3:
+            cache.store(_key(index), _value(index))
+        else:
+            hit, value = cache.lookup(_key(index))
+            if hit and value != _value(index):
+                torn += 1
+        if op % 5 == 0:
+            # Drop the in-memory layer so lookups keep exercising the
+            # contended disk path instead of private memory.
+            cache.clear()
+    stats = cache.stats_typed().to_dict()
+    stats["torn"] = torn
+    queue.put(stats)
+
+
+def _lookup_once(disk_dir, index, queue):
+    cache = ArtifactCache(disk_dir=disk_dir)
+    hit, _ = cache.lookup(_key(index))
+    queue.put({"hit": hit, "disk_corrupt": cache.disk_corrupt})
+
+
+class TestTwoProcessSharedStore:
+    def test_simultaneous_store_lookup_evict(self, tmp_path):
+        disk_dir = str(tmp_path / "store")
+        queue = _CTX.Queue()
+        workers = [
+            _CTX.Process(target=_hammer, args=(disk_dir, seed, queue))
+            for seed in (1, 2)
+        ]
+        for worker in workers:
+            worker.start()
+        stats = [queue.get(timeout=120) for _ in workers]
+        for worker in workers:
+            worker.join(timeout=120)
+        assert all(worker.exitcode == 0 for worker in workers)
+
+        # No torn reads: every hit unpickled to exactly the payload
+        # the key fingerprints, and no reader ever saw a partial
+        # write (atomic temp+rename publishes complete files only).
+        assert sum(record["torn"] for record in stats) == 0
+        assert sum(record["disk_corrupt"] for record in stats) == 0
+
+        # Both processes actually shared work through the directory,
+        # and the entry bound forced evictions under contention.
+        assert all(record["disk_hits"] > 0 for record in stats)
+        assert sum(record["disk_evictions"] for record in stats) > 0
+
+        tree = pathlib.Path(disk_dir)
+        pickles = list(tree.rglob("*.pkl"))
+        # The count bound is enforced on every write; concurrent
+        # writers can race one another's prune scan by a write or two.
+        assert len(pickles) <= DISK_MAX + 2
+        # Every temp file was either renamed into place or unlinked.
+        assert list(tree.rglob("*.tmp")) == []
+
+    def test_concurrent_readers_tolerate_planted_corruption(self, tmp_path):
+        disk_dir = str(tmp_path / "store")
+        cache = ArtifactCache(disk_dir=disk_dir)
+        path = cache._disk_path(_key(0))
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as handle:
+            handle.write(b"\x80\x04not a pickle, truncated")
+
+        queue = _CTX.Queue()
+        readers = [
+            _CTX.Process(target=_lookup_once, args=(disk_dir, 0, queue))
+            for _ in range(2)
+        ]
+        for reader in readers:
+            reader.start()
+        outcomes = [queue.get(timeout=60) for _ in readers]
+        for reader in readers:
+            reader.join(timeout=60)
+
+        assert all(reader.exitcode == 0 for reader in readers)
+        # Both racing readers degrade to a clean miss; at least one
+        # quarantined the entry, and the slot is writable again.
+        assert all(not outcome["hit"] for outcome in outcomes)
+        assert sum(outcome["disk_corrupt"] for outcome in outcomes) >= 1
+        assert not os.path.exists(path)
+        cache.store(_key(0), _value(0))
+        assert cache.lookup(_key(0)) == (True, _value(0))
+
+
+class TestDebrisSweep:
+    def test_stale_tmp_and_corrupt_orphans_pruned(self, tmp_path):
+        disk_dir = str(tmp_path / "store")
+        cache = ArtifactCache(disk_dir=disk_dir, disk_max_entries=DISK_MAX)
+        cache.store(_key(0), _value(0))
+        shard = os.path.dirname(cache._disk_path(_key(0)))
+
+        old = os.path.getmtime(cache._disk_path(_key(0))) \
+            - STALE_TMP_SECONDS - 60
+        stale_tmp = os.path.join(shard, "deadbeef0000.tmp")
+        stale_corrupt = os.path.join(shard, "cafebabe.pkl.corrupt")
+        young_tmp = os.path.join(shard, "feedface0000.tmp")
+        for path in (stale_tmp, stale_corrupt, young_tmp):
+            with open(path, "wb") as handle:
+                handle.write(b"leftover")
+        for path in (stale_tmp, stale_corrupt):
+            os.utime(path, (old, old))
+
+        cache.store(_key(1), _value(1))  # any write runs the sweep
+
+        # A crashed writer's orphan and an old quarantined entry are
+        # gone; a fresh temp file may belong to a live writer and is
+        # left alone.
+        assert not os.path.exists(stale_tmp)
+        assert not os.path.exists(stale_corrupt)
+        assert os.path.exists(young_tmp)

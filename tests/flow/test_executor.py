@@ -1,0 +1,191 @@
+"""Resident-executor tests: warm state across submissions, byte-identical
+results versus transient sweeps, stats accounting, and lifecycle."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.flow import CacheStats, FlowExecutor, SweepSpec, run_sweep
+from repro.flow.executor import DEFAULT_CACHE_ENTRIES
+from repro.flow.grid import expand_grid
+
+
+def small_spec(**overrides):
+    """A pr-only grid small enough for full in-test execution."""
+    kwargs = dict(
+        benchmarks=["pr"],
+        binders=("lopass", "hlpower"),
+        alphas=(0.5,),
+        widths=(4,),
+        vector_seeds=(7, 8),
+        n_vectors=16,
+    )
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+class TestWarmState:
+    def test_memos_survive_across_submissions(self):
+        """A second identical submission must be all warm: every stage
+        served from the resident cache, every schedule from the memo."""
+        spec = small_spec()
+        with FlowExecutor() as executor:
+            first = executor.run_jobs(spec, expand_grid(spec))
+            second = executor.run_jobs(spec, expand_grid(spec))
+        cold_hits = sum(len(c.cache_hits) for c in first.cells)
+        warm_hits = sum(len(c.cache_hits) for c in second.cells)
+        warm_total = sum(len(c.stage_timings) for c in second.cells)
+        assert warm_hits == warm_total > cold_hits
+        # Simulate artifacts are memory-only but resident, so even the
+        # seed-specific stages hit on the second pass.
+        assert all(c.schedule_cache_hit for c in second.cells)
+        assert second.sa_new_entries == 0
+
+    def test_warm_submission_metrics_identical(self):
+        """Warm state only ever substitutes byte-identical work."""
+        spec = small_spec()
+        with FlowExecutor() as executor:
+            first = executor.run_jobs(spec, expand_grid(spec))
+            second = executor.run_jobs(spec, expand_grid(spec))
+        assert [c.metrics for c in first.cells] == \
+            [c.metrics for c in second.cells]
+
+    def test_resident_matches_transient_run_sweep(self):
+        """run_sweep through a resident executor is byte-identical to
+        the default transient path."""
+        spec = small_spec()
+        transient = run_sweep(spec, jobs=1)
+        with FlowExecutor() as executor:
+            resident = run_sweep(spec, executor=executor)
+            rewarm = run_sweep(spec, executor=executor)
+        for other in (resident, rewarm):
+            assert [c.metrics for c in other.cells] == \
+                [c.metrics for c in transient.cells]
+        # The transient baseline starts cold every call; the resident
+        # executor's second sweep is entirely cache-served.
+        assert transient.stage_cache_hits == resident.stage_cache_hits
+        assert rewarm.stage_cache_misses == 0
+
+    def test_run_sweep_default_state_stays_fresh(self):
+        """The historical contract: without executor=, consecutive
+        run_sweep calls share nothing in-process."""
+        spec = small_spec()
+        first = run_sweep(spec, jobs=1)
+        second = run_sweep(spec, jobs=1)
+        assert first.stage_cache_hits == second.stage_cache_hits
+        assert second.schedule_cache_misses > 0
+
+
+class TestStats:
+    def test_executor_stats_accumulate(self):
+        spec = small_spec(binders=("lopass",), vector_seeds=(7,))
+        with FlowExecutor() as executor:
+            executor.run_jobs(spec, expand_grid(spec))
+            executor.run_jobs(spec, expand_grid(spec))
+            stats = executor.stats
+        assert stats.submissions == 2
+        assert stats.cells == 2
+        assert stats.chunks == 2
+        assert stats.schedule_cache_hits == 1  # second submission only
+        assert stats.wall_s > 0.0
+
+    def test_submission_carries_cache_delta(self):
+        spec = small_spec(binders=("lopass",), vector_seeds=(7,))
+        with FlowExecutor() as executor:
+            cold = executor.run_jobs(spec, expand_grid(spec))
+            warm = executor.run_jobs(spec, expand_grid(spec))
+        assert isinstance(cold.cache, CacheStats)
+        assert cold.cache.hits == 0 and cold.cache.misses > 0
+        assert warm.cache.misses == 0 and warm.cache.hits > 0
+        assert warm.cache.hit_rate == 1.0
+
+    def test_lifetime_cache_stats_merge_submissions(self):
+        spec = small_spec(binders=("lopass",), vector_seeds=(7,))
+        with FlowExecutor() as executor:
+            cold = executor.run_jobs(spec, expand_grid(spec))
+            warm = executor.run_jobs(spec, expand_grid(spec))
+            total = executor.cache_stats()
+        assert total.hits == cold.cache.hits + warm.cache.hits
+        assert total.misses == cold.cache.misses + warm.cache.misses
+
+    def test_stats_to_dict_round_trips_cache(self):
+        spec = small_spec(binders=("lopass",), vector_seeds=(7,))
+        with FlowExecutor() as executor:
+            executor.run_jobs(spec, expand_grid(spec))
+            data = executor.stats.to_dict()
+        assert data["submissions"] == 1
+        assert data["cache"]["misses"] > 0
+        assert 0.0 <= data["cache"]["hit_rate"] <= 1.0
+
+
+class TestLifecycle:
+    def test_shutdown_rejects_further_submissions(self):
+        executor = FlowExecutor()
+        spec = small_spec(binders=("lopass",), vector_seeds=(7,))
+        executor.run_jobs(spec, expand_grid(spec))
+        executor.shutdown()
+        with pytest.raises(ConfigError):
+            executor.run_jobs(spec, expand_grid(spec))
+        with pytest.raises(ConfigError):
+            executor.start()
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ConfigError):
+            FlowExecutor(jobs=0)
+        with pytest.raises(ConfigError):
+            FlowExecutor(use_cache=False, cache_dir="/tmp/nope")
+
+    def test_keep_results_requires_in_process(self):
+        executor = FlowExecutor(jobs=2)
+        spec = small_spec()
+        try:
+            with pytest.raises(ConfigError):
+                executor.run_jobs(spec, expand_grid(spec), keep_results=True)
+        finally:
+            executor.shutdown()
+
+    def test_run_sweep_executor_conflicts_rejected(self):
+        with FlowExecutor() as executor:
+            spec = small_spec(binders=("lopass",), vector_seeds=(7,))
+            with pytest.raises(ConfigError):
+                run_sweep(spec, jobs=2, executor=executor)
+            with pytest.raises(ConfigError):
+                run_sweep(spec, cache_dir="/tmp/nope", executor=executor)
+            with pytest.raises(ConfigError):
+                run_sweep(spec, use_cache=False, executor=executor)
+            with pytest.raises(ConfigError):
+                run_sweep(
+                    spec, cache_entries=DEFAULT_CACHE_ENTRIES + 1,
+                    executor=executor,
+                )
+
+    def test_keep_results_retains_flow_results(self):
+        spec = small_spec(binders=("lopass",), vector_seeds=(7,))
+        with FlowExecutor() as executor:
+            submission = executor.run_jobs(
+                spec, expand_grid(spec), keep_results=True
+            )
+        assert len(submission.results) == 1
+        (result,) = submission.results.values()
+        assert result.metrics() == submission.cells[0].metrics
+
+
+@pytest.mark.slow
+class TestResidentPool:
+    def test_pool_children_stay_warm_across_submissions(self):
+        """jobs>1: the second submission lands on already-warmed children.
+
+        Chunk-to-child assignment is scheduler-dependent, so not every
+        cell is guaranteed a cache hit — but the children keep their
+        state, so the second pass must be strictly warmer than the
+        first (which starts from zero) and byte-identical.
+        """
+        spec = small_spec()
+        with FlowExecutor(jobs=2) as executor:
+            first = executor.run_jobs(spec, expand_grid(spec))
+            second = executor.run_jobs(spec, expand_grid(spec))
+        assert [c.metrics for c in first.cells] == \
+            [c.metrics for c in second.cells]
+        cold_hits = sum(len(c.cache_hits) for c in first.cells)
+        warm_hits = sum(len(c.cache_hits) for c in second.cells)
+        assert warm_hits > cold_hits
+        assert any(c.schedule_cache_hit for c in second.cells)

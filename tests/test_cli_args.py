@@ -18,8 +18,9 @@ from repro.techmap import MAP_EFFORTS
 
 #: Subcommands carrying each shared flag.
 SHARED_FLAGS = {
-    "--sa-table": ("bench", "suite", "sweep", "estimate", "corpus"),
-    "--jobs": ("bench", "suite", "sweep", "estimate", "corpus"),
+    "--sa-table": ("bench", "suite", "sweep", "estimate", "corpus",
+                   "serve"),
+    "--jobs": ("bench", "suite", "sweep", "estimate", "corpus", "serve"),
     "--map-effort": ("bench", "suite", "sweep", "estimate", "corpus"),
     "--bind-engine": ("bench", "suite", "sweep", "estimate", "corpus"),
 }
