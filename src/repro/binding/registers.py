@@ -47,6 +47,14 @@ def bind_registers(schedule: Schedule) -> RegisterBinding:
 
     Returns a :class:`RegisterBinding` whose register count equals the
     lifetime-overlap peak (the minimum possible for the schedule).
+
+    The cluster loop keeps per-register aggregates (last occupant
+    death, producer-class counts, consumer-op counts) instead of
+    rescanning every occupant per candidate pair, turning the
+    O(clusters x registers x occupants) inner loop into an
+    O(pairs x consumers-per-variable) one. All affinity terms are
+    integer-valued, so the aggregated sums are bit-identical to the
+    per-occupant accumulation they replace.
     """
     cdfg = schedule.cdfg
     lifetimes = compute_lifetimes(schedule)
@@ -57,11 +65,8 @@ def bind_registers(schedule: Schedule) -> RegisterBinding:
     live = sorted(
         live_variables(lifetimes), key=lambda lt: (lt.birth, lt.var_id)
     )
-    occupancy: Dict[int, List[Lifetime]] = {
-        reg: [] for reg in range(n_registers)
-    }
+    state = _RegisterFileState(cdfg, n_registers)
     assignment: Dict[int, int] = {}
-    readers = cdfg.consumer_map()
 
     index = 0
     while index < len(live):
@@ -70,31 +75,122 @@ def bind_registers(schedule: Schedule) -> RegisterBinding:
         while index < len(live) and live[index].birth == birth:
             cluster.append(live[index])
             index += 1
-        _bind_cluster(
-            cdfg, cluster, occupancy, assignment, readers
-        )
+        _bind_cluster(cluster, state, assignment)
     return RegisterBinding(n_registers, assignment)
 
 
+class _RegisterFileState:
+    """Incremental per-register occupancy aggregates.
+
+    Clusters arrive in ascending birth order, so a candidate variable
+    overlaps a register's occupants iff the latest occupant is still
+    alive at the candidate's birth — one comparison against
+    ``last_death`` replaces the per-occupant interval scan. The three
+    affinity terms are sums of exact small-integer floats, so keeping
+    counts (producer classes, consumer ops, occupant variables) yields
+    the same weights the occupant-by-occupant loop produced.
+    """
+
+    def __init__(self, cdfg: CDFG, n_registers: int) -> None:
+        self.cdfg = cdfg
+        self.readers = cdfg.consumer_map()
+        self.registers = list(range(n_registers))
+        self.last_death = [None] * n_registers
+        #: Per register: occupant count by producing resource class
+        #: (occupants without a producer are not counted).
+        self.class_counts: List[Dict[str, int]] = [
+            {} for _ in range(n_registers)
+        ]
+        #: Per register: number of occupants consumed by each op id.
+        self.consumer_counts: List[Dict[int, int]] = [
+            {} for _ in range(n_registers)
+        ]
+        #: Per register: the occupant variable ids.
+        self.occupant_vars: List[set] = [set() for _ in range(n_registers)]
+        self._consumers_of: Dict[int, frozenset] = {}
+        self._operand_sets: Dict[int, frozenset] = {}
+
+    def consumers_of(self, var_id: int) -> frozenset:
+        cached = self._consumers_of.get(var_id)
+        if cached is None:
+            cached = frozenset(
+                op.op_id for op in self.readers[var_id]
+            )
+            self._consumers_of[var_id] = cached
+        return cached
+
+    def operands_of(self, op_id: int) -> frozenset:
+        cached = self._operand_sets.get(op_id)
+        if cached is None:
+            cached = frozenset(self.cdfg.operations[op_id].inputs)
+            self._operand_sets[op_id] = cached
+        return cached
+
+    def affinity(self, var_id: int, register: int) -> float:
+        """Interconnect-affinity weight of putting ``var_id`` here."""
+        weight = _BASE_FEASIBLE
+        producer = self.cdfg.operation_of(var_id)
+        if producer is not None:
+            # Same producing FU class: the register's input mux may
+            # collapse once FUs are shared.
+            weight += _SAME_PRODUCER_CLASS * self.class_counts[register].get(
+                producer.resource_class, 0
+            )
+        # Feeding the same operations from one register means one mux
+        # input instead of two on that operation's FU port.
+        counts = self.consumer_counts[register]
+        if counts:
+            shared = 0
+            for op_id in self.consumers_of(var_id):
+                shared += counts.get(op_id, 0)
+            weight += _SHARED_CONSUMER * shared
+        if producer is not None:
+            occupants = self.occupant_vars[register]
+            if occupants:
+                weight += _SHARED_PRODUCER_INPUT * sum(
+                    1
+                    for operand in self.operands_of(producer.op_id)
+                    if operand in occupants
+                )
+        return weight
+
+    def occupy(self, lifetime: Lifetime, register: int) -> None:
+        last = self.last_death[register]
+        if last is None or lifetime.death > last:
+            self.last_death[register] = lifetime.death
+        producer = self.cdfg.operation_of(lifetime.var_id)
+        if producer is not None:
+            counts = self.class_counts[register]
+            counts[producer.resource_class] = (
+                counts.get(producer.resource_class, 0) + 1
+            )
+        counts = self.consumer_counts[register]
+        for op_id in self.consumers_of(lifetime.var_id):
+            counts[op_id] = counts.get(op_id, 0) + 1
+        self.occupant_vars[register].add(lifetime.var_id)
+
+
 def _bind_cluster(
-    cdfg: CDFG,
     cluster: List[Lifetime],
-    occupancy: Dict[int, List[Lifetime]],
+    state: _RegisterFileState,
     assignment: Dict[int, int],
-    readers,
 ) -> None:
     """Bind one birth-time cluster via weighted bipartite matching."""
-    registers = sorted(occupancy)
+    birth = cluster[0].birth
+    feasible = [
+        register
+        for register in state.registers
+        if state.last_death[register] is None
+        or state.last_death[register] <= birth
+    ]
     weights: Dict[Tuple[int, int], float] = {}
     for lifetime in cluster:
-        for register in registers:
-            if any(lifetime.overlaps(o) for o in occupancy[register]):
-                continue
-            weights[(lifetime.var_id, register)] = _affinity(
-                cdfg, lifetime.var_id, occupancy[register], readers
+        for register in feasible:
+            weights[(lifetime.var_id, register)] = state.affinity(
+                lifetime.var_id, register
             )
     matching = max_weight_matching(
-        [lt.var_id for lt in cluster], registers, weights
+        [lt.var_id for lt in cluster], state.registers, weights
     )
     for lifetime in cluster:
         register = matching.get(lifetime.var_id)
@@ -104,42 +200,7 @@ def _bind_cluster(
                 f"(allocation too small?)"
             )
         assignment[lifetime.var_id] = register
-        occupancy[register].append(lifetime)
-
-
-def _affinity(
-    cdfg: CDFG,
-    var_id: int,
-    occupants: List[Lifetime],
-    readers,
-) -> float:
-    """Interconnect-affinity weight of putting ``var_id`` in a register."""
-    weight = _BASE_FEASIBLE
-    variable = cdfg.variables[var_id]
-    producer = cdfg.operation_of(var_id)
-    my_consumers = {op.op_id for op in readers[var_id]}
-    for occupant in occupants:
-        other = cdfg.variables[occupant.var_id]
-        other_producer = cdfg.operation_of(occupant.var_id)
-        if (
-            producer is not None
-            and other_producer is not None
-            and producer.resource_class == other_producer.resource_class
-        ):
-            # Same producing FU class: the register's input mux may
-            # collapse once FUs are shared.
-            weight += _SAME_PRODUCER_CLASS
-        their_consumers = {op.op_id for op in readers[occupant.var_id]}
-        shared = len(my_consumers & their_consumers)
-        if shared:
-            # Feeding the same operations from one register means one
-            # mux input instead of two on that operation's FU port.
-            weight += _SHARED_CONSUMER * shared
-        if producer is not None and occupant.var_id in set(
-            cdfg.operations[producer.op_id].inputs
-        ):
-            weight += _SHARED_PRODUCER_INPUT
-    return weight
+        state.occupy(lifetime, register)
 
 
 def assign_ports(

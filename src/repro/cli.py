@@ -50,6 +50,7 @@ from repro.cdfg.corpus import (
     oracle_feasible,
 )
 from repro.errors import ReproError
+from repro.fpga import ELAB_ENGINES
 from repro.techmap import MAP_EFFORTS
 from repro.flow import (
     BinderConfig,
@@ -135,6 +136,22 @@ def _add_bind_engine_arg(
                             choices=BIND_ENGINES, help=help_text)
 
 
+def _add_elab_engine_arg(
+    parser: argparse.ArgumentParser, multi: bool = False
+) -> None:
+    help_text = ("elaboration engine (default fast; 'reference' is the "
+                 "seed elaborator, byte-identical and slower)")
+    if multi:
+        parser.add_argument(
+            "--elab-engine", default="fast",
+            type=_axis_type(ELAB_ENGINES, "--elab-engine"),
+            metavar="{" + ",".join(ELAB_ENGINES) + "}[,...]",
+            help="comma-separated axis: " + help_text)
+    else:
+        parser.add_argument("--elab-engine", default="fast",
+                            choices=ELAB_ENGINES, help=help_text)
+
+
 def _add_sim_kernel_arg(
     parser: argparse.ArgumentParser, multi: bool = False
 ) -> None:
@@ -163,6 +180,7 @@ def _add_flow_args(parser: argparse.ArgumentParser) -> None:
     _add_jobs_arg(parser)
     _add_map_effort_arg(parser)
     _add_bind_engine_arg(parser)
+    _add_elab_engine_arg(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -227,6 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sim_kernel_arg(sweep, multi=True)
     _add_map_effort_arg(sweep, multi=True)
     _add_bind_engine_arg(sweep, multi=True)
+    _add_elab_engine_arg(sweep, multi=True)
     sweep.add_argument(
         "--sim-batch", type=int, default=32, metavar="N",
         help="max configurations per batched simulation kernel pass: "
@@ -282,6 +301,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "column (default lopass)")
     _add_map_effort_arg(estimate)
     _add_bind_engine_arg(estimate)
+    _add_elab_engine_arg(estimate)
     _add_sa_table_arg(estimate)
     estimate.add_argument("--out", metavar="FILE",
                           help="write the JSON result store here")
@@ -321,6 +341,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "tech-map; 'full' simulates every instance")
     _add_map_effort_arg(corpus)
     _add_bind_engine_arg(corpus)
+    _add_elab_engine_arg(corpus)
+    corpus.add_argument("--profile", action="store_true",
+                        help="print per-stage wall clock and peak memory "
+                             "for every instance instead of the sweep "
+                             "summary (runs in-process)")
     corpus.add_argument("--no-oracle", action="store_true",
                         help="skip the exact-binder quality-gap report")
     _add_sa_table_arg(corpus)
@@ -422,6 +447,7 @@ def _bench_rows(names: Sequence[str], args, table: SATable) -> List[List[str]]:
         n_vectors=args.vectors,
         map_effort=args.map_effort,
         bind_engine=args.bind_engine,
+        elab_engine=args.elab_engine,
     )
     sweep = run_sweep(spec, jobs=args.jobs, sa_table=table)
     rows = []
@@ -484,6 +510,7 @@ def cmd_sweep(args) -> int:
     kernels = args.sim_kernel
     efforts = args.map_effort
     engines = args.bind_engine
+    elabs = args.elab_engine
     spec = SweepSpec(
         benchmarks=_parse_benchmarks(args.benchmarks),
         binders=_comma_list(args.binders, str, "--binders"),
@@ -499,6 +526,8 @@ def cmd_sweep(args) -> int:
         map_efforts=efforts if len(efforts) > 1 else None,
         bind_engine=engines[0],
         bind_engines=engines if len(engines) > 1 else None,
+        elab_engine=elabs[0],
+        elab_engines=elabs if len(elabs) > 1 else None,
         idle_modes=_comma_list(args.idle_modes, str, "--idle-modes"),
         jitters=_comma_list(args.jitters, int, "--jitters"),
         flow=args.flow,
@@ -533,6 +562,7 @@ def cmd_estimate(args) -> int:
         baseline=args.baseline,
         map_effort=args.map_effort,
         bind_engine=args.bind_engine,
+        elab_engine=args.elab_engine,
         flow="estimate",
     )
     table = SATable(path=args.sa_table)
@@ -606,6 +636,87 @@ def _oracle_rows(sweep, instances, configs) -> List[List[str]]:
     return rows
 
 
+def _corpus_profile(args, instances) -> int:
+    """``corpus --profile``: per-instance stage wall clock + peak memory.
+
+    Runs each (instance, binder, alpha) flow in-process so the
+    per-stage timings the pipeline already records
+    (:attr:`FlowResult.stage_timings`) can be paired with a
+    ``tracemalloc`` peak bracketed around that one flow — no extra
+    instrumentation inside the pipeline.
+    """
+    import tracemalloc
+
+    from repro.flow.report import _STAGE_ORDER
+    from repro.flow.run import FlowConfig, execute_flow, prepare_flow_inputs
+    from repro.scheduling import list_schedule
+
+    binders = _comma_list(args.binders, str, "--binders")
+    alphas = _comma_list(args.alphas, float, "--alphas")
+    table = SATable(path=args.sa_table)
+    records = []
+    tracemalloc.start()
+    try:
+        for instance in instances:
+            schedule = list_schedule(
+                load_benchmark(instance.name), instance.constraints
+            )
+            registers, ports = prepare_flow_inputs(schedule)
+            for binder in binders:
+                for alpha in alphas:
+                    config = FlowConfig(
+                        width=args.width,
+                        alpha=alpha,
+                        sa_table=table,
+                        map_effort=args.map_effort,
+                        bind_engine=args.bind_engine,
+                        elab_engine=args.elab_engine,
+                        flow=args.flow,
+                    )
+                    tracemalloc.reset_peak()
+                    result = execute_flow(
+                        schedule, instance.constraints, binder, config,
+                        registers, ports,
+                    )
+                    _, peak = tracemalloc.get_traced_memory()
+                    label = (
+                        binder if len(alphas) == 1
+                        else f"{binder}_a{alpha:g}"
+                    )
+                    records.append(
+                        (instance.name, label,
+                         dict(result.stage_timings), peak)
+                    )
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}")
+    finally:
+        tracemalloc.stop()
+    table.save_if_dirty()
+    rank = {stage: index for index, stage in enumerate(_STAGE_ORDER)}
+    stages = sorted(
+        {stage for _, _, timings, _ in records for stage in timings},
+        key=lambda stage: (rank.get(stage, len(rank)), stage),
+    )
+    rows = []
+    for name, label, timings, peak in records:
+        rows.append(
+            [name, label]
+            + [f"{timings.get(stage, 0.0):.3f}" for stage in stages]
+            + [f"{sum(timings.values()):.3f}", f"{peak / 2**20:.1f}"]
+        )
+    print(format_table(
+        ["instance", "config"] + [f"{stage} s" for stage in stages]
+        + ["total s", "peak MiB"],
+        rows,
+        title=(
+            f"corpus profile: {len(records)} flows "
+            f"({args.flow}, {args.bind_engine} bind, "
+            f"{args.elab_engine} elab, {args.map_effort} map)"
+        ),
+    ))
+    return 0
+
+
 def cmd_corpus(args) -> int:
     instances = _corpus_selection(args)
     if not instances:
@@ -628,6 +739,9 @@ def cmd_corpus(args) -> int:
         ))
         return 0
 
+    if args.profile:
+        return _corpus_profile(args, instances)
+
     binders = _comma_list(args.binders, str, "--binders")
     spec = SweepSpec(
         benchmarks=[inst.name for inst in instances],
@@ -637,6 +751,7 @@ def cmd_corpus(args) -> int:
         baseline="lopass" if "lopass" in binders else "none",
         map_effort=args.map_effort,
         bind_engine=args.bind_engine,
+        elab_engine=args.elab_engine,
         flow=args.flow,
     )
     table = SATable(path=args.sa_table)

@@ -93,6 +93,7 @@ class SweepResult:
         sim_kernel: Optional[str] = None,
         map_effort: Optional[str] = None,
         bind_engine: Optional[str] = None,
+        elab_engine: Optional[str] = None,
     ) -> SweepCell:
         """The unique cell matching the given coordinates."""
         matches = [
@@ -107,17 +108,20 @@ class SweepResult:
             and (sim_kernel is None or c.sim_kernel == sim_kernel)
             and (map_effort is None or c.map_effort == map_effort)
             and (bind_engine is None or c.bind_engine == bind_engine)
+            and (elab_engine is None or c.elab_engine == elab_engine)
         ]
         if not matches:
             raise KeyError(
                 (benchmark, config, width, vector_seed, idle_selects,
-                 delay_jitter, sim_kernel, map_effort, bind_engine)
+                 delay_jitter, sim_kernel, map_effort, bind_engine,
+                 elab_engine)
             )
         if len(matches) > 1:
             raise KeyError(
                 f"ambiguous cell {(benchmark, config)}: {len(matches)} "
                 f"matches; pass width/vector_seed/idle_selects/"
-                f"delay_jitter/sim_kernel/map_effort/bind_engine"
+                f"delay_jitter/sim_kernel/map_effort/bind_engine/"
+                f"elab_engine"
             )
         return matches[0]
 
@@ -132,11 +136,13 @@ class SweepResult:
         sim_kernel: Optional[str] = None,
         map_effort: Optional[str] = None,
         bind_engine: Optional[str] = None,
+        elab_engine: Optional[str] = None,
     ) -> FlowResult:
         """The retained FlowResult for a cell (needs keep_results)."""
         cell = self.cell(
             benchmark, config, width, vector_seed, idle_selects,
             delay_jitter, sim_kernel, map_effort, bind_engine,
+            elab_engine,
         )
         return self.results[cell.key]
 
@@ -164,7 +170,7 @@ class SweepResult:
             group = (
                 cell.benchmark, cell.config, cell.width,
                 cell.idle_selects, cell.delay_jitter, cell.sim_kernel,
-                cell.map_effort, cell.bind_engine,
+                cell.map_effort, cell.bind_engine, cell.elab_engine,
             )
             groups.setdefault(group, []).append(cell)
 
@@ -184,7 +190,7 @@ class SweepResult:
         out = []
         for group, cells in groups.items():
             (benchmark, config, width, idle, jitter, kernel,
-             map_effort, bind_engine) = group
+             map_effort, bind_engine, elab_engine) = group
             primary = [c.metrics[primary_key] for c in cells]
             base = baseline_primary.get((benchmark,) + group[2:])
             mean_primary = statistics.fmean(primary)
@@ -197,6 +203,7 @@ class SweepResult:
                 "sim_kernel": kernel,
                 "map_effort": map_effort,
                 "bind_engine": bind_engine,
+                "elab_engine": elab_engine,
                 "n_seeds": len(cells),
                 "area_luts": cells[0].metrics["area_luts"],
                 "largest_mux": cells[0].metrics["largest_mux"],

@@ -158,6 +158,7 @@ def _flow_config(job: SweepJob, spec: SweepSpec, table: SATable) -> FlowConfig:
         sim_kernel=job.sim_kernel,
         map_effort=job.map_effort,
         bind_engine=job.bind_engine,
+        elab_engine=job.elab_engine,
         flow=spec.flow,
     )
 
@@ -197,6 +198,7 @@ def _execute(state: Dict[str, Any], job: SweepJob,
         sim_kernel=job.sim_kernel,
         map_effort=job.map_effort,
         bind_engine=job.bind_engine,
+        elab_engine=job.elab_engine,
         stage_timings=dict(result.stage_timings),
         cache_hits=list(result.cache_hits),
     )
@@ -207,15 +209,16 @@ def _batch_key(job: SweepJob, spec: SweepSpec) -> Optional[Tuple]:
     """Grouping key for batched simulation, or None if ineligible.
 
     Jobs sharing a key share everything upstream of the simulate stage
-    (same benchmark, binder config, width, mapper effort and bind
-    engine), so their techmap fingerprints coincide and they can ride
-    one batched kernel pass. Only full-flow event-kernel cells qualify.
+    (same benchmark, binder config, width, mapper effort, bind and
+    elab engines), so their techmap fingerprints coincide and they can
+    ride one batched kernel pass. Only full-flow event-kernel cells
+    qualify.
     """
     if spec.flow != "full" or job.sim_kernel != "event":
         return None
     return (
         job.benchmark, job.config.label, job.width, job.map_effort,
-        job.bind_engine,
+        job.bind_engine, job.elab_engine,
     )
 
 

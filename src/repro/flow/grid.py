@@ -19,6 +19,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.binding import BIND_ENGINES
 from repro.cdfg import benchmark_spec
 from repro.errors import ConfigError
+from repro.fpga.compile import ELAB_ENGINES
 from repro.techmap import MAP_EFFORTS
 
 
@@ -41,8 +42,8 @@ class SweepSpec:
     """Declarative description of one experiment grid.
 
     The grid is the cross product ``benchmarks x binder_configs x
-    widths x bind engines x map efforts x idle_modes x jitters x
-    sim kernels x vector_seeds``.
+    widths x bind engines x elab engines x map efforts x idle_modes x
+    jitters x sim kernels x vector_seeds``.
     Binder configurations come either from the ``binders x alphas``
     cross product (the default) or from an explicit ``configs`` list
     when the columns are not a product — e.g. the bench suite's
@@ -76,6 +77,11 @@ class SweepSpec:
     #: binders; the differential oracle). ``bind_engines`` overrides
     #: this scalar with a grid axis.
     bind_engine: str = "fast"
+    #: Elaboration engine for every cell: "fast" (default, the
+    #: template-stamped elaborator — byte-identical netlists) or
+    #: "reference" (the seed elaborator; the differential oracle).
+    #: ``elab_engines`` overrides this scalar with a grid axis.
+    elab_engine: str = "fast"
     #: Binder label (or binder name) used as the reference for
     #: percentage changes; "none" (or empty) disables the comparison.
     baseline: str = "lopass"
@@ -89,6 +95,8 @@ class SweepSpec:
     map_efforts: Optional[Sequence[str]] = None
     #: Optional bind-engine axis; ``None`` means ``(bind_engine,)``.
     bind_engines: Optional[Sequence[str]] = None
+    #: Optional elab-engine axis; ``None`` means ``(elab_engine,)``.
+    elab_engines: Optional[Sequence[str]] = None
     #: "full" runs the paper's measurement chain; "estimate" stops
     #: every cell after tech-map (Equation-(3) numbers, no simulator).
     flow: str = "full"
@@ -135,6 +143,12 @@ class SweepSpec:
             return list(self.bind_engines)
         return [self.bind_engine]
 
+    def elab(self) -> List[str]:
+        """The elab-engine axis (scalar unless overridden)."""
+        if self.elab_engines is not None:
+            return list(self.elab_engines)
+        return [self.elab_engine]
+
     def validate(self) -> None:
         if not self.benchmarks:
             raise ConfigError("sweep spec has no benchmarks")
@@ -159,6 +173,12 @@ class SweepSpec:
                 raise ConfigError(
                     f"unknown bind engine {engine!r}; choose from "
                     f"{BIND_ENGINES}"
+                )
+        for engine in [self.elab_engine] + self.elab():
+            if engine not in ELAB_ENGINES:
+                raise ConfigError(
+                    f"unknown elab engine {engine!r}; choose from "
+                    f"{ELAB_ENGINES}"
                 )
         if self.flow not in ("full", "estimate"):
             raise ConfigError(
@@ -235,6 +255,8 @@ class SweepSpec:
             data["map_efforts"] = list(self.map_efforts)
         if self.bind_engines is not None:
             data["bind_engines"] = list(self.bind_engines)
+        if self.elab_engines is not None:
+            data["elab_engines"] = list(self.elab_engines)
         if self.configs is not None:
             data["configs"] = [asdict(config) for config in self.configs]
         return data
@@ -263,6 +285,7 @@ class SweepJob:
     sim_kernel: str = "event"
     map_effort: str = "fast"
     bind_engine: str = "fast"
+    elab_engine: str = "fast"
 
 
 @dataclass
@@ -286,6 +309,7 @@ class SweepCell:
     sim_kernel: str = "event"
     map_effort: str = "fast"
     bind_engine: str = "fast"
+    elab_engine: str = "fast"
     #: Per-pipeline-stage wall clock of this cell's flow run.
     stage_timings: Dict[str, float] = field(default_factory=dict)
     #: Pipeline stages served from the worker's artifact cache.
@@ -298,11 +322,11 @@ class SweepCell:
     sim_batch_s: float = 0.0
 
     @property
-    def key(self) -> Tuple[str, str, int, int, str, int, str, str, str]:
+    def key(self) -> Tuple[str, str, int, int, str, int, str, str, str, str]:
         return (
             self.benchmark, self.config, self.width, self.vector_seed,
             self.idle_selects, self.delay_jitter, self.sim_kernel,
-            self.map_effort, self.bind_engine,
+            self.map_effort, self.bind_engine, self.elab_engine,
         )
 
 
@@ -332,20 +356,22 @@ def expand_grid(spec: SweepSpec) -> List[SweepJob]:
             for width in spec.widths:
                 # The bind-engine axis is outermost (bind is the
                 # pipeline root: engine cells share no cached
-                # prefix), then the mapper-effort axis outside the
-                # simulation-only axes: cells that share (benchmark,
-                # binder, width, engine, effort) still share the
-                # mapped prefix.
+                # prefix), then the elab-engine axis (those cells
+                # still share the bound prefix), then the
+                # mapper-effort axis outside the simulation-only
+                # axes: cells that share (benchmark, binder, width,
+                # engines, effort) still share the mapped prefix.
                 for engine in spec.engines():
-                    for effort in spec.efforts():
-                        for idle in idle_modes:
-                            for jitter in jitters:
-                                for kernel in kernels:
-                                    for seed in seeds:
-                                        jobs.append(SweepJob(
-                                            len(jobs), benchmark,
-                                            config, width, seed, idle,
-                                            jitter, kernel, effort,
-                                            engine,
-                                        ))
+                    for elab in spec.elab():
+                        for effort in spec.efforts():
+                            for idle in idle_modes:
+                                for jitter in jitters:
+                                    for kernel in kernels:
+                                        for seed in seeds:
+                                            jobs.append(SweepJob(
+                                                len(jobs), benchmark,
+                                                config, width, seed,
+                                                idle, jitter, kernel,
+                                                effort, engine, elab,
+                                            ))
     return jobs

@@ -10,7 +10,7 @@ stage                 inputs                       config fields read
                       registers/ports/binder       (+ SA-table settings,
                                                    hlpower only)
 ``datapath``          ``bind``                     ``width``
-``elaborate``         ``datapath``                 —
+``elaborate``         ``datapath``                 ``elab_engine``
 ``techmap``           ``elaborate``                ``k, control_activity,
                                                    map_effort``
 ``timing``            ``techmap``                  ``device``
@@ -73,7 +73,8 @@ from repro.binding.compile import (
 from repro.binding.sa_table import SATableConfig
 from repro.cdfg.schedule import Schedule
 from repro.flow.cache import ArtifactCache, fingerprint
-from repro.fpga.elaborate import ElaboratedDesign, elaborate_datapath
+from repro.fpga.compile import elaborate_design
+from repro.fpga.elaborate import ElaboratedDesign
 from repro.fpga.power import PowerReport, power_report
 from repro.fpga.simulate import (
     BatchConfig,
@@ -296,7 +297,7 @@ def _run_datapath(p: "Pipeline") -> Datapath:
 
 
 def _run_elaborate(p: "Pipeline") -> ElaboratedDesign:
-    return elaborate_datapath(p.artifact("datapath"))
+    return elaborate_design(p.artifact("datapath"), p.cfg.elab_engine)
 
 
 def _cone_memo(p: "Pipeline") -> Optional[ConeMemo]:
@@ -440,8 +441,11 @@ STAGES: Dict[str, Stage] = {
         ),
         Stage("datapath", deps=("bind",), config_fields=("width",),
               run=_run_datapath),
-        Stage("elaborate", deps=("datapath",), config_fields=(),
-              run=_run_elaborate),
+        # ``elab_engine`` follows the ``bind_engine`` convention: in
+        # the fingerprint despite byte-identical outputs, so
+        # differential sweeps keep the engines' artifacts apart.
+        Stage("elaborate", deps=("datapath",),
+              config_fields=("elab_engine",), run=_run_elaborate),
         Stage("techmap", deps=("elaborate",),
               config_fields=("k", "control_activity", "map_effort"),
               run=_run_techmap),

@@ -78,6 +78,8 @@ def format_sweep_summary(sweep: "SweepResult") -> str:
     extra_axes = []
     if len(spec.engines()) > 1:
         extra_axes.append(("engine", "bind_engine"))
+    if len(spec.elab()) > 1:
+        extra_axes.append(("elab", "elab_engine"))
     if len(spec.efforts()) > 1:
         extra_axes.append(("effort", "map_effort"))
     if not estimate:
@@ -126,6 +128,7 @@ def format_sweep_summary(sweep: "SweepResult") -> str:
         (len(spec.binder_configs()), "configs"),
         (len(spec.widths), "widths"),
         (len(spec.engines()), "engines"),
+        (len(spec.elab()), "elabs"),
         (len(spec.efforts()), "efforts"),
     ]
     if not estimate:
@@ -146,26 +149,33 @@ def format_sweep_summary(sweep: "SweepResult") -> str:
         f"Sweep: {len(sweep.cells)} cells ({flow_tag}{grid}), "
         f"jobs={sweep.jobs}, wall {sweep.wall_s:.1f}s"
     )
-    table = format_table(headers, rows, title=title)
     stage_total = sweep.stage_cache_hits + sweep.stage_cache_misses
     hit_rate = (
         f" ({100.0 * sweep.stage_cache_hits / stage_total:.0f}% hit rate)"
         if stage_total else ""
     )
-    stats = (
+    # Collect stats as segments and lines and join once — repeated
+    # ``str +=`` re-copies the accumulated summary per append, which
+    # goes quadratic on wide sweeps. Bytes are pinned by
+    # tests/flow/test_report.py.
+    segments = [
         f"elaboration cache: {sweep.schedule_cache_hits} hits / "
-        f"{sweep.schedule_cache_misses} misses; pipeline stages: "
-        f"{sweep.stage_cache_hits} cached / "
-        f"{sweep.stage_cache_misses} computed{hit_rate}; SA table: "
-        f"{sweep.sa_precalc_entries} precalculated, "
-        f"{sweep.sa_new_entries} new entries"
-    )
+        f"{sweep.schedule_cache_misses} misses",
+        f"pipeline stages: {sweep.stage_cache_hits} cached / "
+        f"{sweep.stage_cache_misses} computed{hit_rate}",
+        f"SA table: {sweep.sa_precalc_entries} precalculated, "
+        f"{sweep.sa_new_entries} new entries",
+    ]
     if sweep.sim_batches:
-        stats += (
-            f"; batched simulation: {sweep.sim_batched_cells} cells in "
+        segments.append(
+            f"batched simulation: {sweep.sim_batched_cells} cells in "
             f"{sweep.sim_batches} kernel passes "
             f"({sweep.sim_batch_wall_s:.1f}s)"
         )
+    lines = [
+        format_table(headers, rows, title=title),
+        "; ".join(segments),
+    ]
     totals = sweep.stage_time_totals()
     if totals:
         rank = {stage: index for index, stage in enumerate(_STAGE_ORDER)}
@@ -173,7 +183,7 @@ def format_sweep_summary(sweep: "SweepResult") -> str:
             totals.items(),
             key=lambda item: (rank.get(item[0], len(rank)), item[0]),
         )
-        stats += "\nstage wall: " + ", ".join(
+        lines.append("stage wall: " + ", ".join(
             f"{stage} {seconds:.2f}s" for stage, seconds in ordered
-        )
-    return table + "\n" + stats
+        ))
+    return "\n".join(lines)

@@ -38,6 +38,7 @@ from repro.binding import (
 from repro.cdfg.schedule import Schedule
 from repro.flow.cache import ArtifactCache
 from repro.flow.pipeline import ESTIMATE_STAGES, Binder, Pipeline
+from repro.fpga.compile import ELAB_ENGINES
 from repro.fpga.device import CYCLONE_II_LIKE, DeviceModel
 from repro.fpga.elaborate import ElaboratedDesign
 from repro.fpga.power import PowerReport
@@ -99,6 +100,11 @@ class FlowConfig:
     #: binders) or "reference" (the seed binders verbatim, the
     #: differential-testing oracle).
     bind_engine: str = "fast"
+    #: Elaboration engine: "fast" (the template-stamped elaborator of
+    #: :mod:`repro.fpga.compile`, byte-identical netlists) or
+    #: "reference" (the seed elaborator verbatim, the
+    #: differential-testing oracle).
+    elab_engine: str = "fast"
     #: Which flow the drivers execute: "full" (the paper's measurement
     #: chain, through simulation and power) or "estimate" (stop after
     #: tech-map/timing and report the Equation-(3) estimates only).
@@ -128,6 +134,11 @@ class FlowConfig:
             raise ConfigError(
                 f"unknown bind engine {self.bind_engine!r}; choose from "
                 f"{BIND_ENGINES}"
+            )
+        if self.elab_engine not in ELAB_ENGINES:
+            raise ConfigError(
+                f"unknown elab engine {self.elab_engine!r}; choose from "
+                f"{ELAB_ENGINES}"
             )
         if self.idle_selects not in ("zero", "hold"):
             raise ConfigError(

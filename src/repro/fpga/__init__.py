@@ -16,6 +16,11 @@ of that measurement harness (see DESIGN.md, substitution table):
 
 from repro.fpga.device import CYCLONE_II_LIKE, DeviceModel
 from repro.fpga.elaborate import ElaboratedDesign, elaborate_datapath
+from repro.fpga.compile import (
+    ELAB_ENGINES,
+    elaborate_datapath_fast,
+    elaborate_design,
+)
 from repro.fpga.vectors import (
     VectorSet,
     pack_values,
@@ -39,6 +44,9 @@ __all__ = [
     "DeviceModel",
     "ElaboratedDesign",
     "elaborate_datapath",
+    "ELAB_ENGINES",
+    "elaborate_datapath_fast",
+    "elaborate_design",
     "VectorSet",
     "pack_values",
     "random_vectors",

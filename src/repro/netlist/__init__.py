@@ -17,6 +17,7 @@ Public API:
 
 from repro.netlist.gates import Gate, GateType, Netlist, TruthTable
 from repro.netlist.blif import parse_blif, write_blif
+from repro.netlist.compile import clean_fast, propagate_constants_fast
 from repro.netlist.library import (
     build_adder,
     build_addsub,
@@ -36,6 +37,8 @@ __all__ = [
     "TruthTable",
     "parse_blif",
     "write_blif",
+    "clean_fast",
+    "propagate_constants_fast",
     "build_adder",
     "build_addsub",
     "build_equality_comparator",

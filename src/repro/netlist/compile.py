@@ -1,0 +1,210 @@
+"""Worklist netlist cleanup (the compiled elaboration's clean pass).
+
+:func:`repro.netlist.transform.propagate_constants` re-walks the whole
+netlist once per folding pass: every pass rebuilds the constant-net
+dict and the topological order, so a chain of K dependent constants
+costs K full traversals. This module re-implements the fixpoint as a
+worklist over a consumers map built once — each pass only visits the
+gates that actually read a net that became constant in the previous
+pass.
+
+The rewrite sequence is provably identical to the reference pass
+structure: within one reference pass every gate folds against the
+constant snapshot taken at pass start, so the per-pass fold set and
+the fold results are order-independent, and a gate's inputs can only
+contain constants discovered in the immediately preceding pass (older
+constant inputs were already cofactored away). The worklist's wave
+``p`` therefore folds exactly the gates reference pass ``p`` folds,
+with the same :func:`~repro.netlist.transform._fold_gate` and the same
+cumulative constants — same rewrite count, same final gates.
+
+Buffer and dead-logic sweeps are already linear-time; the reference
+implementations run unchanged, so :func:`clean_fast` produces a
+netlist byte-identical to :func:`~repro.netlist.transform.clean`
+(``tests/netlist/test_clean_fast.py`` pins the equivalence).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.netlist.gates import Gate, GateType, Netlist
+from repro.netlist.transform import _fold_gate
+
+_CONST_TYPES = (GateType.CONST0, GateType.CONST1)
+
+
+def make_gate(
+    output: str, inputs: Tuple[str, ...], table, gate_type: GateType
+) -> Gate:
+    """Build a :class:`Gate` skipping the dataclass arity re-check.
+
+    Only for callers that copy an existing gate or template record —
+    the table arity is already known to match ``inputs``.
+    """
+    gate = Gate.__new__(Gate)
+    gate.output = output
+    gate.inputs = inputs
+    gate.table = table
+    gate.gate_type = gate_type
+    return gate
+
+
+def propagate_constants_fast(netlist: Netlist) -> int:
+    """Worklist version of :func:`~repro.netlist.transform.propagate_constants`.
+
+    Returns the same rewrite count and leaves the same gates dict as
+    the reference fixpoint.
+    """
+    gates = netlist.gates
+    consumers: Dict[str, List[str]] = {}
+    constants: Dict[str, bool] = {}
+    for net, gate in gates.items():
+        value = gate.table.is_constant()
+        if value is not None:
+            constants[net] = value
+        for name in gate.inputs:
+            readers = consumers.get(name)
+            if readers is None:
+                consumers[name] = [net]
+            else:
+                readers.append(net)
+
+    rewrites = 0
+    wave = list(constants)
+    while wave:
+        # Gates reading a net that became constant last wave, each
+        # once. Folding only ever removes inputs, so the consumers map
+        # built above stays a superset of the live fanout — and a net
+        # newly constant this wave was never constant before, hence
+        # never cofactored out of any reader.
+        dirty: List[str] = []
+        seen = set()
+        for net in wave:
+            for reader in consumers.get(net, ()):
+                if reader not in seen:
+                    seen.add(reader)
+                    dirty.append(reader)
+        # Defer new constants to the end of the wave: the reference
+        # folds every gate of a pass against the snapshot taken at
+        # pass start.
+        found: List[Tuple[str, bool]] = []
+        for net in dirty:
+            gate = gates.get(net)
+            if gate is None or gate.gate_type in _CONST_TYPES:
+                continue
+            new_gate = _fold_gate(gate, constants)
+            if new_gate is None:
+                continue
+            gates[net] = new_gate
+            rewrites += 1
+            value = new_gate.table.is_constant()
+            if value is not None and net not in constants:
+                found.append((net, value))
+        wave = []
+        for net, value in found:
+            constants[net] = value
+            wave.append(net)
+    return rewrites
+
+
+def sweep_buffers_fast(netlist: Netlist) -> int:
+    """Flat version of :func:`~repro.netlist.transform.sweep_buffers`.
+
+    Resolves every buffer alias to its final target up front instead of
+    path-compressing lazily per reference, then rewires in one pass.
+    Same removals, same rewritten gates, same return count.
+    """
+    gates = netlist.gates
+    outputs = set(netlist.outputs)
+    alias: Dict[str, str] = {}
+    for net, gate in gates.items():
+        if gate.gate_type is GateType.BUF and net not in outputs:
+            alias[net] = gate.inputs[0]
+
+    final: Dict[str, str] = {}
+    for net in alias:
+        target = net
+        chain = []
+        while target in alias:
+            resolved = final.get(target)
+            if resolved is not None:
+                target = resolved
+                break
+            chain.append(target)
+            target = alias[target]
+        for name in chain:
+            final[name] = target
+
+    get = final.get
+    for net, gate in gates.items():
+        if net in alias:
+            continue
+        old_inputs = gate.inputs
+        hit = False
+        for name in old_inputs:
+            if name in final:
+                hit = True
+                break
+        if not hit:
+            continue
+        new_inputs = tuple(
+            mapped if (mapped := get(name)) is not None else name
+            for name in old_inputs
+        )
+        gates[net] = make_gate(net, new_inputs, gate.table, gate.gate_type)
+    for latch in netlist.latches.values():
+        latch.data = final.get(latch.data, latch.data)
+        if latch.enable is not None:
+            latch.enable = final.get(latch.enable, latch.enable)
+    for name in alias:
+        del gates[name]
+    return len(alias)
+
+
+def sweep_dead_fast(netlist: Netlist) -> int:
+    """Flat version of :func:`~repro.netlist.transform.sweep_dead`.
+
+    Same live cone, same removals, same return count; the frontier
+    walk just avoids a latch-dict probe for nets that are gates.
+    """
+    gates = netlist.gates
+    latches = netlist.latches
+    live = set()
+    frontier = list(netlist.outputs)
+    while frontier:
+        net = frontier.pop()
+        if net in live:
+            continue
+        live.add(net)
+        gate = gates.get(net)
+        if gate is not None:
+            frontier.extend(gate.inputs)
+            continue
+        latch = latches.get(net)
+        if latch is not None:
+            frontier.append(latch.data)
+            if latch.enable is not None:
+                frontier.append(latch.enable)
+
+    removed = 0
+    for net in [net for net in gates if net not in live]:
+        del gates[net]
+        removed += 1
+    for net in [net for net in latches if net not in live]:
+        del latches[net]
+        removed += 1
+    return removed
+
+
+def clean_fast(netlist: Netlist) -> Tuple[int, int, int]:
+    """Drop-in for :func:`~repro.netlist.transform.clean`.
+
+    Same ``(folded, buffers, dead)`` counts, same final netlist; each
+    pass is the worklist/flat twin of its reference transform.
+    """
+    folded = propagate_constants_fast(netlist)
+    buffers = sweep_buffers_fast(netlist)
+    dead = sweep_dead_fast(netlist)
+    netlist.validate()
+    return folded, buffers, dead

@@ -273,6 +273,17 @@ class Netlist:
         self.gates: Dict[str, Gate] = {}
         self.latches: Dict[str, Latch] = {}
         self._fresh = itertools.count()
+        # Set mirror of ``inputs``: membership tests during construction
+        # must stay O(1) or netlist building goes quadratic in the pad
+        # count (every add_gate would scan the primary-input list).
+        self._input_set: Set[str] = set()
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        # Netlists pickled before the input-set mirror existed restore
+        # without it; rebuild so membership checks keep working.
+        self.__dict__.update(state)
+        if "_input_set" not in state:
+            self._input_set = set(self.inputs)
 
     # -- construction --------------------------------------------------
 
@@ -284,13 +295,14 @@ class Netlist:
                 return name
 
     def _is_used(self, net: str) -> bool:
-        return net in self.gates or net in self.latches or net in self.inputs
+        return net in self.gates or net in self.latches or net in self._input_set
 
     def add_input(self, name: Optional[str] = None) -> str:
         net = name if name is not None else self.new_net("pi")
         if self._is_used(net):
             raise NetlistError(f"net {net!r} already driven")
         self.inputs.append(net)
+        self._input_set.add(net)
         return net
 
     def set_output(self, net: str) -> None:
@@ -347,7 +359,7 @@ class Netlist:
 
     def is_source(self, net: str) -> bool:
         """True for nets not driven by combinational logic."""
-        return net in self.inputs or net in self.latches
+        return net in self._input_set or net in self.latches
 
     def all_nets(self) -> Set[str]:
         nets: Set[str] = set(self.inputs)

@@ -46,9 +46,20 @@ class MuxSpec:
         return len(self.sources)
 
     def select_of(self, source: SourceRef) -> int:
+        # Lazily indexed: select lookups run once per (op, port) while
+        # building the control table, so a linear .index() scan makes
+        # datapath construction quadratic in ops-per-FU. Sources never
+        # change after construction.
+        cached = self.__dict__.get("_select_index")
+        if cached is None or cached[0] != len(self.sources):
+            index: Dict[SourceRef, int] = {}
+            for k, ref in enumerate(self.sources):
+                index.setdefault(ref, k)  # first occurrence, like .index()
+            cached = (len(self.sources), index)
+            self.__dict__["_select_index"] = cached
         try:
-            return self.sources.index(source)
-        except ValueError:
+            return cached[1][source]
+        except KeyError:
             raise RTLError(f"{self.name}: {source} is not a source")
 
 
@@ -108,10 +119,17 @@ class Datapath:
 
     def fu_of(self, op_id: int) -> FUSpec:
         unit = self.solution.fus.unit_of(op_id)
-        for spec in self.fus:
-            if spec.unit.fu_id == unit.fu_id:
-                return spec
-        raise RTLError(f"no FU spec for unit {unit.fu_id}")
+        # Lazily indexed by fu id: validate() resolves one spec per
+        # operation, and a linear scan over the FU list per lookup is
+        # quadratic on wide schedules.
+        index = self.__dict__.get("_fu_index")
+        if index is None or len(index) != len(self.fus):
+            index = {spec.unit.fu_id: spec for spec in self.fus}
+            self.__dict__["_fu_index"] = index
+        spec = index.get(unit.fu_id)
+        if spec is None:
+            raise RTLError(f"no FU spec for unit {unit.fu_id}")
+        return spec
 
     def validate(self) -> None:
         """Every op must be drivable in its scheduled step."""

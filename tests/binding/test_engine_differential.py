@@ -26,7 +26,12 @@ from repro.binding.compile import (
 )
 from repro.binding.hlpower import HLPowerConfig
 from repro.cdfg import load_benchmark
-from repro.cdfg.corpus import corpus_instance, oracle_feasible, CORPUS
+from repro.cdfg.corpus import (
+    CORPUS,
+    classic_corpus_names,
+    corpus_instance,
+    oracle_feasible,
+)
 from repro.flow.run import FlowConfig, run_flow
 from repro.rtl.metrics import mux_report
 from repro.scheduling import list_schedule
@@ -167,7 +172,10 @@ class TestFullCrossProduct:
         )
         assert_identical(reference, fast)
 
-    @pytest.mark.parametrize("name", sorted(CORPUS))
+    # The classic 90-instance corpus; the extended seed ranges and the
+    # huge/soc scaling families are exercised by sampled tests and the
+    # scaling bench, not the full cross-product.
+    @pytest.mark.parametrize("name", sorted(classic_corpus_names()))
     @pytest.mark.parametrize("binder", ("lopass", "hlpower"))
     def test_corpus_cross_product(self, name, binder, sa_table):
         reference, fast = both_engines(name, binder, sa_table)
@@ -217,7 +225,10 @@ class TestOracleGap:
     @pytest.mark.slow
     @pytest.mark.parametrize(
         "name",
-        sorted(n for n, i in CORPUS.items() if oracle_feasible(i)),
+        sorted(
+            n for n in classic_corpus_names()
+            if oracle_feasible(CORPUS[n])
+        ),
     )
     def test_heuristics_never_beat_the_oracle(self, name, sa_table):
         """The exact binder's objective is a true lower bound."""

@@ -249,3 +249,42 @@ class TestCorpusGenerator:
     def test_round_robin_limit_samples_every_family(self):
         picked = corpus_instances(limit=len(CORPUS_FAMILIES))
         assert {inst.family for inst in picked} == set(CORPUS_FAMILIES)
+
+
+class TestScalingFamilies:
+    """The huge/soc families and the >=1000-instance registry."""
+
+    def test_registry_reaches_sweep_scale(self):
+        assert len(corpus_instances()) >= 1000
+
+    def test_classic_corpus_is_unchanged(self):
+        from repro.cdfg.corpus import CLASSIC_SEEDS, classic_corpus_names
+
+        classic = classic_corpus_names()
+        assert len(classic) == 90
+        assert set(CLASSIC_SEEDS) == {"micro", "kernel", "wide"}
+
+    def test_scaling_families_registered(self):
+        assert "huge" in CORPUS_FAMILIES
+        assert "soc" in CORPUS_FAMILIES
+        ops = [
+            inst.n_ops for inst in corpus_instances(families=("soc",))
+        ]
+        assert max(ops) >= 4096
+
+    def test_every_scaling_profile_derives(self):
+        # Profile derivation (not generation) for every huge/soc point;
+        # the registry build would have raised otherwise, so this pins
+        # the constraints convention instead.
+        for inst in corpus_instances(families=("huge", "soc")):
+            assert inst.constraints["add"] >= 1
+            assert inst.constraints["mult"] >= 1
+            assert inst.profile.n_adds + inst.profile.n_mults == inst.n_ops
+
+    def test_huge_instance_generates(self):
+        from repro.cdfg import load_benchmark
+
+        instance = corpus_instances(families=("huge",))[0]
+        cdfg = load_benchmark(instance.name)
+        cdfg.validate()
+        assert len(cdfg.operations) == instance.n_ops

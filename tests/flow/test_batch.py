@@ -140,9 +140,9 @@ class TestParallelDeterminism:
         assert len(keys) == 4
         # Cell keys carry every grid axis, sim-only axes included.
         assert ("pr", "lopass", 4, 7, "zero", 0, "event", "fast",
-                "fast") in keys
+                "fast", "fast") in keys
         assert ("pr", "hlpower", 4, 8, "zero", 0, "event", "fast",
-                "fast") in keys
+                "fast", "fast") in keys
 
     def test_jobs_recorded(self, serial_sweep, parallel_sweep):
         assert serial_sweep.jobs == 1

@@ -1,7 +1,7 @@
 """Cross-subcommand consistency of the shared CLI flags.
 
-``--sa-table``, ``--jobs``, ``--map-effort`` and ``--bind-engine``
-appear on several subcommands; they are declared once in shared
+``--sa-table``, ``--jobs``, ``--map-effort``, ``--bind-engine`` and
+``--elab-engine`` appear on several subcommands; they are declared once in shared
 helpers (see :mod:`repro.cli`), and these tests pin that a subcommand
 cannot silently drift to different defaults or accept values its
 siblings reject.
@@ -14,6 +14,7 @@ import pytest
 from repro.binding import BIND_ENGINES
 from repro.cli import SIM_KERNELS, build_parser
 from repro.flow import SweepSpec
+from repro.fpga import ELAB_ENGINES
 from repro.techmap import MAP_EFFORTS
 
 #: Subcommands carrying each shared flag.
@@ -23,6 +24,7 @@ SHARED_FLAGS = {
     "--jobs": ("bench", "suite", "sweep", "estimate", "corpus", "serve"),
     "--map-effort": ("bench", "suite", "sweep", "estimate", "corpus"),
     "--bind-engine": ("bench", "suite", "sweep", "estimate", "corpus"),
+    "--elab-engine": ("bench", "suite", "sweep", "estimate", "corpus"),
 }
 
 #: Subcommands where the flag is a comma-separated grid axis rather
@@ -60,7 +62,8 @@ def test_flag_present_with_identical_default(commands, flag):
 
 @pytest.mark.parametrize(
     "flag, choices",
-    [("--map-effort", MAP_EFFORTS), ("--bind-engine", BIND_ENGINES)],
+    [("--map-effort", MAP_EFFORTS), ("--bind-engine", BIND_ENGINES),
+     ("--elab-engine", ELAB_ENGINES)],
 )
 def test_choice_flags_share_vocabulary(commands, flag, choices):
     for name in SHARED_FLAGS[flag]:
@@ -88,7 +91,8 @@ def test_sim_kernel_axis_on_sweep(commands):
 def test_axis_defaults_parse_to_single_value(commands):
     # argparse runs string defaults through `type`, so the default of
     # an axis flag must itself be a valid axis.
-    for flag in ("--sim-kernel", "--map-effort", "--bind-engine"):
+    for flag in ("--sim-kernel", "--map-effort", "--bind-engine",
+                 "--elab-engine"):
         action = _flag_action(commands["sweep"], flag)
         assert action.type(action.default) == [action.default]
 
@@ -111,5 +115,6 @@ def test_parsed_namespaces_agree():
     # Axis flags resolve to one-element lists of the scalar default.
     assert sweep.map_effort == [estimate.map_effort] == [bench.map_effort]
     assert sweep.bind_engine == [estimate.bind_engine] == [corpus.bind_engine]
+    assert sweep.elab_engine == [estimate.elab_engine] == [corpus.elab_engine]
     assert sweep.sim_kernel == ["event"]
     assert sweep.sim_batch == SweepSpec.sim_batch
