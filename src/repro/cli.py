@@ -210,9 +210,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep.add_argument(
-        "--benchmarks", default="all",
+        "--benchmarks", default=None,
         help="comma-separated names, a count N (= first N benchmarks), "
-             "or 'all' (default)")
+             "or 'all' (the default, unless --design is given)")
+    sweep.add_argument(
+        "--design", metavar="FILE", action="append", default=[],
+        help="external design to estimate alongside the grid: a "
+             "repro-module-v1 JSON module or flat BLIF file (repeatable; "
+             "requires --flow estimate; with no explicit --benchmarks, "
+             "only the designs run)")
     sweep.add_argument(
         "--binders", default="lopass,hlpower",
         help="comma-separated binder names (default lopass,hlpower)")
@@ -283,9 +289,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     estimate.add_argument(
-        "--benchmarks", default="all",
+        "--benchmarks", default=None,
         help="comma-separated names, a count N (= first N benchmarks), "
-             "or 'all' (default)")
+             "or 'all' (the default, unless --design is given)")
+    estimate.add_argument(
+        "--design", metavar="FILE", action="append", default=[],
+        help="external design to estimate: a repro-module-v1 JSON "
+             "module or flat BLIF file (repeatable; with no explicit "
+             "--benchmarks, only the designs run)")
     estimate.add_argument(
         "--binders", default="lopass,hlpower",
         help="comma-separated binder names (default lopass,hlpower)")
@@ -390,6 +401,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("profiles", help="print Table 1 profiles")
     return parser
+
+
+def _select_benchmarks(raw: Optional[str],
+                       designs: Optional[Dict[str, str]]) -> List[str]:
+    """Resolve ``--benchmarks``: default 'all', or none with --design."""
+    if raw is None:
+        return [] if designs else list(BENCHMARK_NAMES)
+    return _parse_benchmarks(raw)
+
+
+def _load_designs(paths: Sequence[str]) -> Optional[Dict[str, str]]:
+    """Read ``--design`` files; the cell name is the file stem."""
+    import os
+
+    if not paths:
+        return None
+    designs: Dict[str, str] = {}
+    for path in paths:
+        name = os.path.splitext(os.path.basename(path))[0]
+        if name in designs:
+            raise SystemExit(
+                f"error: duplicate design name {name!r} (from {path})"
+            )
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                designs[name] = stream.read()
+        except OSError as exc:
+            raise SystemExit(f"error: cannot read --design {path}: {exc}")
+    return designs
 
 
 def _parse_benchmarks(raw: str) -> List[str]:
@@ -511,8 +551,14 @@ def cmd_sweep(args) -> int:
     efforts = args.map_effort
     engines = args.bind_engine
     elabs = args.elab_engine
+    designs = _load_designs(args.design)
+    if designs and args.flow != "estimate":
+        raise SystemExit(
+            "error: --design cells run the estimate flow only; "
+            "pass --flow estimate"
+        )
     spec = SweepSpec(
-        benchmarks=_parse_benchmarks(args.benchmarks),
+        benchmarks=_select_benchmarks(args.benchmarks, designs),
         binders=_comma_list(args.binders, str, "--binders"),
         alphas=_comma_list(args.alphas, float, "--alphas"),
         widths=_comma_list(args.widths, int, "--widths"),
@@ -532,6 +578,7 @@ def cmd_sweep(args) -> int:
         jitters=_comma_list(args.jitters, int, "--jitters"),
         flow=args.flow,
         sim_batch=args.sim_batch,
+        designs=designs,
     )
     table = SATable(path=args.sa_table)
     try:
@@ -554,8 +601,9 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_estimate(args) -> int:
+    designs = _load_designs(args.design)
     spec = SweepSpec(
-        benchmarks=_parse_benchmarks(args.benchmarks),
+        benchmarks=_select_benchmarks(args.benchmarks, designs),
         binders=_comma_list(args.binders, str, "--binders"),
         alphas=_comma_list(args.alphas, float, "--alphas"),
         widths=(args.width,),
@@ -564,6 +612,7 @@ def cmd_estimate(args) -> int:
         bind_engine=args.bind_engine,
         elab_engine=args.elab_engine,
         flow="estimate",
+        designs=designs,
     )
     table = SATable(path=args.sa_table)
     try:

@@ -24,6 +24,10 @@ class NetlistError(ReproError):
     """Malformed gate-level netlist or BLIF text."""
 
 
+class IngestError(ReproError):
+    """Invalid external design (module format, widths, drivers...)."""
+
+
 class BindingError(ReproError):
     """Binding could not produce a valid solution."""
 

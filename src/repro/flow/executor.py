@@ -163,9 +163,54 @@ def _flow_config(job: SweepJob, spec: SweepSpec, table: SATable) -> FlowConfig:
     )
 
 
+def _load_design(state: Dict[str, Any], name: str, text: str):
+    """Memoized parse + canonicalization of one external design."""
+    key = ("design", name, text)
+    memo = state["memo"]
+    hit = key in memo
+    if not hit:
+        from repro.ingest import load_design_text
+
+        memo[key] = load_design_text(text, name=name)
+    return memo[key], hit
+
+
+def _execute_design(state: Dict[str, Any], job: SweepJob,
+                    spec: SweepSpec) -> Tuple[SweepCell, Any, Dict[Any, float]]:
+    """Run one external-design job (estimate flow, no schedule/binder)."""
+    from repro.ingest import run_design_estimate
+
+    design, hit = _load_design(state, job.design, spec.designs[job.design])
+    cfg = FlowConfig(k=spec.k, map_effort=job.map_effort, flow="estimate")
+    result = run_design_estimate(design, cfg, cache=state["cache"])
+    cell = SweepCell(
+        benchmark=job.benchmark,
+        config=job.config.label,
+        binder=job.config.binder,
+        alpha=job.config.alpha,
+        width=job.width,
+        vector_seed=job.vector_seed,
+        metrics=result.metrics(),
+        runtime_s=result.runtime_s,
+        schedule_cache_hit=hit,
+        sa_new_entries=0,
+        idle_selects=job.idle_selects,
+        delay_jitter=job.delay_jitter,
+        sim_kernel=job.sim_kernel,
+        map_effort=job.map_effort,
+        bind_engine=job.bind_engine,
+        elab_engine=job.elab_engine,
+        stage_timings=dict(result.stage_timings),
+        cache_hits=list(result.cache_hits),
+    )
+    return cell, result, {}
+
+
 def _execute(state: Dict[str, Any], job: SweepJob,
              spec: SweepSpec) -> Tuple[SweepCell, Any, Dict[Any, float]]:
     """Run one job against a worker's shared state."""
+    if job.design is not None:
+        return _execute_design(state, job, spec)
     table: SATable = state["sa_table"]
     schedule, constraints, registers, ports, hit = _elaborate(
         state, job.benchmark, spec

@@ -52,7 +52,7 @@ class SweepSpec:
     stage, so the pipeline cache turns them into simulate-only work.
     """
 
-    benchmarks: Sequence[str]
+    benchmarks: Sequence[str] = ()
     binders: Sequence[str] = ("lopass", "hlpower")
     alphas: Sequence[float] = (0.5,)
     widths: Sequence[int] = (8,)
@@ -100,6 +100,15 @@ class SweepSpec:
     #: "full" runs the paper's measurement chain; "estimate" stops
     #: every cell after tech-map (Equation-(3) numbers, no simulator).
     flow: str = "full"
+    #: External designs to estimate alongside (or instead of) the
+    #: benchmarks: design name -> design text (``repro-module-v1`` JSON
+    #: or flat BLIF; see :mod:`repro.ingest`). Design cells appear as
+    #: benchmark ``design:<name>`` with binder column ``ingest`` and
+    #: run the estimate flow only — they have no schedule or binder, so
+    #: only the ``k``/``map_efforts`` knobs apply to them. The text
+    #: rides in :meth:`to_dict`, so serve request deduplication and
+    #: worker-pool shipping see the design content.
+    designs: Optional[Mapping[str, str]] = None
     #: Maximum configurations per batched simulation kernel pass.
     #: Event-kernel cells that share the mapped design (same benchmark
     #: / binder / width / effort / engine, differing only in seed,
@@ -150,10 +159,12 @@ class SweepSpec:
         return [self.elab_engine]
 
     def validate(self) -> None:
-        if not self.benchmarks:
-            raise ConfigError("sweep spec has no benchmarks")
+        if not self.benchmarks and not self.designs:
+            raise ConfigError("sweep spec has no benchmarks or designs")
         for name in self.benchmarks:
             benchmark_spec(name)  # raises on unknown names
+        if self.designs is not None:
+            self._validate_designs()
         if self.scheduler not in ("list", "force"):
             raise ConfigError(f"unknown scheduler {self.scheduler!r}")
         for kernel in [self.sim_kernel] + self.kernels():
@@ -238,6 +249,27 @@ class SweepSpec:
                         f"{matches[0].label!r}"
                     )
 
+    def _validate_designs(self) -> None:
+        # Local import: the ingest frontend sits above this pure data
+        # layer and must stay importable without it.
+        from repro.errors import ReproError
+        from repro.ingest import load_design_text
+
+        if not isinstance(self.designs, Mapping):
+            raise ConfigError("designs must map name -> design text")
+        if self.flow != "estimate":
+            raise ConfigError(
+                "external designs have no schedule or binder; they run "
+                "the estimate flow only (set flow='estimate')"
+            )
+        for name, text in self.designs.items():
+            if not isinstance(name, str) or not name:
+                raise ConfigError(f"bad design name {name!r}")
+            try:
+                load_design_text(text, name=name)
+            except ReproError as exc:
+                raise ConfigError(f"design {name!r}: {exc}") from exc
+
     # -- (de)serialization -------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
@@ -259,6 +291,8 @@ class SweepSpec:
             data["elab_engines"] = list(self.elab_engines)
         if self.configs is not None:
             data["configs"] = [asdict(config) for config in self.configs]
+        if self.designs is not None:
+            data["designs"] = dict(self.designs)
         return data
 
     @classmethod
@@ -286,6 +320,12 @@ class SweepJob:
     map_effort: str = "fast"
     bind_engine: str = "fast"
     elab_engine: str = "fast"
+    #: Set for external-design cells: the key into ``spec.designs``.
+    design: Optional[str] = None
+
+
+#: Binder column shown for external-design cells (which have none).
+INGEST_CONFIG = BinderConfig("ingest", "ingest", 0.0)
 
 
 @dataclass
@@ -374,4 +414,17 @@ def expand_grid(spec: SweepSpec) -> List[SweepJob]:
                                                 idle, jitter, kernel,
                                                 effort, engine, elab,
                                             ))
+    if spec.designs:
+        # Design cells: estimate flow only (validate() enforces it), so
+        # the simulation axes are already collapsed; the mapper-effort
+        # axis is the only one that can move a design metric. width=0
+        # marks "the design defines its own widths".
+        for name in sorted(spec.designs):
+            for effort in spec.efforts():
+                jobs.append(SweepJob(
+                    len(jobs), f"design:{name}", INGEST_CONFIG, 0,
+                    seeds[0], idle_modes[0], jitters[0], kernels[0],
+                    effort, spec.engines()[0], spec.elab()[0],
+                    design=name,
+                ))
     return jobs

@@ -1,0 +1,470 @@
+"""Word-level external-design module format (``repro-module-v1``).
+
+The paper's flow consumes partial datapaths "in .blif format" before the
+switching-activity estimation; this module adds the word-level front
+half of that interchange boundary so third-party designs — not just the
+CDFG generator's output — can enter the flow. A design is either
+
+* a versioned JSON **module**: multi-bit :class:`Signal` declarations
+  (``input``/``output``/``reg`` attributes, an optional ``control``
+  activity hint) plus a list of word-level :class:`WordOp` records
+  (``add``/``sub``/``mul``, bitwise ``and``/``or``/``xor``/``not``,
+  ``mux``, ``dff``, ``const``, ``slice``, ``concat``), or
+* flat **BLIF** text, reusing :func:`repro.netlist.blif.parse_blif`.
+
+:func:`parse_module` validates strictly — undriven outputs, width
+mismatches, multiple drivers and combinational cycles are all reported
+by name as :class:`~repro.errors.IngestError` — and
+:func:`canonical_text` renders the validated module as deterministic
+JSON, the content-addressed identity the flow fingerprints hang off
+(see :mod:`repro.ingest.flow`).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import IngestError, NetlistError
+from repro.netlist.blif import blif_text, parse_blif
+from repro.netlist.library import select_width
+
+MODULE_FORMAT = "repro-module-v1"
+
+#: Word-level operators and their operand-count contract
+#: (min_inputs, max_inputs or None for unbounded).
+WORD_OPS: Mapping[str, Tuple[int, Optional[int]]] = {
+    "add": (2, 2),
+    "sub": (2, 2),
+    "mul": (2, 2),
+    "and": (2, None),
+    "or": (2, None),
+    "xor": (2, None),
+    "not": (1, 1),
+    "mux": (2, None),
+    "dff": (1, 1),
+    "const": (0, 0),
+    "slice": (1, 1),
+    "concat": (2, None),
+}
+
+# Bit nets are named "<signal>[<bit>]" by the bit-blaster, so signal
+# names must keep clear of the bracket characters (and of BLIF syntax).
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.$]*\Z")
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A named multi-bit value in a word-level module."""
+
+    name: str
+    width: int
+    is_input: bool = False
+    is_output: bool = False
+    is_reg: bool = False
+    is_control: bool = False
+    init: int = 0
+
+
+@dataclass(frozen=True)
+class WordOp:
+    """One word-level operation driving ``output``."""
+
+    op: str
+    output: str
+    inputs: Tuple[str, ...] = ()
+    select: Optional[str] = None  # mux only
+    value: Optional[int] = None  # const only
+    lsb: Optional[int] = None  # slice only
+
+
+@dataclass
+class Module:
+    """A validated word-level module."""
+
+    name: str
+    signals: Dict[str, Signal] = field(default_factory=dict)
+    ops: List[WordOp] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical dict form: sorted signals, defaults made explicit,
+        op order preserved (it pins deterministic net naming)."""
+        signals = []
+        for name in sorted(self.signals):
+            signal = self.signals[name]
+            signals.append({
+                "name": signal.name,
+                "width": signal.width,
+                "input": signal.is_input,
+                "output": signal.is_output,
+                "reg": signal.is_reg,
+                "control": signal.is_control,
+                "init": signal.init,
+            })
+        ops: List[Dict[str, object]] = []
+        for op in self.ops:
+            record: Dict[str, object] = {
+                "op": op.op,
+                "inputs": list(op.inputs),
+                "output": op.output,
+            }
+            if op.select is not None:
+                record["select"] = op.select
+            if op.value is not None:
+                record["value"] = op.value
+            if op.lsb is not None:
+                record["lsb"] = op.lsb
+            ops.append(record)
+        return {
+            "format": MODULE_FORMAT,
+            "name": self.name,
+            "signals": signals,
+            "ops": ops,
+        }
+
+
+def canonical_text(module: Module) -> str:
+    """Deterministic JSON for ``module`` — the ingest content address."""
+    return json.dumps(module.to_dict(), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def parse_module(source: Union[str, Mapping[str, object]]) -> Module:
+    """Parse and strictly validate ``repro-module-v1`` JSON."""
+    if isinstance(source, str):
+        try:
+            data = json.loads(source)
+        except ValueError as exc:
+            raise IngestError(f"module is not valid JSON: {exc}") from exc
+    else:
+        data = source
+    if not isinstance(data, Mapping):
+        raise IngestError("module must be a JSON object")
+    version = data.get("format")
+    if version != MODULE_FORMAT:
+        raise IngestError(
+            f"unsupported module format {version!r}; "
+            f"expected {MODULE_FORMAT!r}"
+        )
+    unknown = set(data) - {"format", "name", "signals", "ops"}
+    if unknown:
+        raise IngestError(f"unknown module fields: {sorted(unknown)}")
+    name = data.get("name", "module")
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise IngestError(f"bad module name {name!r}")
+
+    module = Module(name=name)
+    for index, entry in enumerate(_require_list(data, "signals")):
+        signal = _parse_signal(entry, index)
+        if signal.name in module.signals:
+            raise IngestError(f"duplicate signal {signal.name!r}")
+        module.signals[signal.name] = signal
+    for index, entry in enumerate(_require_list(data, "ops")):
+        module.ops.append(_parse_op(entry, index))
+
+    _validate(module)
+    return module
+
+
+def _require_list(data: Mapping[str, object], key: str) -> Sequence[object]:
+    value = data.get(key)
+    if not isinstance(value, Sequence) or isinstance(value, (str, bytes)):
+        raise IngestError(f"module {key!r} must be a list")
+    return value
+
+
+def _parse_signal(entry: object, index: int) -> Signal:
+    if not isinstance(entry, Mapping):
+        raise IngestError(f"signal #{index} must be an object")
+    unknown = set(entry) - {"name", "width", "input", "output", "reg",
+                            "control", "init"}
+    if unknown:
+        raise IngestError(
+            f"signal #{index}: unknown fields {sorted(unknown)}"
+        )
+    name = entry.get("name")
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise IngestError(f"signal #{index}: bad name {name!r}")
+    width = entry.get("width")
+    if not isinstance(width, int) or isinstance(width, bool) or width < 1:
+        raise IngestError(f"signal {name!r}: width must be a positive int")
+    flags = {}
+    for flag in ("input", "output", "reg", "control"):
+        value = entry.get(flag, False)
+        if not isinstance(value, bool):
+            raise IngestError(f"signal {name!r}: {flag!r} must be a bool")
+        flags[flag] = value
+    init = entry.get("init", 0)
+    if not isinstance(init, int) or isinstance(init, bool) or init < 0:
+        raise IngestError(f"signal {name!r}: init must be a non-negative int")
+    if flags["input"] and flags["output"]:
+        raise IngestError(
+            f"signal {name!r} cannot be both input and output"
+        )
+    if flags["input"] and flags["reg"]:
+        raise IngestError(f"signal {name!r} cannot be both input and reg")
+    if flags["control"] and not flags["input"]:
+        raise IngestError(
+            f"signal {name!r}: control activity hints apply to inputs only"
+        )
+    if init and not flags["reg"]:
+        raise IngestError(f"signal {name!r}: init requires reg: true")
+    if init >> width:
+        raise IngestError(
+            f"signal {name!r}: init {init} does not fit width {width}"
+        )
+    return Signal(name=name, width=width, is_input=flags["input"],
+                  is_output=flags["output"], is_reg=flags["reg"],
+                  is_control=flags["control"], init=init)
+
+
+def _parse_op(entry: object, index: int) -> WordOp:
+    if not isinstance(entry, Mapping):
+        raise IngestError(f"op #{index} must be an object")
+    kind = entry.get("op")
+    if kind not in WORD_OPS:
+        raise IngestError(
+            f"op #{index}: unknown op {kind!r} "
+            f"(supported: {sorted(WORD_OPS)})"
+        )
+    allowed = {"op", "inputs", "output"}
+    allowed |= {"mux": {"select"}, "const": {"value"},
+                "slice": {"lsb"}}.get(kind, set())
+    unknown = set(entry) - allowed
+    if unknown:
+        raise IngestError(
+            f"op #{index} ({kind}): unknown fields {sorted(unknown)}"
+        )
+    output = entry.get("output")
+    if not isinstance(output, str):
+        raise IngestError(f"op #{index} ({kind}): missing output signal")
+    inputs = entry.get("inputs", [])
+    if (not isinstance(inputs, Sequence) or isinstance(inputs, (str, bytes))
+            or not all(isinstance(i, str) for i in inputs)):
+        raise IngestError(
+            f"op #{index} ({kind}): inputs must be a list of signal names"
+        )
+    low, high = WORD_OPS[kind]
+    if len(inputs) < low or (high is not None and len(inputs) > high):
+        bound = f"{low}" if high == low else (
+            f">= {low}" if high is None else f"{low}..{high}")
+        raise IngestError(
+            f"op #{index} ({kind}) driving {output!r}: "
+            f"expected {bound} inputs, got {len(inputs)}"
+        )
+    select = entry.get("select")
+    if kind == "mux":
+        if not isinstance(select, str):
+            raise IngestError(
+                f"op #{index} (mux) driving {output!r}: "
+                f"missing select signal"
+            )
+    value = entry.get("value")
+    if kind == "const":
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise IngestError(
+                f"op #{index} (const) driving {output!r}: "
+                f"value must be a non-negative int"
+            )
+    lsb = entry.get("lsb", 0 if kind == "slice" else None)
+    if kind == "slice":
+        if not isinstance(lsb, int) or isinstance(lsb, bool) or lsb < 0:
+            raise IngestError(
+                f"op #{index} (slice) driving {output!r}: "
+                f"lsb must be a non-negative int"
+            )
+    return WordOp(op=kind, output=output, inputs=tuple(inputs),
+                  select=select if kind == "mux" else None,
+                  value=value if kind == "const" else None,
+                  lsb=lsb if kind == "slice" else None)
+
+
+def _validate(module: Module) -> None:
+    signals = module.signals
+
+    def width_of(name: str, context: str) -> int:
+        if name not in signals:
+            raise IngestError(f"{context} references unknown signal {name!r}")
+        return signals[name].width
+
+    # -- single-driver rule --------------------------------------------
+    drivers: Dict[str, int] = {}
+    for index, op in enumerate(module.ops):
+        context = f"op #{index} ({op.op})"
+        out_width = width_of(op.output, context)
+        target = signals[op.output]
+        if target.is_input:
+            raise IngestError(
+                f"input signal {op.output!r} is driven by {context}"
+            )
+        if op.output in drivers:
+            other = drivers[op.output]
+            raise IngestError(
+                f"signal {op.output!r} has multiple drivers: "
+                f"op #{other} ({module.ops[other].op}) and {context}"
+            )
+        drivers[op.output] = index
+        _check_widths(op, out_width, width_of, context)
+        if op.op == "dff" and not target.is_reg:
+            raise IngestError(
+                f"{context}: output {op.output!r} must be declared reg"
+            )
+        if op.op != "dff" and target.is_reg:
+            raise IngestError(
+                f"reg signal {op.output!r} must be driven by a dff, "
+                f"got {context}"
+            )
+
+    # -- completeness --------------------------------------------------
+    for name, signal in signals.items():
+        if signal.is_input:
+            continue
+        if name not in drivers:
+            kind = "output signal" if signal.is_output else "signal"
+            raise IngestError(f"{kind} {name!r} is never driven")
+    if not any(signal.is_output for signal in signals.values()):
+        raise IngestError(f"module {module.name!r} declares no outputs")
+
+    _check_cycles(module, drivers)
+
+
+def _check_widths(op: WordOp, out_width: int, width_of, context: str) -> None:
+    widths = [width_of(name, context) for name in op.inputs]
+    if op.op in ("add", "sub", "mul", "and", "or", "xor", "not"):
+        for name, width in zip(op.inputs, widths):
+            if width != out_width:
+                raise IngestError(
+                    f"{context}: input {name!r} is {width} bits wide "
+                    f"but output {op.output!r} is {out_width}"
+                )
+    elif op.op == "mux":
+        for name, width in zip(op.inputs, widths):
+            if width != out_width:
+                raise IngestError(
+                    f"{context}: data input {name!r} is {width} bits wide "
+                    f"but output {op.output!r} is {out_width}"
+                )
+        need = select_width(len(op.inputs))
+        sel_width = width_of(op.select, context)
+        if sel_width != need:
+            raise IngestError(
+                f"{context}: select {op.select!r} is {sel_width} bits wide; "
+                f"{len(op.inputs)} data inputs need {need}"
+            )
+    elif op.op == "dff":
+        if widths[0] != out_width:
+            raise IngestError(
+                f"{context}: input {op.inputs[0]!r} is {widths[0]} bits "
+                f"wide but output {op.output!r} is {out_width}"
+            )
+    elif op.op == "const":
+        if op.value >> out_width:
+            raise IngestError(
+                f"{context}: value {op.value} does not fit the "
+                f"{out_width}-bit output {op.output!r}"
+            )
+    elif op.op == "slice":
+        if op.lsb + out_width > widths[0]:
+            raise IngestError(
+                f"{context}: bits [{op.lsb}+{out_width}) exceed the "
+                f"{widths[0]}-bit input {op.inputs[0]!r}"
+            )
+    elif op.op == "concat":
+        if sum(widths) != out_width:
+            raise IngestError(
+                f"{context}: concat of {sum(widths)} bits does not match "
+                f"the {out_width}-bit output {op.output!r}"
+            )
+
+
+def _check_cycles(module: Module, drivers: Dict[str, int]) -> None:
+    """Reject combinational cycles; DFFs break the dependency edge."""
+    def operands(name: str) -> Tuple[str, ...]:
+        index = drivers.get(name)
+        if index is None:
+            return ()
+        op = module.ops[index]
+        if op.op == "dff":
+            return ()
+        if op.select is not None:
+            return op.inputs + (op.select,)
+        return op.inputs
+
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {name: WHITE for name in module.signals}
+    for root in module.signals:
+        if color[root] != WHITE:
+            continue
+        stack: List[Tuple[str, int]] = [(root, 0)]
+        path = [root]
+        color[root] = GREY
+        while stack:
+            name, cursor = stack[-1]
+            deps = operands(name)
+            if cursor == len(deps):
+                stack.pop()
+                path.pop()
+                color[name] = BLACK
+                continue
+            stack[-1] = (name, cursor + 1)
+            dep = deps[cursor]
+            if color[dep] == GREY:
+                cycle = path[path.index(dep):] + [dep]
+                raise IngestError(
+                    "combinational cycle: " + " -> ".join(cycle)
+                )
+            if color[dep] == WHITE:
+                color[dep] = GREY
+                stack.append((dep, 0))
+                path.append(dep)
+
+
+# -- external-design loaders -----------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExternalDesign:
+    """A validated, canonicalized design ready to enter the flow.
+
+    ``canonical`` is the content address: canonical module JSON for
+    word-level designs, normalized flat BLIF (``blif_text(parse_blif)``)
+    for gate-level ones. Two uploads with the same canonical text share
+    every stage fingerprint downstream.
+    """
+
+    name: str
+    kind: str  # "module" | "blif"
+    canonical: str
+
+
+def load_design_text(text: str, name: Optional[str] = None) -> ExternalDesign:
+    """Sniff + validate + canonicalize one design (module JSON or BLIF)."""
+    if not isinstance(text, str) or not text.strip():
+        raise IngestError("empty design")
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        module = parse_module(text)
+        return ExternalDesign(name=name or module.name, kind="module",
+                              canonical=canonical_text(module))
+    try:
+        netlist = parse_blif(text)
+        netlist.validate()
+    except NetlistError as exc:
+        raise IngestError(f"bad BLIF design: {exc}") from exc
+    if not netlist.outputs:
+        raise IngestError("BLIF design declares no .outputs")
+    return ExternalDesign(name=name or netlist.name, kind="blif",
+                          canonical=blif_text(netlist))
+
+
+def load_design(path: str, name: Optional[str] = None) -> ExternalDesign:
+    """Load a design file; the default name is the file stem."""
+    import os
+
+    with open(path, "r", encoding="utf-8") as stream:
+        text = stream.read()
+    if name is None:
+        name = os.path.splitext(os.path.basename(path))[0]
+    return load_design_text(text, name=name)

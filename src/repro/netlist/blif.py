@@ -92,10 +92,9 @@ def parse_blif(source: Union[str, TextIO], name: Optional[str] = None) -> Netlis
         elif keyword == ".outputs":
             declared_outputs.extend(tokens[1:])
         elif keyword == ".latch":
-            if len(tokens) < 3:
-                raise NetlistError(f"malformed .latch: {lines[index - 1]!r}")
-            init = tokens[3] == "1" if len(tokens) > 3 else False
-            netlist.add_latch(tokens[1], tokens[2], init)
+            data, output, init = _parse_latch(tokens, lines[index - 1])
+            _check_driver(netlist, output, ".latch")
+            netlist.add_latch(data, output, init)
         elif keyword == ".names":
             signals = tokens[1:]
             if not signals:
@@ -106,6 +105,7 @@ def parse_blif(source: Union[str, TextIO], name: Optional[str] = None) -> Netlis
                 if row:
                     cover.append(row)
                 index += 1
+            _check_driver(netlist, signals[-1], ".names")
             _add_cover(netlist, signals[:-1], signals[-1], cover)
         elif keyword == ".end":
             break
@@ -116,8 +116,49 @@ def parse_blif(source: Union[str, TextIO], name: Optional[str] = None) -> Netlis
         # Silently ignore other dot-directives (.default_input_arrival...).
 
     for net in declared_outputs:
+        if not (net in netlist.gates or net in netlist.latches
+                or net in netlist.inputs):
+            raise NetlistError(
+                f"declared .outputs net {net!r} is never driven"
+            )
         netlist.set_output(net)
     return netlist
+
+
+def _parse_latch(tokens: List[str], line: str) -> Tuple[str, str, bool]:
+    """Decode ``.latch <in> <out> [<type> [<control>]] [<init>]``.
+
+    The init value is the last token only when it is one of the four
+    BLIF init literals ``0``/``1``/``2``/``3`` (2 = don't care, 3 =
+    unknown — both model as 0 here). Only rising-edge (``re``) trigger
+    types are representable in the IR.
+    """
+    rest = tokens[1:]
+    init = False
+    if rest and rest[-1] in ("0", "1", "2", "3"):
+        init = rest[-1] == "1"
+        rest = rest[:-1]
+    if len(rest) < 2 or len(rest) > 4:
+        raise NetlistError(f"malformed .latch: {line!r}")
+    if len(rest) > 2 and rest[2] != "re":
+        raise NetlistError(
+            f"unsupported .latch trigger type {rest[2]!r} "
+            f"(only 're' is modeled): {line!r}"
+        )
+    return rest[0], rest[1], init
+
+
+def _check_driver(netlist: Netlist, net: str, construct: str) -> None:
+    """Parse-time driver validation with BLIF-level error messages."""
+    if net in netlist.inputs:
+        raise NetlistError(
+            f"{construct} redefines declared .inputs net {net!r}"
+        )
+    if net in netlist.gates or net in netlist.latches:
+        raise NetlistError(
+            f"net {net!r} is driven more than once "
+            f"(duplicate {construct} definition)"
+        )
 
 
 def _logical_lines(text: str) -> List[str]:
@@ -149,8 +190,17 @@ def _add_cover(
         netlist.add_const(False, output)
         return
     if n == 0:
-        value = cover[0].strip() == "1"
-        netlist.add_const(value, output)
+        if len(cover) > 1:
+            raise NetlistError(
+                f"zero-input cover for {output!r} has {len(cover)} rows; "
+                f"expected a single 0/1 row"
+            )
+        row = cover[0].strip()
+        if row not in ("0", "1"):
+            raise NetlistError(
+                f"bad zero-input cover row {row!r} for {output!r}"
+            )
+        netlist.add_const(row == "1", output)
         return
 
     on_bits = 0

@@ -144,6 +144,83 @@ def single_cell_spec(body: Mapping[str, Any], flow: str) -> SweepSpec:
     return spec
 
 
+#: Accepted fields of a ``POST /ingest`` request: the design itself
+#: plus the only flow knobs an external design consumes (it has no
+#: schedule or binder, so the rest of ``_FLOW_FIELDS`` does not apply).
+_INGEST_FIELDS: Dict[str, Any] = {
+    "design": None,  # required: module JSON object/text or flat BLIF text
+    "name": None,  # default: the design's own declared name
+    "k": 4,
+    "map_effort": "fast",
+}
+
+
+def ingest_spec(body: Mapping[str, Any]) -> SweepSpec:
+    """A one-cell external-design grid for a ``POST /ingest`` request.
+
+    ``design`` is either a ``repro-module-v1`` JSON object inline, or a
+    string holding module JSON / flat BLIF text. Validation (format,
+    widths, drivers, cycles) happens here, eagerly, so malformed
+    designs are a 400 — never an executor crash.
+    """
+    import json
+
+    if not isinstance(body, Mapping):
+        raise RequestError("request body must be a JSON object")
+    unknown = sorted(
+        key for key in body
+        if key not in _INGEST_FIELDS and key not in _CONTROL_FIELDS
+    )
+    if unknown:
+        raise RequestError(
+            f"unknown request field(s) {unknown}; accepted: "
+            f"{sorted(_INGEST_FIELDS)}"
+        )
+    fields = dict(_INGEST_FIELDS)
+    fields.update(
+        (key, value) for key, value in body.items()
+        if key not in _CONTROL_FIELDS
+    )
+    design = fields["design"]
+    if isinstance(design, Mapping):
+        design = json.dumps(design)
+    if not isinstance(design, str) or not design.strip():
+        raise RequestError(
+            "field 'design' is required: a repro-module-v1 object, "
+            "module JSON text, or flat BLIF text"
+        )
+    name = fields["name"]
+    if name is None:
+        from repro.ingest import load_design_text
+
+        try:
+            name = load_design_text(design).name
+        except ReproError as exc:
+            raise RequestError(str(exc))
+    if not isinstance(name, str) or not name:
+        raise RequestError(f"field 'name' expects a non-empty str, "
+                           f"got {name!r}")
+    if not isinstance(fields["k"], int) or isinstance(fields["k"], bool):
+        raise RequestError(f"field 'k' expects int, got {fields['k']!r}")
+    if not isinstance(fields["map_effort"], str):
+        raise RequestError(
+            f"field 'map_effort' expects str, got {fields['map_effort']!r}"
+        )
+    spec = SweepSpec(
+        benchmarks=[],
+        designs={name: design},
+        k=fields["k"],
+        map_effort=fields["map_effort"],
+        baseline="none",
+        flow="estimate",
+    )
+    try:
+        spec.validate()
+    except ReproError as exc:  # IngestError, NetlistError, ConfigError...
+        raise RequestError(str(exc)) from exc
+    return spec
+
+
 def sweep_spec(body: Mapping[str, Any]) -> SweepSpec:
     """A full grid for a ``/sweep`` request.
 

@@ -52,6 +52,7 @@ from repro.flow.grid import SweepSpec, expand_grid
 from repro.serve.api import (
     RequestError,
     cell_payload,
+    ingest_spec,
     request_key,
     request_priority,
     single_cell_spec,
@@ -123,8 +124,8 @@ class FlowServer:
         )
         self.port: Optional[int] = None
         self.requests: Dict[str, int] = {
-            "estimate": 0, "flow": 0, "sweep": 0, "metrics": 0,
-            "healthz": 0, "errors": 0,
+            "estimate": 0, "flow": 0, "sweep": 0, "ingest": 0,
+            "metrics": 0, "healthz": 0, "errors": 0,
         }
         self.deduped = 0
         self.cells_served = 0
@@ -331,7 +332,7 @@ class FlowServer:
             self.requests["healthz"] += 1
             await _respond_json(writer, 200, {"status": "ok"})
             return
-        if path in ("/estimate", "/flow", "/sweep"):
+        if path in ("/estimate", "/flow", "/sweep", "/ingest"):
             if method != "POST":
                 self.requests["errors"] += 1
                 await _respond_json(
@@ -358,9 +359,15 @@ class FlowServer:
         self, kind: str, payload: Any, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            spec = single_cell_spec(
-                payload, "estimate" if kind == "estimate" else "full"
-            )
+            if kind == "ingest":
+                # External-design estimate: same submission path, the
+                # spec is a one-design grid instead of a one-benchmark
+                # one (see repro.ingest for the frontend).
+                spec = ingest_spec(payload)
+            else:
+                spec = single_cell_spec(
+                    payload, "estimate" if kind == "estimate" else "full"
+                )
             priority = request_priority(payload, PRIORITY_SINGLE)
             future = self._submit(kind, spec, priority)
         except RequestError as exc:

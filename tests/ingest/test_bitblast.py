@@ -1,0 +1,264 @@
+"""Bit-blasting: pinned golden netlists and word-level semantics."""
+
+import pytest
+
+from repro.ingest import bit_blast, elaborate_design, load_design_text, parse_module
+from repro.netlist.blif import blif_text
+from tests.conftest import evaluate_netlist
+
+
+def _module(signals, ops, name="m"):
+    return parse_module({
+        "format": "repro-module-v1",
+        "name": name,
+        "signals": signals,
+        "ops": ops,
+    })
+
+
+def _assign(design, words, state=None):
+    """Build a bit assignment from word values (plus latch-output bits)."""
+    assignment = {}
+    for name, value in words.items():
+        for i, net in enumerate(design.signal_bits[name]):
+            assignment[net] = bool((value >> i) & 1)
+    if state:
+        assignment.update(state)
+    return assignment
+
+
+def _word(values, nets):
+    return sum(int(values[net]) << i for i, net in enumerate(nets))
+
+
+def _out(design, words, output, state=None):
+    values = evaluate_netlist(design.netlist, _assign(design, words, state))
+    return _word(values, design.signal_bits[output])
+
+
+TINY = _module(
+    [
+        {"name": "a", "width": 2, "input": True},
+        {"name": "b", "width": 2, "input": True},
+        {"name": "s", "width": 2},
+        {"name": "r", "width": 2, "reg": True, "init": 2},
+        {"name": "y", "width": 2, "output": True},
+    ],
+    [
+        {"op": "add", "inputs": ["a", "b"], "output": "s"},
+        {"op": "dff", "inputs": ["s"], "output": "r"},
+        {"op": "xor", "inputs": ["r", "a"], "output": "y"},
+    ],
+    name="tiny",
+)
+
+# Pinned output of bit_blast(TINY).  Any change to net naming, cell
+# structure, or the clean pass shows up as a diff against this text —
+# and silently changes every ingested design's content fingerprint.
+TINY_GOLDEN = """\
+.model tiny
+.inputs a[0] a[1] b[0] b[1]
+.outputs y[0] y[1]
+.latch u0_add/n1 r[0] 0
+.latch u0_add/n7 r[1] 1
+.names a[0] b[0] u0_add/n1
+10 1
+01 1
+.names a[0] b[0] u0_add/n3
+11 1
+.names a[1] b[1] u0_add/n6
+10 1
+01 1
+.names u0_add/n6 u0_add/n3 u0_add/n7
+10 1
+01 1
+.names r[0] a[0] y[0]
+10 1
+01 1
+.names r[1] a[1] y[1]
+10 1
+01 1
+.end
+"""
+
+
+class TestGolden:
+    def test_tiny_module_pins_netlist_text(self):
+        assert blif_text(bit_blast(TINY).netlist) == TINY_GOLDEN
+
+    def test_bit_blast_is_deterministic(self):
+        assert (blif_text(bit_blast(TINY).netlist)
+                == blif_text(bit_blast(TINY).netlist))
+
+    def test_metadata(self):
+        design = bit_blast(TINY)
+        assert design.name == "tiny"
+        assert design.n_registers == 1
+        assert design.control_nets == ()
+        assert sorted(design.signal_bits) == ["a", "b", "y"]
+        assert design.signal_bits["a"] == ("a[0]", "a[1]")
+
+    def test_latch_inits_follow_reg_init(self):
+        netlist = bit_blast(TINY).netlist
+        # init 2 = 0b10: bit 0 clear, bit 1 set.
+        assert netlist.latches["r[0]"].init is False
+        assert netlist.latches["r[1]"].init is True
+
+
+def _binop(op, width=4):
+    return bit_blast(_module(
+        [{"name": "a", "width": width, "input": True},
+         {"name": "b", "width": width, "input": True},
+         {"name": "y", "width": width, "output": True}],
+        [{"op": op, "inputs": ["a", "b"], "output": "y"}],
+    ))
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("op,func", [
+        ("add", lambda a, b: (a + b) % 16),
+        ("sub", lambda a, b: (a - b) % 16),
+        ("mul", lambda a, b: (a * b) % 16),
+    ])
+    def test_exhaustive_width4(self, op, func):
+        design = _binop(op)
+        for a in range(16):
+            for b in range(16):
+                assert _out(design, {"a": a, "b": b}, "y") == func(a, b), \
+                    f"{op}({a}, {b})"
+
+
+class TestBitwise:
+    @pytest.mark.parametrize("op,func", [
+        ("and", lambda a, b: a & b),
+        ("or", lambda a, b: a | b),
+        ("xor", lambda a, b: a ^ b),
+    ])
+    def test_exhaustive_width4(self, op, func):
+        design = _binop(op)
+        for a in range(16):
+            for b in range(16):
+                assert _out(design, {"a": a, "b": b}, "y") == func(a, b)
+
+    def test_not(self):
+        design = bit_blast(_module(
+            [{"name": "a", "width": 4, "input": True},
+             {"name": "y", "width": 4, "output": True}],
+            [{"op": "not", "inputs": ["a"], "output": "y"}],
+        ))
+        for a in range(16):
+            assert _out(design, {"a": a}, "y") == a ^ 0xF
+
+
+class TestMux:
+    def _mux(self, n, width=2):
+        from repro.netlist.library import select_width
+        signals = [{"name": f"d{i}", "width": width, "input": True}
+                   for i in range(n)]
+        signals += [
+            {"name": "sel", "width": select_width(n), "input": True},
+            {"name": "y", "width": width, "output": True},
+        ]
+        return bit_blast(_module(signals, [
+            {"op": "mux", "select": "sel",
+             "inputs": [f"d{i}" for i in range(n)], "output": "y"},
+        ]))
+
+    def test_power_of_two(self):
+        design = self._mux(4)
+        data = {f"d{i}": i for i in range(4)}
+        for sel in range(4):
+            assert _out(design, dict(data, sel=sel), "y") == sel
+
+    def test_non_power_of_two_clamps_to_last(self):
+        # 3-input tree: sel values beyond the input count resolve to the
+        # last input, matching the generator's unbalanced mux tree.
+        design = self._mux(3)
+        data = {"d0": 1, "d1": 2, "d2": 3}
+        for sel, expected in [(0, 1), (1, 2), (2, 3), (3, 3)]:
+            assert _out(design, dict(data, sel=sel), "y") == expected
+
+    def test_two_input(self):
+        design = self._mux(2)
+        for sel in range(2):
+            assert _out(design, {"d0": 1, "d1": 2, "sel": sel}, "y") \
+                == (2 if sel else 1)
+
+
+class TestWiring:
+    def test_slice_concat_const(self):
+        design = bit_blast(_module(
+            [{"name": "a", "width": 4, "input": True},
+             {"name": "hi", "width": 2},
+             {"name": "lo", "width": 2},
+             {"name": "k", "width": 3},
+             {"name": "swapped", "width": 4, "output": True},
+             {"name": "y", "width": 3, "output": True}],
+            [{"op": "slice", "inputs": ["a"], "lsb": 2, "output": "hi"},
+             {"op": "slice", "inputs": ["a"], "lsb": 0, "output": "lo"},
+             {"op": "concat", "inputs": ["hi", "lo"], "output": "swapped"},
+             {"op": "const", "value": 5, "output": "k"},
+             {"op": "not", "inputs": ["k"], "output": "y"}],
+        ))
+        for a in range(16):
+            swapped = ((a & 0x3) << 2) | (a >> 2)
+            assert _out(design, {"a": a}, "swapped") == swapped
+        assert _out(design, {"a": 0}, "y") == 5 ^ 0x7
+
+    def test_dff_next_state(self):
+        # 3-bit counter: r' = r + 1, starting from init 5.
+        design = bit_blast(_module(
+            [{"name": "one", "width": 3},
+             {"name": "nxt", "width": 3},
+             {"name": "r", "width": 3, "reg": True, "init": 5},
+             {"name": "y", "width": 3, "output": True}],
+            [{"op": "const", "value": 1, "output": "one"},
+             {"op": "add", "inputs": ["r", "one"], "output": "nxt"},
+             {"op": "dff", "inputs": ["nxt"], "output": "r"},
+             {"op": "slice", "inputs": ["r"], "lsb": 0, "output": "y"}],
+        ))
+        netlist = design.netlist
+        state_nets = [f"r[{b}]" for b in range(3)]
+        assert all(net in netlist.latches for net in state_nets)
+        state = sum(netlist.latches[net].init << b
+                    for b, net in enumerate(state_nets))
+        assert state == 5
+        for _ in range(10):
+            bits = {net: bool((state >> b) & 1)
+                    for b, net in enumerate(state_nets)}
+            values = evaluate_netlist(netlist, _assign(design, {}, bits))
+            assert _word(values, design.signal_bits["y"]) == state
+            nxt = sum(int(values[netlist.latches[net].data]) << b
+                      for b, net in enumerate(state_nets))
+            assert nxt == (state + 1) % 8
+            state = nxt
+
+
+class TestElaborateDesign:
+    def test_module_design_matches_bit_blast(self):
+        import json
+        text = json.dumps({
+            "format": "repro-module-v1",
+            "name": "tiny",
+            "signals": [
+                {"name": "a", "width": 2, "input": True},
+                {"name": "b", "width": 2, "input": True},
+                {"name": "s", "width": 2},
+                {"name": "r", "width": 2, "reg": True, "init": 2},
+                {"name": "y", "width": 2, "output": True},
+            ],
+            "ops": [
+                {"op": "add", "inputs": ["a", "b"], "output": "s"},
+                {"op": "dff", "inputs": ["s"], "output": "r"},
+                {"op": "xor", "inputs": ["r", "a"], "output": "y"},
+            ],
+        })
+        design = load_design_text(text)
+        assert blif_text(elaborate_design(design).netlist) == TINY_GOLDEN
+
+    def test_blif_design_round_trips(self):
+        design = load_design_text(TINY_GOLDEN)
+        elaborated = elaborate_design(design)
+        assert blif_text(elaborated.netlist) == TINY_GOLDEN
+        assert elaborated.n_registers == 2
+        assert elaborated.control_nets == ()

@@ -1,0 +1,294 @@
+"""Module-format parsing, strict validation, and canonicalization."""
+
+import json
+
+import pytest
+
+from repro.errors import IngestError
+from repro.ingest import (
+    ExternalDesign,
+    canonical_text,
+    load_design_text,
+    parse_module,
+)
+
+
+def _module(signals, ops, name="m"):
+    return {
+        "format": "repro-module-v1",
+        "name": name,
+        "signals": signals,
+        "ops": ops,
+    }
+
+
+VALID = _module(
+    [
+        {"name": "a", "width": 4, "input": True},
+        {"name": "b", "width": 4, "input": True},
+        {"name": "s", "width": 4},
+        {"name": "r", "width": 4, "reg": True, "init": 3},
+        {"name": "y", "width": 4, "output": True},
+    ],
+    [
+        {"op": "add", "inputs": ["a", "b"], "output": "s"},
+        {"op": "dff", "inputs": ["s"], "output": "r"},
+        {"op": "xor", "inputs": ["r", "b"], "output": "y"},
+    ],
+)
+
+
+class TestParse:
+    def test_valid_module(self):
+        module = parse_module(json.dumps(VALID))
+        assert module.name == "m"
+        assert module.signals["r"].is_reg and module.signals["r"].init == 3
+        assert [op.op for op in module.ops] == ["add", "dff", "xor"]
+
+    def test_accepts_mapping_directly(self):
+        assert parse_module(VALID).name == "m"
+
+    def test_bad_json(self):
+        with pytest.raises(IngestError, match="JSON"):
+            parse_module("{not json")
+
+    def test_unknown_format_version(self):
+        data = dict(VALID)
+        data["format"] = "repro-module-v2"
+        with pytest.raises(IngestError, match="repro-module-v1"):
+            parse_module(data)
+
+    def test_missing_format(self):
+        data = {k: v for k, v in VALID.items() if k != "format"}
+        with pytest.raises(IngestError, match="format"):
+            parse_module(data)
+
+    def test_unknown_op(self):
+        data = _module(
+            [{"name": "a", "width": 1, "input": True},
+             {"name": "y", "width": 1, "output": True}],
+            [{"op": "nand", "inputs": ["a", "a"], "output": "y"}],
+        )
+        with pytest.raises(IngestError, match="nand"):
+            parse_module(data)
+
+    def test_bracketed_signal_name_rejected(self):
+        # Bit nets are named "<signal>[<bit>]"; a bracketed signal name
+        # could collide with another signal's bit nets.
+        data = _module(
+            [{"name": "a[0]", "width": 1, "input": True},
+             {"name": "y", "width": 1, "output": True}],
+            [{"op": "not", "inputs": ["a[0]"], "output": "y"}],
+        )
+        with pytest.raises(IngestError, match="name"):
+            parse_module(data)
+
+    def test_duplicate_signal(self):
+        data = _module(
+            [{"name": "a", "width": 1, "input": True},
+             {"name": "a", "width": 2, "input": True},
+             {"name": "y", "width": 1, "output": True}],
+            [{"op": "not", "inputs": ["a"], "output": "y"}],
+        )
+        with pytest.raises(IngestError, match="duplicate signal 'a'"):
+            parse_module(data)
+
+    def test_init_must_fit_width(self):
+        data = json.loads(json.dumps(VALID))
+        data["signals"][3]["init"] = 16
+        with pytest.raises(IngestError, match="init 16"):
+            parse_module(data)
+
+    def test_control_on_non_input(self):
+        data = json.loads(json.dumps(VALID))
+        data["signals"][2]["control"] = True
+        with pytest.raises(IngestError, match="control"):
+            parse_module(data)
+
+
+class TestValidator:
+    """Every structural failure is reported by name."""
+
+    def test_undriven_output(self):
+        data = json.loads(json.dumps(VALID))
+        data["ops"] = data["ops"][:2]
+        with pytest.raises(IngestError,
+                           match="output signal 'y' is never driven"):
+            parse_module(data)
+
+    def test_undriven_internal_signal(self):
+        data = json.loads(json.dumps(VALID))
+        data["ops"][0] = {"op": "not", "inputs": ["a"], "output": "y"}
+        del data["ops"][2]
+        with pytest.raises(IngestError, match="'s' is never driven"):
+            parse_module(data)
+
+    def test_multiple_drivers(self):
+        data = json.loads(json.dumps(VALID))
+        data["ops"].append(
+            {"op": "and", "inputs": ["a", "b"], "output": "s"}
+        )
+        with pytest.raises(IngestError,
+                           match="'s' has multiple drivers"):
+            parse_module(data)
+
+    def test_input_driven(self):
+        data = json.loads(json.dumps(VALID))
+        data["ops"].append(
+            {"op": "and", "inputs": ["a", "b"], "output": "a"}
+        )
+        with pytest.raises(IngestError,
+                           match="input signal 'a' is driven"):
+            parse_module(data)
+
+    def test_width_mismatch(self):
+        data = json.loads(json.dumps(VALID))
+        data["signals"][1]["width"] = 2
+        with pytest.raises(IngestError, match="'b' is 2 bits wide"):
+            parse_module(data)
+
+    def test_unknown_signal_reference(self):
+        data = json.loads(json.dumps(VALID))
+        data["ops"][0]["inputs"] = ["a", "ghost"]
+        with pytest.raises(IngestError, match="unknown signal 'ghost'"):
+            parse_module(data)
+
+    def test_combinational_cycle_named(self):
+        data = _module(
+            [{"name": "a", "width": 1, "input": True},
+             {"name": "p", "width": 1},
+             {"name": "q", "width": 1},
+             {"name": "y", "width": 1, "output": True}],
+            [{"op": "and", "inputs": ["a", "q"], "output": "p"},
+             {"op": "not", "inputs": ["p"], "output": "q"},
+             {"op": "not", "inputs": ["p"], "output": "y"}],
+        )
+        with pytest.raises(IngestError, match="combinational cycle:.*p"):
+            parse_module(data)
+
+    def test_dff_breaks_cycle(self):
+        data = _module(
+            [{"name": "a", "width": 1, "input": True},
+             {"name": "p", "width": 1},
+             {"name": "q", "width": 1, "reg": True},
+             {"name": "y", "width": 1, "output": True}],
+            [{"op": "and", "inputs": ["a", "q"], "output": "p"},
+             {"op": "dff", "inputs": ["p"], "output": "q"},
+             {"op": "not", "inputs": ["p"], "output": "y"}],
+        )
+        parse_module(data)  # no cycle through the register
+
+    def test_dff_output_must_be_reg(self):
+        data = json.loads(json.dumps(VALID))
+        data["signals"][3]["reg"] = False
+        data["signals"][3]["init"] = 0
+        with pytest.raises(IngestError, match="must be declared reg"):
+            parse_module(data)
+
+    def test_reg_must_be_dff_driven(self):
+        data = json.loads(json.dumps(VALID))
+        data["ops"][1] = {"op": "not", "inputs": ["s"], "output": "r"}
+        with pytest.raises(IngestError, match="must be driven by a dff"):
+            parse_module(data)
+
+    def test_mux_select_width(self):
+        data = _module(
+            [{"name": "a", "width": 2, "input": True},
+             {"name": "b", "width": 2, "input": True},
+             {"name": "c", "width": 2, "input": True},
+             {"name": "sel", "width": 1, "input": True},
+             {"name": "y", "width": 2, "output": True}],
+            [{"op": "mux", "select": "sel", "inputs": ["a", "b", "c"],
+              "output": "y"}],
+        )
+        with pytest.raises(IngestError, match="need 2"):
+            parse_module(data)
+
+    def test_slice_out_of_range(self):
+        data = _module(
+            [{"name": "a", "width": 4, "input": True},
+             {"name": "y", "width": 2, "output": True}],
+            [{"op": "slice", "inputs": ["a"], "lsb": 3, "output": "y"}],
+        )
+        with pytest.raises(IngestError, match="exceed"):
+            parse_module(data)
+
+    def test_concat_width_sum(self):
+        data = _module(
+            [{"name": "a", "width": 2, "input": True},
+             {"name": "b", "width": 2, "input": True},
+             {"name": "y", "width": 3, "output": True}],
+            [{"op": "concat", "inputs": ["a", "b"], "output": "y"}],
+        )
+        with pytest.raises(IngestError, match="concat of 4 bits"):
+            parse_module(data)
+
+    def test_const_value_fits(self):
+        data = _module(
+            [{"name": "y", "width": 2, "output": True}],
+            [{"op": "const", "value": 4, "output": "y"}],
+        )
+        with pytest.raises(IngestError, match="value 4"):
+            parse_module(data)
+
+    def test_no_outputs(self):
+        data = _module(
+            [{"name": "a", "width": 1, "input": True},
+             {"name": "y", "width": 1}],
+            [{"op": "not", "inputs": ["a"], "output": "y"}],
+        )
+        with pytest.raises(IngestError, match="declares no outputs"):
+            parse_module(data)
+
+
+class TestCanonical:
+    def test_key_order_and_defaults_are_normalized(self):
+        reordered = {
+            "ops": VALID["ops"],
+            "name": "m",
+            "signals": [
+                dict(reversed(list(signal.items())))
+                for signal in VALID["signals"]
+            ],
+            "format": "repro-module-v1",
+        }
+        assert (canonical_text(parse_module(VALID))
+                == canonical_text(parse_module(reordered)))
+
+    def test_op_order_is_significant(self):
+        data = json.loads(json.dumps(VALID))
+        data["ops"] = [data["ops"][2], data["ops"][0], data["ops"][1]]
+        assert (canonical_text(parse_module(VALID))
+                != canonical_text(parse_module(data)))
+
+
+class TestLoaders:
+    def test_module_design(self):
+        design = load_design_text(json.dumps(VALID), name="up")
+        assert isinstance(design, ExternalDesign)
+        assert design.kind == "module" and design.name == "up"
+
+    def test_module_name_default(self):
+        assert load_design_text(json.dumps(VALID)).name == "m"
+
+    def test_blif_design(self):
+        text = ".model t\n.inputs a\n.outputs y\n.names a y\n0 1\n.end\n"
+        design = load_design_text(text)
+        assert design.kind == "blif" and design.name == "t"
+        # Canonical form is the writer's normalization of the parse.
+        assert design.canonical.startswith(".model t\n")
+
+    def test_blif_canonical_is_whitespace_insensitive(self):
+        base = ".model t\n.inputs a\n.outputs y\n.names a y\n0 1\n.end\n"
+        commented = ("# header\n.model t\n.inputs a\n\n.outputs y\n"
+                     ".names a y\n0 1\n.end\n")
+        assert (load_design_text(base).canonical
+                == load_design_text(commented).canonical)
+
+    def test_bad_blif_reported(self):
+        with pytest.raises(IngestError, match="bad BLIF design"):
+            load_design_text(".model t\n.inputs a\n.outputs y\n.end\n")
+
+    def test_empty_design(self):
+        with pytest.raises(IngestError, match="empty design"):
+            load_design_text("   ")

@@ -131,6 +131,198 @@ class TestParser:
         assert netlist.latches["q"].init is True
 
 
+def _latch_netlist(latch_line):
+    return parse_blif(
+        f".model m\n.inputs d\n.outputs q\n{latch_line}\n.end\n"
+    )
+
+
+class TestLatchArities:
+    """`.latch <in> <out> [<type> [<control>]] [<init>]` — all arities."""
+
+    def test_two_tokens_default_init(self):
+        assert _latch_netlist(".latch d q").latches["q"].init is False
+
+    @pytest.mark.parametrize("literal, init", [
+        ("0", False), ("1", True), ("2", False), ("3", False),
+    ])
+    def test_three_tokens_init_literals(self, literal, init):
+        latch = _latch_netlist(f".latch d q {literal}").latches["q"]
+        assert latch.init is init
+        assert latch.data == "d"
+
+    def test_four_tokens_type_no_init(self):
+        latch = _latch_netlist(".latch d q re").latches["q"]
+        assert latch.init is False
+
+    def test_four_tokens_type_and_init(self):
+        assert _latch_netlist(".latch d q re 1").latches["q"].init is True
+
+    def test_five_tokens_type_control(self):
+        latch = _latch_netlist(".latch d q re clk").latches["q"]
+        assert latch.init is False
+        assert latch.data == "d"
+
+    @pytest.mark.parametrize("literal, init", [("0", False), ("1", True)])
+    def test_six_tokens_full_form(self, literal, init):
+        # The seed parser read token 4 ("re") as the init here.
+        latch = _latch_netlist(f".latch d q re clk {literal}").latches["q"]
+        assert latch.init is init
+
+    @pytest.mark.parametrize("trigger", ["fe", "ah", "al", "as", "bogus"])
+    def test_unsupported_trigger_rejected(self, trigger):
+        with pytest.raises(NetlistError, match="trigger"):
+            _latch_netlist(f".latch d q {trigger} clk 1")
+
+    def test_too_few_tokens_rejected(self):
+        with pytest.raises(NetlistError, match="malformed"):
+            _latch_netlist(".latch d")
+
+    def test_too_many_tokens_rejected(self):
+        with pytest.raises(NetlistError, match="malformed"):
+            _latch_netlist(".latch d q re clk extra 1")
+
+
+class TestParseValidation:
+    """Malformed netlists fail at parse time, naming the net."""
+
+    def test_undriven_declared_output(self):
+        text = ".model m\n.inputs a\n.outputs y z\n.names a y\n1 1\n.end\n"
+        with pytest.raises(NetlistError, match="'z'"):
+            parse_blif(text)
+
+    def test_output_driven_by_input_is_fine(self):
+        text = ".model m\n.inputs a\n.outputs a\n.end\n"
+        assert parse_blif(text).outputs == ["a"]
+
+    def test_names_redefining_input(self):
+        text = ".model m\n.inputs a b\n.outputs a\n.names b a\n1 1\n.end\n"
+        with pytest.raises(NetlistError,
+                           match=r"\.names redefines declared .inputs net 'a'"):
+            parse_blif(text)
+
+    def test_latch_redefining_input(self):
+        text = ".model m\n.inputs d q\n.outputs q\n.latch d q 0\n.end\n"
+        with pytest.raises(NetlistError,
+                           match=r"\.latch redefines declared .inputs net 'q'"):
+            parse_blif(text)
+
+    def test_two_covers_driving_same_net(self):
+        text = (".model m\n.inputs a b\n.outputs y\n"
+                ".names a y\n1 1\n.names b y\n1 1\n.end\n")
+        with pytest.raises(NetlistError, match="'y'.*more than once"):
+            parse_blif(text)
+
+    def test_cover_redefining_latch_output(self):
+        text = (".model m\n.inputs a d\n.outputs q\n"
+                ".latch d q 0\n.names a q\n1 1\n.end\n")
+        with pytest.raises(NetlistError, match="'q'"):
+            parse_blif(text)
+
+
+class TestZeroInputCovers:
+    def test_const_one(self):
+        text = ".model m\n.outputs y\n.names y\n1\n.end\n"
+        assert parse_blif(text).gates["y"].gate_type is GateType.CONST1
+
+    def test_const_zero_row(self):
+        text = ".model m\n.outputs y\n.names y\n0\n.end\n"
+        assert parse_blif(text).gates["y"].gate_type is GateType.CONST0
+
+    def test_empty_cover_is_const_zero(self):
+        text = ".model m\n.outputs y\n.names y\n.end\n"
+        assert parse_blif(text).gates["y"].gate_type is GateType.CONST0
+
+    def test_multi_row_rejected(self):
+        text = ".model m\n.outputs y\n.names y\n1\n1\n.end\n"
+        with pytest.raises(NetlistError, match="rows"):
+            parse_blif(text)
+
+    def test_bad_value_rejected(self):
+        for row in ("-", "x", "2", "1 1"):
+            text = f".model m\n.outputs y\n.names y\n{row}\n.end\n"
+            with pytest.raises(NetlistError):
+                parse_blif(text)
+
+
+@st.composite
+def _round_trip_netlists(draw):
+    """Random netlists whose BLIF is a write/parse/write fixed point.
+
+    All-zero truth tables with inputs are excluded: the writer emits
+    them as an empty cover, which legitimately reparses as a 0-arity
+    constant (arity is not representable in BLIF for them). Constant-1
+    tables with inputs round-trip exactly (full dash cube).
+    """
+    netlist = Netlist("hyp")
+    # Long input names force >78-column `.inputs` wrapping.
+    prefix = draw(st.sampled_from(
+        ["i", "quite_a_long_structural_net_name_"]
+    ))
+    n_inputs = draw(st.integers(2, 6))
+    pool = [netlist.add_input(f"{prefix}{k}") for k in range(n_inputs)]
+    for g in range(draw(st.integers(1, 6))):
+        arity = draw(st.integers(1, 3))
+        fanins = [
+            pool[draw(st.integers(0, len(pool) - 1))] for _ in range(arity)
+        ]
+        bits = draw(st.integers(1, (1 << (1 << arity)) - 1))
+        pool.append(
+            netlist.add_gate(TruthTable(arity, bits), fanins, f"g{g}")
+        )
+    for l in range(draw(st.integers(0, 2))):
+        data = pool[draw(st.integers(0, len(pool) - 1))]
+        pool.append(
+            netlist.add_latch(data, f"q{l}", init=draw(st.booleans()))
+        )
+    if draw(st.booleans()):
+        netlist.add_const(draw(st.booleans()), "k")
+        pool.append("k")
+    out_indices = draw(st.lists(
+        st.integers(n_inputs, len(pool) - 1),
+        min_size=1, max_size=4, unique=True,
+    ))
+    for index in out_indices:
+        netlist.set_output(pool[index])
+    return netlist
+
+
+@settings(max_examples=80, deadline=None)
+@given(_round_trip_netlists())
+def test_blif_text_is_parse_fixed_point(netlist):
+    """blif_text -> parse_blif -> blif_text is byte-identical."""
+    first = blif_text(netlist)
+    second = blif_text(parse_blif(first))
+    assert second == first
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 2 ** 8 - 2), st.integers(2, 4))
+def test_off_set_cover_normalizes_then_sticks(bits, arity):
+    """Off-set covers parse to the complement and the re-emitted
+    (on-set) text is itself a fixed point."""
+    bits &= (1 << (1 << arity)) - 1
+    if bits in (0, (1 << (1 << arity)) - 1):
+        bits = 1
+    table = TruthTable(arity, bits)
+    names = " ".join(f"i{k}" for k in range(arity))
+    rows = []
+    for index in range(1 << arity):
+        if not table.evaluate(
+            [(index >> k) & 1 == 1 for k in range(arity)]
+        ):
+            rows.append(
+                "".join("1" if (index >> k) & 1 else "0"
+                        for k in range(arity)) + " 0"
+            )
+    text = (f".model m\n.inputs {names}\n.outputs y\n"
+            f".names {names} y\n" + "\n".join(rows) + "\n.end\n")
+    parsed = parse_blif(text)
+    assert parsed.gates["y"].table == table
+    normalized = blif_text(parsed)
+    assert blif_text(parse_blif(normalized)) == normalized
+
+
 @settings(max_examples=30, deadline=None)
 @given(st.integers(0, 2 ** 16 - 1))
 def test_random_table_round_trips(bits):

@@ -1,0 +1,117 @@
+"""POST /ingest: external designs against the live daemon."""
+
+import json
+
+import pytest
+
+from repro.flow.run import FlowConfig
+from repro.ingest import load_design_text, run_design_estimate
+from repro.serve.api import RequestError, ingest_spec
+from tests.serve.test_server import http_request, run_scenario
+
+MODULE = {
+    "format": "repro-module-v1",
+    "name": "tiny",
+    "signals": [
+        {"name": "a", "width": 2, "input": True},
+        {"name": "b", "width": 2, "input": True},
+        {"name": "s", "width": 2},
+        {"name": "r", "width": 2, "reg": True, "init": 2},
+        {"name": "y", "width": 2, "output": True},
+    ],
+    "ops": [
+        {"op": "add", "inputs": ["a", "b"], "output": "s"},
+        {"op": "dff", "inputs": ["s"], "output": "r"},
+        {"op": "xor", "inputs": ["r", "a"], "output": "y"},
+    ],
+}
+
+
+class TestIngestSpec:
+    def test_defaults(self):
+        spec = ingest_spec({"design": MODULE})
+        assert spec.flow == "estimate"
+        # With no explicit name the design's own declared name is used.
+        assert spec.designs == {"tiny": json.dumps(MODULE)}
+        assert spec.k == 4 and spec.map_effort == "fast"
+
+    def test_name_and_knobs(self):
+        spec = ingest_spec({"design": MODULE, "name": "tiny",
+                            "k": 6, "map_effort": "exhaustive"})
+        assert list(spec.designs) == ["tiny"]
+        assert spec.k == 6 and spec.map_effort == "exhaustive"
+
+    def test_design_required(self):
+        with pytest.raises(RequestError, match="design"):
+            ingest_spec({"name": "tiny"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(RequestError, match="width"):
+            ingest_spec({"design": MODULE, "width": 8})
+
+    def test_malformed_design_rejected(self):
+        broken = json.loads(json.dumps(MODULE))
+        del broken["ops"][2]
+        with pytest.raises(RequestError, match="never driven"):
+            ingest_spec({"design": broken})
+
+
+class TestIngestEndpoint:
+    def test_byte_identical_to_direct_run(self):
+        async def scenario(server):
+            first = await http_request(
+                server.port, "POST", "/ingest",
+                {"design": MODULE, "name": "tiny"},
+            )
+            second = await http_request(
+                server.port, "POST", "/ingest",
+                {"design": MODULE, "name": "tiny"},
+            )
+            return first, second
+
+        first, second = run_scenario(scenario)
+        for status, _, _ in (first, second):
+            assert status == 200
+        payload = json.loads(first[2])
+        assert payload["benchmark"] == "design:tiny"
+        assert payload["config"] == "ingest"
+        direct = run_design_estimate(
+            load_design_text(json.dumps(MODULE), name="tiny"),
+            FlowConfig(k=4, map_effort="fast", flow="estimate"),
+        )
+        assert payload["metrics"] == direct.metrics()
+        # The daemon's warm path substitutes byte-identical artifacts.
+        assert json.loads(second[2])["metrics"] == payload["metrics"]
+
+    def test_blif_design_accepted(self):
+        blif = (".model t\n.inputs a b\n.outputs y\n"
+                ".names a b y\n11 1\n.end\n")
+
+        async def scenario(server):
+            return await http_request(
+                server.port, "POST", "/ingest", {"design": blif},
+            )
+
+        status, _, body = run_scenario(scenario)
+        assert status == 200
+        assert json.loads(body)["benchmark"] == "design:t"
+
+    def test_malformed_module_is_400(self):
+        broken = json.loads(json.dumps(MODULE))
+        del broken["ops"][2]
+
+        async def scenario(server):
+            response = await http_request(
+                server.port, "POST", "/ingest", {"design": broken},
+            )
+            metrics = await http_request(server.port, "GET", "/metrics")
+            return response, metrics
+
+        (status, _, body), (_, _, metrics_body) = run_scenario(scenario)
+        assert status == 400
+        assert b"never driven" in body
+        # Only accepted submissions count under "ingest"; rejects are
+        # errors — the same accounting every endpoint uses.
+        counters = json.loads(metrics_body)["requests"]
+        assert counters["ingest"] == 0
+        assert counters["errors"] == 1
