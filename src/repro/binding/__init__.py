@@ -15,6 +15,8 @@
   standing in for LOPASS [3,4] (see DESIGN.md substitutions).
 * :mod:`~repro.binding.compile` — vectorized engines for both binders
   (``bind_engine="fast"``), decision-identical to the seed binders.
+* :mod:`~repro.binding.mcts` — seeded Monte-Carlo tree search binder
+  (``binder="mcts"``), never worse than the best heuristic.
 """
 
 from repro.binding.base import (
@@ -40,9 +42,21 @@ from repro.binding.compile import (
     bind_hlpower_fast,
     bind_lopass_fast,
 )
+from repro.binding.mcts import (
+    BINDER_NAMES,
+    DEFAULT_MCTS_BUDGET,
+    DEFAULT_MCTS_SEED,
+    MCTSConfig,
+    bind_mcts,
+)
 
 __all__ = [
+    "BINDER_NAMES",
     "BIND_ENGINES",
+    "DEFAULT_MCTS_BUDGET",
+    "DEFAULT_MCTS_SEED",
+    "MCTSConfig",
+    "bind_mcts",
     "BindMemo",
     "bind_hlpower_fast",
     "bind_lopass_fast",

@@ -43,7 +43,13 @@ from repro import (
     run_sweep,
     synthesize,
 )
-from repro.binding import BIND_ENGINES, SATable
+from repro.binding import (
+    BIND_ENGINES,
+    BINDER_NAMES,
+    DEFAULT_MCTS_BUDGET,
+    DEFAULT_MCTS_SEED,
+    SATable,
+)
 from repro.cdfg.corpus import (
     CORPUS_FAMILIES,
     corpus_instances,
@@ -169,6 +175,17 @@ def _add_sim_kernel_arg(
                             choices=SIM_KERNELS, help=help_text)
 
 
+def _add_mcts_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--mcts-budget", type=int, default=DEFAULT_MCTS_BUDGET, metavar="N",
+        help="mcts binder search iterations per resource class "
+             f"(default {DEFAULT_MCTS_BUDGET}; 0 = best heuristic)")
+    parser.add_argument(
+        "--mcts-seed", type=int, default=DEFAULT_MCTS_SEED, metavar="N",
+        help="mcts binder playout seed "
+             f"(default {DEFAULT_MCTS_SEED}; deterministic per seed)")
+
+
 def _add_flow_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--width", type=int, default=8,
                         help="datapath bit-width (default 8)")
@@ -181,6 +198,7 @@ def _add_flow_args(parser: argparse.ArgumentParser) -> None:
     _add_map_effort_arg(parser)
     _add_bind_engine_arg(parser)
     _add_elab_engine_arg(parser)
+    _add_mcts_args(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -221,7 +239,8 @@ def build_parser() -> argparse.ArgumentParser:
              "only the designs run)")
     sweep.add_argument(
         "--binders", default="lopass,hlpower",
-        help="comma-separated binder names (default lopass,hlpower)")
+        help=f"comma-separated binder names from {BINDER_NAMES} "
+             f"(default lopass,hlpower)")
     sweep.add_argument(
         "--alphas", default="0.5",
         help="comma-separated Equation (4) alpha values (default 0.5)")
@@ -252,6 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_map_effort_arg(sweep, multi=True)
     _add_bind_engine_arg(sweep, multi=True)
     _add_elab_engine_arg(sweep, multi=True)
+    _add_mcts_args(sweep)
     sweep.add_argument(
         "--sim-batch", type=int, default=32, metavar="N",
         help="max configurations per batched simulation kernel pass: "
@@ -299,7 +319,8 @@ def build_parser() -> argparse.ArgumentParser:
              "--benchmarks, only the designs run)")
     estimate.add_argument(
         "--binders", default="lopass,hlpower",
-        help="comma-separated binder names (default lopass,hlpower)")
+        help=f"comma-separated binder names from {BINDER_NAMES} "
+             f"(default lopass,hlpower)")
     estimate.add_argument(
         "--alphas", default="0.5",
         help="comma-separated Equation (4) alpha values (default 0.5)")
@@ -312,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "column (default lopass)")
     _add_map_effort_arg(estimate)
     _add_bind_engine_arg(estimate)
+    _add_mcts_args(estimate)
     _add_elab_engine_arg(estimate)
     _add_sa_table_arg(estimate)
     estimate.add_argument("--out", metavar="FILE",
@@ -338,8 +360,8 @@ def build_parser() -> argparse.ArgumentParser:
                              "across the selected families (default 0 = "
                              "all)")
     corpus.add_argument("--binders", default="lopass,hlpower",
-                        help="comma-separated binder names "
-                             "(default lopass,hlpower)")
+                        help=f"comma-separated binder names from "
+                             f"{BINDER_NAMES} (default lopass,hlpower)")
     corpus.add_argument("--alphas", default="0.5",
                         help="comma-separated Equation (4) alpha values "
                              "(default 0.5)")
@@ -353,6 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_map_effort_arg(corpus)
     _add_bind_engine_arg(corpus)
     _add_elab_engine_arg(corpus)
+    _add_mcts_args(corpus)
     corpus.add_argument("--profile", action="store_true",
                         help="print per-stage wall clock and peak memory "
                              "for every instance instead of the sweep "
@@ -393,9 +416,10 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("name", choices=BENCHMARK_NAMES)
     synth.add_argument("--scheduler", choices=("list", "force"),
                        default="list")
-    synth.add_argument("--binder", choices=("hlpower", "lopass"),
+    synth.add_argument("--binder", choices=BINDER_NAMES,
                        default="hlpower")
     synth.add_argument("--width", type=int, default=8)
+    _add_mcts_args(synth)
     synth.add_argument("--vhdl", metavar="FILE",
                        help="write the generated VHDL here")
 
@@ -488,6 +512,8 @@ def _bench_rows(names: Sequence[str], args, table: SATable) -> List[List[str]]:
         map_effort=args.map_effort,
         bind_engine=args.bind_engine,
         elab_engine=args.elab_engine,
+        mcts_budget=args.mcts_budget,
+        mcts_seed=args.mcts_seed,
     )
     sweep = run_sweep(spec, jobs=args.jobs, sa_table=table)
     rows = []
@@ -557,29 +583,35 @@ def cmd_sweep(args) -> int:
             "error: --design cells run the estimate flow only; "
             "pass --flow estimate"
         )
-    spec = SweepSpec(
-        benchmarks=_select_benchmarks(args.benchmarks, designs),
-        binders=_comma_list(args.binders, str, "--binders"),
-        alphas=_comma_list(args.alphas, float, "--alphas"),
-        widths=_comma_list(args.widths, int, "--widths"),
-        vector_seeds=_parse_seeds(args.seeds),
-        n_vectors=args.vectors,
-        scheduler=args.scheduler,
-        baseline=args.baseline,
-        sim_kernel=kernels[0],
-        sim_kernels=kernels if len(kernels) > 1 else None,
-        map_effort=efforts[0],
-        map_efforts=efforts if len(efforts) > 1 else None,
-        bind_engine=engines[0],
-        bind_engines=engines if len(engines) > 1 else None,
-        elab_engine=elabs[0],
-        elab_engines=elabs if len(elabs) > 1 else None,
-        idle_modes=_comma_list(args.idle_modes, str, "--idle-modes"),
-        jitters=_comma_list(args.jitters, int, "--jitters"),
-        flow=args.flow,
-        sim_batch=args.sim_batch,
-        designs=designs,
-    )
+    try:
+        # SweepSpec validates binder names eagerly at construction.
+        spec = SweepSpec(
+            benchmarks=_select_benchmarks(args.benchmarks, designs),
+            binders=_comma_list(args.binders, str, "--binders"),
+            alphas=_comma_list(args.alphas, float, "--alphas"),
+            widths=_comma_list(args.widths, int, "--widths"),
+            vector_seeds=_parse_seeds(args.seeds),
+            n_vectors=args.vectors,
+            scheduler=args.scheduler,
+            baseline=args.baseline,
+            sim_kernel=kernels[0],
+            sim_kernels=kernels if len(kernels) > 1 else None,
+            map_effort=efforts[0],
+            map_efforts=efforts if len(efforts) > 1 else None,
+            bind_engine=engines[0],
+            bind_engines=engines if len(engines) > 1 else None,
+            elab_engine=elabs[0],
+            elab_engines=elabs if len(elabs) > 1 else None,
+            idle_modes=_comma_list(args.idle_modes, str, "--idle-modes"),
+            jitters=_comma_list(args.jitters, int, "--jitters"),
+            flow=args.flow,
+            sim_batch=args.sim_batch,
+            designs=designs,
+            mcts_budget=args.mcts_budget,
+            mcts_seed=args.mcts_seed,
+        )
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}")
     table = SATable(path=args.sa_table)
     try:
         sweep = run_sweep(
@@ -602,18 +634,24 @@ def cmd_sweep(args) -> int:
 
 def cmd_estimate(args) -> int:
     designs = _load_designs(args.design)
-    spec = SweepSpec(
-        benchmarks=_select_benchmarks(args.benchmarks, designs),
-        binders=_comma_list(args.binders, str, "--binders"),
-        alphas=_comma_list(args.alphas, float, "--alphas"),
-        widths=(args.width,),
-        baseline=args.baseline,
-        map_effort=args.map_effort,
-        bind_engine=args.bind_engine,
-        elab_engine=args.elab_engine,
-        flow="estimate",
-        designs=designs,
-    )
+    try:
+        # SweepSpec validates binder names eagerly at construction.
+        spec = SweepSpec(
+            benchmarks=_select_benchmarks(args.benchmarks, designs),
+            binders=_comma_list(args.binders, str, "--binders"),
+            alphas=_comma_list(args.alphas, float, "--alphas"),
+            widths=(args.width,),
+            baseline=args.baseline,
+            map_effort=args.map_effort,
+            bind_engine=args.bind_engine,
+            elab_engine=args.elab_engine,
+            flow="estimate",
+            designs=designs,
+            mcts_budget=args.mcts_budget,
+            mcts_seed=args.mcts_seed,
+        )
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}")
     table = SATable(path=args.sa_table)
     try:
         sweep = run_sweep(spec, jobs=args.jobs, sa_table=table)
@@ -721,6 +759,8 @@ def _corpus_profile(args, instances) -> int:
                         bind_engine=args.bind_engine,
                         elab_engine=args.elab_engine,
                         flow=args.flow,
+                        mcts_budget=args.mcts_budget,
+                        mcts_seed=args.mcts_seed,
                     )
                     tracemalloc.reset_peak()
                     result = execute_flow(
@@ -792,17 +832,23 @@ def cmd_corpus(args) -> int:
         return _corpus_profile(args, instances)
 
     binders = _comma_list(args.binders, str, "--binders")
-    spec = SweepSpec(
-        benchmarks=[inst.name for inst in instances],
-        binders=binders,
-        alphas=_comma_list(args.alphas, float, "--alphas"),
-        widths=(args.width,),
-        baseline="lopass" if "lopass" in binders else "none",
-        map_effort=args.map_effort,
-        bind_engine=args.bind_engine,
-        elab_engine=args.elab_engine,
-        flow=args.flow,
-    )
+    try:
+        # SweepSpec validates binder names eagerly at construction.
+        spec = SweepSpec(
+            benchmarks=[inst.name for inst in instances],
+            binders=binders,
+            alphas=_comma_list(args.alphas, float, "--alphas"),
+            widths=(args.width,),
+            baseline="lopass" if "lopass" in binders else "none",
+            map_effort=args.map_effort,
+            bind_engine=args.bind_engine,
+            elab_engine=args.elab_engine,
+            flow=args.flow,
+            mcts_budget=args.mcts_budget,
+            mcts_seed=args.mcts_seed,
+        )
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}")
     table = SATable(path=args.sa_table)
     try:
         sweep = run_sweep(spec, jobs=args.jobs, sa_table=table)
@@ -838,7 +884,8 @@ def cmd_corpus(args) -> int:
 def cmd_synth(args) -> int:
     spec = benchmark_spec(args.name)
     config = HLSConfig(
-        scheduler=args.scheduler, binder=args.binder, width=args.width
+        scheduler=args.scheduler, binder=args.binder, width=args.width,
+        mcts_budget=args.mcts_budget, mcts_seed=args.mcts_seed,
     )
     constraints = spec.constraints if args.scheduler == "list" else None
     result = synthesize(load_benchmark(args.name), constraints, config,

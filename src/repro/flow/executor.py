@@ -160,6 +160,8 @@ def _flow_config(job: SweepJob, spec: SweepSpec, table: SATable) -> FlowConfig:
         bind_engine=job.bind_engine,
         elab_engine=job.elab_engine,
         flow=spec.flow,
+        mcts_budget=spec.mcts_budget,
+        mcts_seed=spec.mcts_seed,
     )
 
 

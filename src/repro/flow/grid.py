@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.binding import BIND_ENGINES
+from repro.binding import BIND_ENGINES, BINDER_NAMES
 from repro.cdfg import benchmark_spec
 from repro.errors import ConfigError
 from repro.fpga.compile import ELAB_ENGINES
@@ -121,6 +121,24 @@ class SweepSpec:
     #: wider is cheaper until word width dominates; 32 is the sweet
     #: spot measured on the chem benchmark (BENCH_flow.json).
     sim_batch: int = 32
+    #: MCTS binder knobs, applied to every ``"mcts"`` cell: search
+    #: budget (iterations per resource class; 0 degenerates to the
+    #: best heuristic) and playout seed. Both enter the bind-stage
+    #: fingerprint; other binders ignore them.
+    mcts_budget: int = 256
+    mcts_seed: int = 1
+
+    def __post_init__(self) -> None:
+        # Binder names gate which bind implementations run at all, so
+        # an unknown name must fail here — at construction / from_dict
+        # time — not halfway through a sweep when run_binder first sees
+        # the job.
+        for config in self.binder_configs():
+            if config.binder not in BINDER_NAMES:
+                raise ConfigError(
+                    f"unknown binder {config.binder!r}; choose from "
+                    f"{BINDER_NAMES}"
+                )
 
     def binder_configs(self) -> List[BinderConfig]:
         if self.configs is not None:
@@ -217,11 +235,23 @@ class SweepSpec:
         if not configs:
             raise ConfigError("sweep spec has no binder configurations")
         for config in configs:
-            if config.binder not in ("lopass", "hlpower"):
+            if config.binder not in BINDER_NAMES:
                 raise ConfigError(
                     f"unknown binder {config.binder!r}; choose from "
-                    f"('lopass', 'hlpower')"
+                    f"{BINDER_NAMES}"
                 )
+        if (not isinstance(self.mcts_budget, int)
+                or isinstance(self.mcts_budget, bool)
+                or self.mcts_budget < 0):
+            raise ConfigError(
+                f"mcts_budget must be an integer >= 0, "
+                f"got {self.mcts_budget!r}"
+            )
+        if (not isinstance(self.mcts_seed, int)
+                or isinstance(self.mcts_seed, bool)):
+            raise ConfigError(
+                f"mcts_seed must be an integer, got {self.mcts_seed!r}"
+            )
         labels = [config.label for config in configs]
         if len(set(labels)) != len(labels):
             raise ConfigError(f"duplicate binder labels: {labels}")

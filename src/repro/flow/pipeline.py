@@ -58,12 +58,15 @@ from typing import (
 
 from repro.errors import ConfigError, SimulationError
 from repro.binding import (
+    BINDER_NAMES,
     BindingSolution,
     HLPowerConfig,
+    MCTSConfig,
     PortAssignment,
     RegisterBinding,
     bind_hlpower,
     bind_lopass,
+    bind_mcts,
 )
 from repro.binding.compile import (
     BindMemo,
@@ -110,6 +113,8 @@ def run_binder(
     sa_table=None,
     engine: str = "fast",
     bind_memo: Optional[BindMemo] = None,
+    mcts_budget: int = 256,
+    mcts_seed: int = 1,
 ) -> BindingSolution:
     """Dispatch one binder by name or callable (shared with repro.hls).
 
@@ -118,6 +123,8 @@ def run_binder(
     "reference" (the seed binders verbatim, the differential-testing
     oracle). ``bind_memo`` is the fast HLPower engine's cross-round /
     cross-cell weight-block memo; the reference engine ignores it.
+    ``mcts_budget``/``mcts_seed`` only reach the ``"mcts"`` binder (its
+    heuristic incumbents honor ``engine`` and share ``bind_memo``).
     """
     if callable(binder):
         return binder(schedule, constraints, registers, ports)
@@ -138,7 +145,17 @@ def run_binder(
         if engine == "fast":
             return bind_lopass_fast(schedule, constraints, registers, ports)
         return bind_lopass(schedule, constraints, registers, ports)
-    raise ConfigError(f"unknown binder {binder!r}")
+    if binder == "mcts":
+        return bind_mcts(
+            schedule, constraints, registers, ports,
+            MCTSConfig(
+                budget=mcts_budget, seed=mcts_seed, alpha=alpha,
+                sa_table=sa_table, engine=engine, bind_memo=bind_memo,
+            ),
+        )
+    raise ConfigError(
+        f"unknown binder {binder!r}; choose from {BINDER_NAMES}"
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -210,7 +227,9 @@ def binder_token(binder: Binder, cfg: "FlowConfig") -> Optional[Tuple]:
     HLPower's token carries ``alpha`` plus the SA-table *settings* —
     table values are deterministic functions of those settings, so the
     table's fill state cannot change the binding and stays out of the
-    fingerprint. Callables have no content identity.
+    fingerprint. The MCTS binder extends the HLPower token with its
+    node budget and playout seed: both change the search's decisions,
+    so both must enter the digest. Callables have no content identity.
     """
     if callable(binder):
         return None
@@ -219,6 +238,9 @@ def binder_token(binder: Binder, cfg: "FlowConfig") -> Optional[Tuple]:
     table_config = (
         cfg.sa_table.config if cfg.sa_table is not None else SATableConfig()
     )
+    if binder == "mcts":
+        return (binder, cfg.alpha, table_config, cfg.mcts_budget,
+                cfg.mcts_seed)
     return (binder, cfg.alpha, table_config)
 
 
@@ -289,6 +311,7 @@ def _run_bind(p: "Pipeline") -> BindingSolution:
         p.binder, p.schedule, p.constraints, p.registers, p.ports,
         alpha=p.cfg.alpha, sa_table=p.cfg.sa_table,
         engine=p.cfg.bind_engine, bind_memo=_bind_memo(p),
+        mcts_budget=p.cfg.mcts_budget, mcts_seed=p.cfg.mcts_seed,
     )
 
 

@@ -109,6 +109,11 @@ class FlowConfig:
     #: chain, through simulation and power) or "estimate" (stop after
     #: tech-map/timing and report the Equation-(3) estimates only).
     flow: str = "full"
+    #: MCTS binder search budget (iterations per resource class; 0
+    #: degenerates to the best heuristic) and playout seed. Both enter
+    #: the bind-stage fingerprint; ignored by the other binders.
+    mcts_budget: int = 256
+    mcts_seed: int = 1
 
     def __post_init__(self) -> None:
         for name in ("width", "k", "n_vectors"):
@@ -153,6 +158,19 @@ class FlowConfig:
             raise ConfigError(
                 f"FlowConfig.delay_jitter must be >= 0, "
                 f"got {self.delay_jitter}"
+            )
+        if (not isinstance(self.mcts_budget, int)
+                or isinstance(self.mcts_budget, bool)
+                or self.mcts_budget < 0):
+            raise ConfigError(
+                f"FlowConfig.mcts_budget must be an integer >= 0, "
+                f"got {self.mcts_budget!r}"
+            )
+        if (not isinstance(self.mcts_seed, int)
+                or isinstance(self.mcts_seed, bool)):
+            raise ConfigError(
+                f"FlowConfig.mcts_seed must be an integer, "
+                f"got {self.mcts_seed!r}"
             )
 
 

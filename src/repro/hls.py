@@ -41,6 +41,9 @@ class HLSConfig:
     width: int = 8
     sa_table: Optional[SATable] = None
     latencies: Optional[Mapping[str, int]] = None
+    #: MCTS binder knobs (ignored by the other binders).
+    mcts_budget: int = 256
+    mcts_seed: int = 1
 
 
 @dataclass
@@ -93,6 +96,7 @@ def synthesize(
     solution = run_binder(
         cfg.binder, schedule, constraints, registers, ports,
         alpha=cfg.alpha, sa_table=cfg.sa_table,
+        mcts_budget=cfg.mcts_budget, mcts_seed=cfg.mcts_seed,
     )
 
     flips = 0

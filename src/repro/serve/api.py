@@ -45,6 +45,8 @@ _FLOW_FIELDS: Dict[str, Any] = {
     "delay_jitter": 0,
     "sim_kernel": "event",
     "check_function": True,
+    "mcts_budget": 256,
+    "mcts_seed": 1,
 }
 _ESTIMATE_ONLY_EXCLUDED = (
     "n_vectors", "vector_seed", "idle_selects", "delay_jitter",
@@ -68,6 +70,8 @@ _TYPES: Dict[str, Tuple[type, ...]] = {
     "delay_jitter": (int,),
     "sim_kernel": (str,),
     "check_function": (bool,),
+    "mcts_budget": (int,),
+    "mcts_seed": (int,),
 }
 
 
@@ -116,28 +120,36 @@ def single_cell_spec(body: Mapping[str, Any], flow: str) -> SweepSpec:
     """
     fields = _single_cell_fields(body, flow)
     defaults = _FLOW_FIELDS
-    spec = SweepSpec(
-        benchmarks=[fields["benchmark"]],
-        configs=[BinderConfig(
-            label=fields["binder"],
-            binder=fields["binder"],
-            alpha=float(fields["alpha"]),
-        )],
-        widths=(fields["width"],),
-        vector_seeds=(fields.get("vector_seed", defaults["vector_seed"]),),
-        n_vectors=fields.get("n_vectors", defaults["n_vectors"]),
-        k=fields["k"],
-        scheduler=fields["scheduler"],
-        check_function=fields["check_function"],
-        sim_kernel=fields.get("sim_kernel", defaults["sim_kernel"]),
-        map_effort=fields["map_effort"],
-        bind_engine=fields["bind_engine"],
-        baseline="none",
-        idle_modes=(fields.get("idle_selects", defaults["idle_selects"]),),
-        jitters=(fields.get("delay_jitter", defaults["delay_jitter"]),),
-        flow=flow,
-    )
     try:
+        # Construction itself validates eagerly too (unknown binder
+        # names raise in SweepSpec.__post_init__), so it stays inside
+        # the 400 boundary.
+        spec = SweepSpec(
+            benchmarks=[fields["benchmark"]],
+            configs=[BinderConfig(
+                label=fields["binder"],
+                binder=fields["binder"],
+                alpha=float(fields["alpha"]),
+            )],
+            widths=(fields["width"],),
+            vector_seeds=(fields.get("vector_seed",
+                                     defaults["vector_seed"]),),
+            n_vectors=fields.get("n_vectors", defaults["n_vectors"]),
+            k=fields["k"],
+            scheduler=fields["scheduler"],
+            check_function=fields["check_function"],
+            sim_kernel=fields.get("sim_kernel", defaults["sim_kernel"]),
+            map_effort=fields["map_effort"],
+            bind_engine=fields["bind_engine"],
+            baseline="none",
+            idle_modes=(fields.get("idle_selects",
+                                   defaults["idle_selects"]),),
+            jitters=(fields.get("delay_jitter",
+                                defaults["delay_jitter"]),),
+            flow=flow,
+            mcts_budget=fields["mcts_budget"],
+            mcts_seed=fields["mcts_seed"],
+        )
         spec.validate()
     except ReproError as exc:  # ConfigError, unknown-benchmark, ...
         raise RequestError(str(exc)) from exc

@@ -1,0 +1,120 @@
+"""Golden regression: the MCTS binder's numbers and cache keys, frozen.
+
+Two things are pinned per paper benchmark at the default budget/seed:
+
+* the structural result — total mux length, muxDiff sum, register
+  count — so search-policy work (UCT constants, playout ordering, RNG
+  stream layout) cannot silently shift solutions;
+* the bind stage's content fingerprint with ``binder="mcts"``, so
+  cache-key drift is caught: the budget and seed enter the digest, and
+  any change to the token shape would silently orphan (or worse,
+  alias) persisted artifacts.
+
+Regenerate ONLY for a deliberate algorithm change, never to make a
+red PR green.
+"""
+
+import pytest
+
+from repro import benchmark_spec
+from repro.binding import DEFAULT_MCTS_BUDGET, DEFAULT_MCTS_SEED
+from repro.binding.mcts import MCTSConfig, bind_mcts
+from repro.cdfg import load_benchmark
+from repro.flow.run import FlowConfig, build_pipeline, prepare_flow_inputs
+from repro.rtl.metrics import mux_report
+from repro.scheduling import list_schedule
+
+#: benchmark -> (mux_length, muxDiff sum, registers, bind fingerprint)
+#: at the default budget/seed.
+_GOLDEN = {
+    "chem": (487, 10, 47,
+             "0d477d64dfce745150fb3e89880ff1fc73035679906d8af739c691193054b07e"),
+    "dir": (184, 7, 33,
+            "6eae844ad50f6ec6d220194fe7a123b00ff17761d855717ba5fc3a13f394c928"),
+    "honda": (132, 5, 21,
+              "df1f464683cd70d3bf1c4d87a4e6dfe435c8c2709c1800ce1b0e4fca0aecbbca"),
+    "mcm": (115, 12, 18,
+            "09bcc911eee9dc160981a081c676e886405a1d9c6800a95ac4c7ed619bac0d4e"),
+    "pr": (67, 3, 13,
+           "d95a43e21731cdfd2dc1027d351716d4c23f8d99232f7785757e2861836387fd"),
+    "steam": (319, 14, 29,
+              "e3f0ef2572bc2a2905375f866525bc41f4ff777da57c98f6fe0ee852be8b7718"),
+    "wang": (74, 2, 13,
+             "401400b104715e036a1809ff1181fc6d72eb1a39aaf7b65d4b78203ea4be9291"),
+}
+
+#: Tier-1 keeps the fast benchmarks; the rest ride the slow marker.
+_SMOKE = ("pr", "wang", "honda", "mcm")
+
+_ELABORATED = {}
+
+
+def elaborated(benchmark):
+    if benchmark not in _ELABORATED:
+        spec = benchmark_spec(benchmark)
+        schedule = list_schedule(load_benchmark(benchmark), spec.constraints)
+        registers, ports = prepare_flow_inputs(schedule)
+        _ELABORATED[benchmark] = (
+            schedule, spec.constraints, registers, ports
+        )
+    return _ELABORATED[benchmark]
+
+
+def golden_of(benchmark):
+    schedule, limits, registers, ports = elaborated(benchmark)
+    solution = bind_mcts(schedule, limits, registers, ports, MCTSConfig())
+    report = mux_report(solution)
+    pipeline = build_pipeline(schedule, limits, "mcts", FlowConfig(),
+                              registers, ports)
+    return (
+        report.mux_length,
+        sum(report.mux_diffs),
+        solution.registers.n_registers,
+        pipeline.stage_fingerprint("bind"),
+    )
+
+
+def test_defaults_match_frozen_knobs():
+    # The golden values were recorded at these settings; changing a
+    # default silently invalidates the whole table.
+    cfg = MCTSConfig()
+    assert (cfg.budget, cfg.seed) == (256, 1)
+    assert (DEFAULT_MCTS_BUDGET, DEFAULT_MCTS_SEED) == (256, 1)
+    flow = FlowConfig()
+    assert (flow.mcts_budget, flow.mcts_seed) == (256, 1)
+
+
+@pytest.mark.parametrize("bench_name", _SMOKE)
+def test_golden(bench_name):
+    assert golden_of(bench_name) == _GOLDEN[bench_name]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "bench_name", sorted(set(_GOLDEN) - set(_SMOKE))
+)
+def test_golden_large(bench_name):
+    assert golden_of(bench_name) == _GOLDEN[bench_name]
+
+
+def test_budget_and_seed_enter_bind_fingerprint():
+    schedule, limits, registers, ports = elaborated("pr")
+
+    def fp(**kwargs):
+        pipeline = build_pipeline(schedule, limits, "mcts",
+                                  FlowConfig(**kwargs), registers, ports)
+        return pipeline.stage_fingerprint("bind")
+
+    base = fp()
+    assert base == _GOLDEN["pr"][3]
+    assert fp(mcts_budget=128) != base
+    assert fp(mcts_seed=2) != base
+    # The other binders' tokens must not absorb the mcts knobs: an
+    # hlpower artifact is reusable across any mcts budget.
+    hl = build_pipeline(schedule, limits, "hlpower", FlowConfig(),
+                        registers, ports)
+    hl_other = build_pipeline(
+        schedule, limits, "hlpower", FlowConfig(mcts_budget=128),
+        registers, ports,
+    )
+    assert hl.stage_fingerprint("bind") == hl_other.stage_fingerprint("bind")

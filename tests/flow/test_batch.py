@@ -89,6 +89,32 @@ class TestExpandGrid:
         with pytest.raises(ConfigError):
             expand_grid(SweepSpec(benchmarks=["pr"], binders=("magic",)))
 
+    def test_unknown_binder_rejected_at_construction(self):
+        # Regression: a typo'd binder used to survive until run_binder
+        # saw the first job. Construction itself must fail, naming the
+        # offending binder.
+        with pytest.raises(ConfigError, match="bogus"):
+            SweepSpec(benchmarks=["pr"], binders=("lopass", "bogus"))
+
+    def test_unknown_binder_rejected_in_explicit_configs(self):
+        with pytest.raises(ConfigError, match="bogus"):
+            SweepSpec(
+                benchmarks=["pr"],
+                configs=[BinderConfig("label", "bogus")],
+            )
+
+    def test_unknown_binder_rejected_by_from_dict(self):
+        good = SweepSpec(benchmarks=["pr"]).to_dict()
+        bad = dict(good, binders=["lopass", "bogus"])
+        with pytest.raises(ConfigError, match="bogus"):
+            SweepSpec.from_dict(bad)
+
+    def test_mcts_knobs_round_trip_through_dict(self):
+        spec = SweepSpec(benchmarks=["pr"], binders=("mcts",),
+                         baseline="none", mcts_budget=64, mcts_seed=9)
+        again = SweepSpec.from_dict(spec.to_dict())
+        assert (again.mcts_budget, again.mcts_seed) == (64, 9)
+
     def test_duplicate_labels_rejected(self):
         spec = SweepSpec(
             benchmarks=["pr"],

@@ -25,6 +25,10 @@ SHARED_FLAGS = {
     "--map-effort": ("bench", "suite", "sweep", "estimate", "corpus"),
     "--bind-engine": ("bench", "suite", "sweep", "estimate", "corpus"),
     "--elab-engine": ("bench", "suite", "sweep", "estimate", "corpus"),
+    "--mcts-budget": ("bench", "suite", "sweep", "estimate", "corpus",
+                      "synth"),
+    "--mcts-seed": ("bench", "suite", "sweep", "estimate", "corpus",
+                    "synth"),
 }
 
 #: Subcommands where the flag is a comma-separated grid axis rather
@@ -101,6 +105,18 @@ def test_sweep_sim_batch_flag(commands):
     action = _flag_action(commands["sweep"], "--sim-batch")
     assert action.default == SweepSpec.sim_batch
     assert action.type is int
+
+
+def test_mcts_flag_defaults_match_sweep_spec(commands):
+    # The CLI defaults and the SweepSpec/FlowConfig defaults must be
+    # the same numbers, or `repro sweep` and a hand-built spec would
+    # fingerprint (and cache) differently.
+    for name in SHARED_FLAGS["--mcts-budget"]:
+        budget = _flag_action(commands[name], "--mcts-budget")
+        seed = _flag_action(commands[name], "--mcts-seed")
+        assert budget.default == SweepSpec.mcts_budget
+        assert seed.default == SweepSpec.mcts_seed
+        assert budget.type is int and seed.type is int
 
 
 def test_parsed_namespaces_agree():
